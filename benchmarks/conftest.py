@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+The table reproductions train models; the in-process cache in
+``repro.experiments.cache`` keeps each (architecture, scheme, scale)
+trained exactly once per session, so benchmark files can share
+checkpoints (fig1/fig9 reuse the Table III/V models).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Training-based experiments are far too slow for statistical
+    repetition; one round still records wall-clock in the benchmark
+    report.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Ablation benches for design choices DESIGN.md calls out (beyond Table V).
+
+* Conv1d kernel size in the channel re-scaling branch (paper picks k=5);
+* our Conv1d channel branch vs the Real-to-Binary SE block (the 2C^2/rk
+  parameter-ratio argument of Sec. IV-C);
+* the Bi-Real skip connection inside the binary conv.
+"""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.binarize import ChannelRescale, SCALESBinaryConv2d
+from repro.cost import count_cost
+from repro.grad import Tensor
+from repro.nn import Sequential
+
+
+def test_conv1d_kernel_size_cost_scaling(benchmark):
+    """FP parameters of the channel branch = k; ops negligible vs conv."""
+    def measure():
+        rows = []
+        for k in (3, 5, 7, 9):
+            layer = SCALESBinaryConv2d(64, 64, 3, channel_kernel_size=k)
+            report = count_cost(Sequential(layer), (1, 64, 16, 16))
+            rows.append((k, layer.channel.num_fp_parameters(),
+                         report.ops_effective))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for k, params, _ in rows:
+        assert params == k
+    # OPs barely move with k (the branch is O(kC), the conv O(9C^2HW)).
+    ops = [r[2] for r in rows]
+    assert max(ops) / min(ops) < 1.01
+
+
+def test_channel_branch_vs_se_block_parameters(benchmark):
+    """Sec. IV-C: SE-style re-scaling needs 2C^2/r params, ours needs k —
+    a ratio of 2C^2/(rk) (~1638x at C=256, r=16, k=5)."""
+    def measure():
+        results = {}
+        for c in (64, 128, 256):
+            ours = ChannelRescale(c, kernel_size=5).num_fp_parameters()
+            se = 2 * c * c // 16
+            results[c] = se / ours
+        return results
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert ratios[256] == pytest.approx(1638.4, rel=1e-3)
+    # The gap widens quadratically with channel width.
+    assert ratios[256] > ratios[128] > ratios[64]
+
+
+def test_binary_conv_skip_preserves_information(benchmark):
+    """Bi-Real/E2FIF skip: with it, the layer output retains the FP input
+    exactly (full-precision information flow); without it, only binary
+    magnitudes survive."""
+    def measure():
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 8, 10, 10)))
+        with_skip = SCALESBinaryConv2d(8, 8, 3, skip=True, bias=False)
+        without = SCALESBinaryConv2d(8, 8, 3, skip=False, bias=False)
+        for layer in (with_skip, without):
+            layer.weight.data[:] = 0.0
+        return (with_skip(x).data, without(x).data, x.data)
+
+    with_skip, without, x = benchmark.pedantic(measure, rounds=1, iterations=1)
+    np.testing.assert_allclose(with_skip, x, atol=1e-12)
+    np.testing.assert_allclose(without, 0.0, atol=1e-12)

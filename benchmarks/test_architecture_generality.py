@@ -1,0 +1,76 @@
+"""Extension bench — SCALES as a drop-in across CNN architectures.
+
+Sec. V-A evaluates SCALES on SRResNet, EDSR, RDN and RCAN; the paper's
+tables print SRResNet only "due to page limitation".  This bench runs the
+other three CNN bodies under SCALES vs the prior art E2FIF with a reduced
+schedule and checks the drop-in property: every architecture trains
+stably under both schemes, and SCALES does not lose to E2FIF on the
+structured suites on average across architectures.
+"""
+
+import numpy as np
+
+from repro import grad as G
+from repro.data import benchmark_suite
+from repro.experiments import cache
+from repro.experiments.presets import ExperimentPreset
+from repro.models import build_model
+from repro.nn import init
+from repro.train import TrainConfig, Trainer, evaluate
+
+#: Reduced schedule: three extra architectures x two schemes must stay
+#: inside a benchmark-suite-friendly wall clock.
+_PRESET = ExperimentPreset(train_images=24, train_image_size=96,
+                           eval_images=8, eval_image_size=64, steps=300,
+                           batch_size=8, patch_size=16, lr=3e-4, lr_step=200)
+
+ARCHITECTURES = ("edsr", "rdn", "rcan")
+
+
+def _train_and_eval(architecture, scheme, scale, suites):
+    with G.default_dtype("float32"):
+        init.seed(42)
+        model = build_model(architecture, scale=scale, scheme=scheme,
+                            preset="tiny")
+        pool = cache.get_training_pool(scale, _PRESET)
+        config = TrainConfig(steps=_PRESET.steps, batch_size=_PRESET.batch_size,
+                             patch_size=_PRESET.patch_size, lr=_PRESET.lr,
+                             lr_step=_PRESET.lr_step, seed=_PRESET.seed)
+        trainer = Trainer(model, pool, config)
+        history = trainer.fit()
+        assert np.isfinite(history).all(), (architecture, scheme)
+        return {name: evaluate(model, pairs).psnr
+                for name, pairs in suites.items()}
+
+
+def test_scales_generalizes_across_cnn_architectures(benchmark):
+    scale = 4
+    suites = {name: benchmark_suite(name, scale, _PRESET.eval_images,
+                                    (_PRESET.eval_image_size,) * 2)
+              for name in ("b100", "urban100")}
+
+    def run_all():
+        results = {}
+        for architecture in ARCHITECTURES:
+            for scheme in ("scales", "e2fif"):
+                results[(architecture, scheme)] = _train_and_eval(
+                    architecture, scheme, scale, suites)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for architecture in ARCHITECTURES:
+        s = results[(architecture, "scales")]
+        e = results[(architecture, "e2fif")]
+        print(f"\n{architecture}: scales b100={s['b100']:.3f} "
+              f"urban={s['urban100']:.3f} | e2fif b100={e['b100']:.3f} "
+              f"urban={e['urban100']:.3f}")
+
+    # Drop-in claim: averaged over architectures and suites, SCALES is at
+    # least on par with the prior art (paper: strictly better per table).
+    scales_mean = np.mean([results[(a, "scales")][s]
+                           for a in ARCHITECTURES for s in suites])
+    e2fif_mean = np.mean([results[(a, "e2fif")][s]
+                          for a in ARCHITECTURES for s in suites])
+    print(f"\nmean PSNR: scales {scales_mean:.3f} vs e2fif {e2fif_mean:.3f}")
+    assert scales_mean > e2fif_mean - 0.05

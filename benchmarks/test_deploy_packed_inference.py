@@ -1,0 +1,64 @@
+"""Extension bench — packed XNOR-popcount deployment (the Larq substrate).
+
+Table VI's phone numbers come from Larq executing the binary layers on
+packed 1-bit operands.  This bench compiles a *trained* SCALES SRResNet
+onto this repo's packed kernels and checks the three facts that make
+binary deployment worthwhile:
+
+* the packed model is numerically identical to the training graph (the
+  deployment is lossless);
+* the binarized weights compress by ~32x (paper: 1517K FP params vs 34K);
+* super-resolving through the packed path produces the same PSNR.
+"""
+
+import numpy as np
+
+from repro import grad as G
+from repro.data import benchmark_suite
+from repro.deploy import compile_model, deployment_report
+from repro.experiments import cache
+from repro.experiments.presets import get_preset
+from repro.grad import Tensor, no_grad
+from repro.metrics import psnr_y
+from repro.train import super_resolve
+
+
+def test_deploy_packed_inference(benchmark):
+    preset = get_preset()
+    pairs = benchmark_suite("urban100", 4, 2, (64, 64))
+
+    with G.default_dtype("float32"):
+        model = cache.get_trained_model("srresnet", "scales", 4, preset,
+                                        light_tail=True, head_kernel=3)
+        compiled = compile_model(model)
+
+        x = Tensor(pairs[0].lr.transpose(2, 0, 1)[None].astype(np.float32))
+        with no_grad():
+            ref = model(x).data
+
+        def packed_forward():
+            with no_grad():
+                return compiled(x).data
+
+        out = benchmark.pedantic(packed_forward, rounds=3, iterations=1)
+
+    # Lossless deployment: packed output == training-graph output.
+    np.testing.assert_allclose(out, ref, rtol=0, atol=1e-4)
+
+    # The packed weights really are ~32x smaller (tiny layers lose a
+    # little to word-boundary padding).
+    report = deployment_report(compiled)
+    print(f"\npacked binary layers: {report.n_binary_layers}")
+    print(f"weight compression:   {report.weight_compression:.1f}x")
+    print(f"model compression:    {report.model_compression:.2f}x")
+    assert report.n_binary_layers >= 4
+    assert report.weight_compression > 10
+
+    # End-to-end PSNR through the packed path matches the float graph.
+    with G.default_dtype("float32"):
+        for pair in pairs:
+            sr_float = super_resolve(model, pair.lr)
+            sr_packed = super_resolve(compiled, pair.lr)
+            p_float = psnr_y(sr_float, pair.hr, shave=4)
+            p_packed = psnr_y(sr_packed, pair.hr, shave=4)
+            assert abs(p_float - p_packed) < 1e-3

@@ -1,0 +1,49 @@
+"""Figs. 3, 4, 5 — activation distribution studies.
+
+Each figure is regenerated as five-number distribution summaries (the
+data a box plot draws); assertions encode what each panel shows.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import (
+    fig3_edsr_distributions,
+    fig4_classifier_distributions,
+    fig5_swinir_distributions,
+)
+
+
+def test_fig3_edsr_distributions(benchmark):
+    data = benchmark.pedantic(fig3_edsr_distributions, rounds=1, iterations=1)
+    # Fig. 3a/3b: pixel distributions vary pixel-to-pixel and image-to-image.
+    img1 = data["pixels_img1"]
+    img2 = data["pixels_img2"]
+    assert img1.rows.shape[1] == 5
+    assert img1.center_variation > 0            # pixel-to-pixel variation
+    medians1 = img1.rows[:, 2]
+    medians2 = img2.rows[:, 2]
+    assert not np.allclose(medians1, medians2)  # image-to-image variation
+    # Fig. 3c: layer-to-layer variation exists.
+    assert data["layers"].rows.shape[0] >= 2
+    assert data["layers"].center_variation > 0
+    # Fig. 3d: channel-wise shifts (motivates the learnable threshold beta).
+    assert data["channels"].center_variation > 0
+
+
+def test_fig4_classifier_distributions(benchmark):
+    data = benchmark.pedantic(fig4_classifier_distributions,
+                              rounds=1, iterations=1)
+    edsr = fig3_edsr_distributions()
+    # Classifier distributions are far narrower than EDSR's (Fig. 4 vs 3).
+    assert data["resnet_pixels"].center_variation < edsr["pixels_img1"].center_variation
+    assert data["swinvit_pixels"].center_variation < edsr["pixels_img1"].center_variation
+
+
+def test_fig5_swinir_distributions(benchmark):
+    data = benchmark.pedantic(fig5_swinir_distributions, rounds=1, iterations=1)
+    # Fig. 5a/5b: token distributions differ between images.
+    assert not np.allclose(data["tokens_img1"].rows[:, 2],
+                           data["tokens_img2"].rows[:, 2])
+    # Fig. 5c/5d: linear (post-LN) layers are narrow; conv layers (not
+    # normalized) spread wider — the transformer's layer-to-layer variation.
+    assert data["conv_layers"].spread > data["linear_layers"].spread

@@ -1,0 +1,26 @@
+"""Table I — adaptability / hardware-cost matrix of BNN-SR methods."""
+
+from repro.experiments.tables import format_table1, table1_adaptability
+
+
+def test_table1_adaptability(benchmark):
+    rows = benchmark.pedantic(table1_adaptability, rounds=1, iterations=1)
+    print("\n" + format_table1(rows))
+
+    by_method = {r["method"]: r for r in rows}
+    # Paper Table I, row by row.
+    assert by_method["Ma et al. [23]"]["hw_cost"] == "FP Accum."
+    assert by_method["BAM"]["spatial"] and not by_method["BAM"]["channel"]
+    assert by_method["BTM"]["image"] and by_method["BTM"]["hw_cost"] == "Low"
+    assert by_method["LMB"]["spatial"] and by_method["LMB"]["image"]
+    assert by_method["DAQ"]["channel"] and by_method["DAQ"]["image"]
+    assert not any(by_method["E2FIF"][k]
+                   for k in ("spatial", "channel", "layer", "image"))
+    scales = by_method["SCALES (ours)"]
+    assert all(scales[k] for k in ("spatial", "channel", "layer", "image"))
+    assert scales["hw_cost"] == "Low"
+    # SCALES is the only method with all four adaptabilities at low cost.
+    complete = [m for m, r in by_method.items()
+                if all(r[k] for k in ("spatial", "channel", "layer", "image"))
+                and r["hw_cost"] == "Low"]
+    assert complete == ["SCALES (ours)"]

@@ -1,0 +1,23 @@
+"""Table II — activation variance: SR networks vs classification networks."""
+
+from repro.experiments.tables import format_rows, table2_variance
+
+
+def test_table2_variance(benchmark):
+    rows = benchmark.pedantic(lambda: table2_variance(n_images=4, image_size=32),
+                              rounds=1, iterations=1)
+    print("\n" + format_rows(rows))
+
+    by_net = {r["network"]: r for r in rows}
+    axes = ["chl-to-chl", "pixel-to-pixel", "layer-to-layer", "image-to-image"]
+
+    # Paper shape: EDSR's variation is orders of magnitude above ResNet's
+    # (paper: 439-3494 vs 0.10-0.92).
+    for axis in axes:
+        assert by_net["EDSR"][axis] > 100 * by_net["ResNet"][axis], axis
+
+    # Transformers: LayerNorm keeps token stats narrow — SwinIR and SwinViT
+    # sit far below EDSR everywhere (paper: 0.11-162.7 vs EDSR's 439-3494).
+    for axis in axes:
+        assert by_net["SwinIR"][axis] < by_net["EDSR"][axis], axis
+        assert by_net["SwinViT"][axis] < by_net["EDSR"][axis], axis

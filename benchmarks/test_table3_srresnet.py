@@ -1,0 +1,56 @@
+"""Table III — CNN comparison on SRResNet: PSNR/SSIM + Params/OPs.
+
+Trains SRResNet under FP / BAM / BTM / E2FIF / SCALES (quick preset) and
+evaluates the four synthetic benchmark suites; Params/OPs come from the
+full-size ("paper" preset) models on a 1280x720 HR target.
+
+Shape assertions (see EXPERIMENTS.md for the paper-vs-measured record):
+the FP model leads the trained methods, SCALES beats the prior art E2FIF
+on the structured suites, and the cost columns reproduce the paper's
+ordering (SCALES < E2FIF < BAM; everything far below FP).
+"""
+
+from repro.experiments.tables import format_rows, table3_srresnet
+
+
+def test_table3_srresnet_x4(benchmark):
+    rows = benchmark.pedantic(lambda: table3_srresnet(scale=4),
+                              rounds=1, iterations=1)
+    print("\n" + format_rows(rows))
+    by_method = {r["method"]: r for r in rows}
+
+    fp = by_method["fp"]
+    scales = by_method["scales"]
+    e2fif = by_method["e2fif"]
+    bam = by_method["bam"]
+    btm = by_method["btm"]
+    bicubic = by_method["bicubic"]
+
+    # FP upper bound among trained methods on the suites with learnable
+    # headroom (set5/set14 are dominated by near-perfect interpolation on
+    # the synthetic data, so trained-model deltas there are noise — see
+    # EXPERIMENTS.md).
+    for binary in (scales, e2fif, bam, btm):
+        assert fp["urban100_psnr"] > binary["urban100_psnr"] - 0.05
+        assert fp["b100_psnr"] > binary["b100_psnr"] - 0.05
+
+    # Trained FP and SCALES clear the bicubic floor where headroom exists.
+    assert fp["b100_psnr"] > bicubic["b100_psnr"]
+    assert scales["b100_psnr"] > bicubic["b100_psnr"]
+    assert fp["urban100_psnr"] > bicubic["urban100_psnr"]
+    assert scales["urban100_psnr"] > bicubic["urban100_psnr"]
+
+    # Headline claim: SCALES beats the prior art E2FIF (paper: +0.19 dB on
+    # Urban100 at x4) on the structure-heavy suites.
+    assert scales["urban100_psnr"] > e2fif["urban100_psnr"]
+    assert scales["b100_psnr"] > e2fif["b100_psnr"]
+
+    # Cost columns (full-size models): SCALES lightest of the re-scaled
+    # binary methods; everything dwarfed by FP (paper: 1517K vs 34-37K).
+    assert scales["params_k"] < e2fif["params_k"] < bam["params_k"]
+    assert scales["ops_g"] < e2fif["ops_g"] < bam["ops_g"]
+    assert fp["params_k"] > 10 * scales["params_k"]
+    assert fp["ops_g"] > 20 * scales["ops_g"]
+
+    # Bicubic has no model cost.
+    assert by_method["bicubic"]["params_k"] is None

@@ -1,0 +1,39 @@
+"""Table IV (HAT rows) — the second binary transformer of the paper.
+
+The paper's strongest claim lives here: BiBERT-binarized HAT collapses
+(22-28 dB) while SCALES recovers 1.9-4.3 dB across the four suites.  At
+this repo's tiny scale the collapse is milder, but the SCALES > BiBERT
+ordering on the learnable suites must reproduce, and SCALES must clear
+the bicubic floor.  The FP row is printed, not asserted (same tiny-scale
+FP deviation as the SwinIR bench; see EXPERIMENTS.md).
+"""
+
+from repro.experiments.tables import format_rows, table4_transformer
+
+
+def test_table4_hat_x4(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table4_transformer(architecture="hat", scale=4),
+        rounds=1, iterations=1)
+    print("\n" + format_rows(rows))
+    by_method = {r["method"]: r for r in rows}
+
+    fp = by_method["fp"]
+    bibert = by_method["bibert"]
+    scales = by_method["scales"]
+    bicubic = by_method["bicubic"]
+
+    # SCALES rescues the binary HAT relative to the BiBERT baseline.
+    assert scales["b100_psnr"] > bibert["b100_psnr"]
+    assert scales["urban100_psnr"] >= bibert["urban100_psnr"] - 0.05
+
+    # And clears the interpolation floor where headroom exists.
+    assert scales["b100_psnr"] > bicubic["b100_psnr"]
+
+    # Cost columns at paper size: large parameter reduction vs FP HAT
+    # (paper: 20.80M -> 1.06M, ~20x), small overhead over BiBERT.  Our
+    # binarized HAT keeps the full-width FP reconstruction tail (~2.5M
+    # params at embed 180) that the paper's deployment slims down, so the
+    # measured ratio is ~6x; the binarized *body* alone compresses ~31x.
+    assert fp["params_k"] > 5 * scales["params_k"]
+    assert scales["params_k"] < 1.3 * bibert["params_k"]

@@ -1,0 +1,30 @@
+"""Table V — SCALES component ablation on SRResNet (x4).
+
+Reproduces the two structures of the paper's Table V:
+
+* OPs at a 128x128 input increase strictly LSF < +chl < +spatial <
+  SCALES, and E2FIF (with its BatchNorm) costs more than all of them;
+* full SCALES delivers the best structured-suite PSNR of the family and
+  beats E2FIF.
+"""
+
+from repro.experiments.tables import format_rows, table5_ablation
+
+
+def test_table5_ablation(benchmark):
+    rows = benchmark.pedantic(lambda: table5_ablation(scale=4),
+                              rounds=1, iterations=1)
+    print("\n" + format_rows(rows))
+    by_method = {r["method"]: r for r in rows}
+
+    ops = {m: by_method[m]["ops_g"] for m in by_method}
+    # Exact OPs ordering of Table V.
+    assert (ops["scales_lsf"] < ops["scales_lsf_channel"]
+            < ops["scales_lsf_spatial"] < ops["scales"] < ops["e2fif"])
+
+    # Accuracy: full SCALES >= every partial variant and > E2FIF on the
+    # structure-heavy suite (paper: 25.27 vs 25.07-25.24 on Urban100).
+    urban = {m: by_method[m]["urban100_psnr"] for m in by_method}
+    assert urban["scales"] > urban["e2fif"]
+    for partial in ("scales_lsf", "scales_lsf_channel", "scales_lsf_spatial"):
+        assert urban["scales"] >= urban[partial] - 0.05, partial

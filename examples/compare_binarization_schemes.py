@@ -1,0 +1,51 @@
+"""Compare binarization schemes on one architecture (a mini Table III).
+
+Trains SRResNet under several binarization schemes on the same data and
+prints PSNR together with the full-size params/OPs accounting.
+
+    python examples/compare_binarization_schemes.py
+"""
+
+from repro import grad as G
+from repro.cost import count_cost_for_hr
+from repro.data import benchmark_suite, training_pool
+from repro.models import build_model
+from repro.nn import init
+from repro.train import TrainConfig, Trainer, evaluate, evaluate_bicubic
+
+G.set_default_dtype("float32")
+
+SCHEMES = ["scales", "e2fif", "btm", "plain"]
+SCALE = 4
+STEPS = 250
+
+
+def main() -> None:
+    pool = training_pool(scale=SCALE, n_images=10, size=(96, 96))
+    suite = benchmark_suite("urban100", scale=SCALE, n_images=4, size=(64, 64))
+
+    bicubic = evaluate_bicubic(suite)
+    print(f"{'scheme':<10} {'urban PSNR':>10} {'params':>10} {'OPs':>10}")
+    print(f"{'bicubic':<10} {bicubic.psnr:>10.2f} {'-':>10} {'-':>10}")
+
+    for scheme in SCHEMES:
+        init.seed(42)
+        model = build_model("srresnet", scale=SCALE, scheme=scheme,
+                            preset="tiny", light_tail=True, head_kernel=3)
+        trainer = Trainer(model, pool, TrainConfig(steps=STEPS, batch_size=8,
+                                                   patch_size=16, lr=3e-4))
+        trainer.fit()
+        result = evaluate(model, suite)
+
+        # Cost accounting at the paper's full size (1280x720 HR target).
+        init.seed(0)
+        full = build_model("srresnet", scale=SCALE, scheme=scheme,
+                           preset="paper", light_tail=True, head_kernel=3)
+        report = count_cost_for_hr(full, scale=SCALE)
+        print(f"{scheme:<10} {result.psnr:>10.2f} "
+              f"{report.params_effective / 1e3:>9.1f}K "
+              f"{report.ops_effective / 1e9:>9.2f}G")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "SCALES: Boost Binary Neural Network for Image
+Super-Resolution with Efficient Scalings" (DATE 2025).
+
+Subpackages
+-----------
+``repro.grad``
+    NumPy autograd engine (the PyTorch substitute).
+``repro.nn`` / ``repro.optim``
+    Layers, module system, optimizers.
+``repro.binarize``
+    The paper's contribution (SCALES layers) and all baseline binarizers.
+``repro.models``
+    SRResNet / EDSR / RDN / RCAN / SwinIR / HAT plus classifier references.
+``repro.data``
+    Synthetic DIV2K/benchmark substitutes, bicubic degradation, sampling.
+``repro.metrics`` / ``repro.cost`` / ``repro.train`` / ``repro.analysis``
+    PSNR/SSIM, params/OPs/latency accounting, training, activation study.
+``repro.experiments``
+    Drivers regenerating every table and figure.
+"""
+
+from . import (analysis, binarize, cost, data, experiments, grad, metrics,
+               models, nn, optim, train)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "analysis", "binarize", "cost", "data", "experiments", "grad",
+    "metrics", "models", "nn", "optim", "train", "__version__",
+]

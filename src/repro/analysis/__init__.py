@@ -1,0 +1,20 @@
+"""Activation analysis tools for the Sec. III motivation study."""
+
+from .activations import (
+    ActivationRecorder,
+    DistributionSummary,
+    binary_feature_maps,
+    binary_map_richness,
+    channel_distributions,
+    layer_distributions,
+    pixel_distributions,
+    token_distributions,
+)
+from .variance import VarianceStats, variance_stats
+
+__all__ = [
+    "ActivationRecorder", "DistributionSummary", "binary_feature_maps",
+    "binary_map_richness", "channel_distributions", "layer_distributions",
+    "pixel_distributions", "token_distributions",
+    "VarianceStats", "variance_stats",
+]

@@ -1,0 +1,165 @@
+"""Activation capture and distribution statistics (Sec. III, Figs. 1/3/4/5).
+
+The motivation study of the paper inspects the inputs of body conv/linear
+layers in FP SR networks and classifiers.  :class:`ActivationRecorder`
+hooks arbitrary module types and stores their *inputs* (pre-activation,
+pre-binarization — the tensors a binarizer would see); the helpers below
+turn them into the per-pixel / per-channel / per-layer summaries the
+figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..grad import Tensor, no_grad
+from ..nn import Module
+
+
+class ActivationRecorder:
+    """Record inputs (default) or outputs of selected sub-modules."""
+
+    def __init__(self, model: Module, module_types: Tuple[Type, ...],
+                 capture: str = "input", name_filter: Optional[str] = None):
+        if capture not in ("input", "output"):
+            raise ValueError("capture must be 'input' or 'output'")
+        self.model = model
+        self.capture = capture
+        self.records: Dict[str, List[np.ndarray]] = {}
+        self._removers = []
+        for name, module in model.named_modules():
+            if not isinstance(module, module_types):
+                continue
+            if name_filter and name_filter not in name:
+                continue
+            self._removers.append(
+                module.register_forward_hook(self._make_hook(name)))
+
+    def _make_hook(self, name: str):
+        def hook(module, inputs, output):
+            if self.capture == "input":
+                value = inputs[0].data if inputs and isinstance(inputs[0], Tensor) else None
+            else:
+                value = output.data if isinstance(output, Tensor) else None
+            if value is not None:
+                self.records.setdefault(name, []).append(np.array(value))
+        return hook
+
+    def run(self, x: np.ndarray, train_mode: bool = False) -> None:
+        """Forward ``x`` (NCHW array) through the model, recording.
+
+        ``train_mode=True`` keeps batch statistics live — required when
+        recording an untrained classifier whose BatchNorm running stats
+        have never been fitted (the Table II study).
+        """
+        was_training = self.model.training
+        self.model.train(train_mode)
+        try:
+            with no_grad():
+                self.model(Tensor(x))
+        finally:
+            self.model.train(was_training)
+
+    def close(self) -> None:
+        for remove in self._removers:
+            remove()
+        self._removers.clear()
+
+    def __enter__(self) -> "ActivationRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def layer_names(self) -> List[str]:
+        return list(self.records)
+
+
+@dataclass
+class DistributionSummary:
+    """Five-number summaries of value distributions (one row per group).
+
+    ``groups`` is pixels, channels or layers depending on the figure; each
+    row is (min, q1, median, q3, max) — the data a box plot draws.
+    """
+
+    label: str
+    rows: np.ndarray = field(default_factory=lambda: np.empty((0, 5)))
+
+    @property
+    def spread(self) -> float:
+        """Mean interquartile range across groups (distribution width)."""
+        return float(np.mean(self.rows[:, 3] - self.rows[:, 1]))
+
+    @property
+    def center_variation(self) -> float:
+        """Variance of the medians across groups — the paper's 'variation'."""
+        return float(np.var(self.rows[:, 2]))
+
+
+def _five_numbers(values: np.ndarray) -> np.ndarray:
+    return np.percentile(values, [0, 25, 50, 75, 100])
+
+
+def pixel_distributions(feature_map: np.ndarray, n_pixels: int = 20,
+                        seed: int = 0, label: str = "pixels") -> DistributionSummary:
+    """Sample pixels from a (C, H, W) map; each pixel -> C values (Fig. 3a)."""
+    c, h, w = feature_map.shape
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(h * w, size=min(n_pixels, h * w), replace=False)
+    rows = [_five_numbers(feature_map.reshape(c, -1)[:, i]) for i in idx]
+    return DistributionSummary(label, np.stack(rows))
+
+
+def channel_distributions(feature_map: np.ndarray, n_channels: int = 20,
+                          seed: int = 0, label: str = "channels") -> DistributionSummary:
+    """Sample channels from a (C, H, W) map; each channel -> HW values (Fig. 3d)."""
+    c = feature_map.shape[0]
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(c, size=min(n_channels, c), replace=False)
+    rows = [_five_numbers(feature_map[i].reshape(-1)) for i in idx]
+    return DistributionSummary(label, np.stack(rows))
+
+
+def layer_distributions(records: Dict[str, List[np.ndarray]],
+                        label: str = "layers") -> DistributionSummary:
+    """One five-number row per recorded layer (Fig. 3c / Fig. 5c-d)."""
+    rows = [_five_numbers(np.concatenate([a.reshape(-1) for a in arrays]))
+            for arrays in records.values()]
+    return DistributionSummary(label, np.stack(rows))
+
+
+def token_distributions(tokens: np.ndarray, n_tokens: int = 20,
+                        seed: int = 0, label: str = "tokens") -> DistributionSummary:
+    """Sample tokens from an (L, C) tensor (Fig. 5a-b)."""
+    length = tokens.shape[0]
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(length, size=min(n_tokens, length), replace=False)
+    rows = [_five_numbers(tokens[i]) for i in idx]
+    return DistributionSummary(label, np.stack(rows))
+
+
+def binary_feature_maps(model: Module, x: np.ndarray,
+                        binarizer_types: Tuple[Type, ...]) -> Dict[str, np.ndarray]:
+    """Capture the {-1,+1}-valued maps after each activation binarizer (Fig. 1)."""
+    with ActivationRecorder(model, binarizer_types, capture="output") as rec:
+        rec.run(x)
+        return {name: arrays[0] for name, arrays in rec.records.items()}
+
+
+def binary_map_richness(binary_map: np.ndarray) -> float:
+    """Texture-richness proxy for a binary map: mean per-channel edge density.
+
+    Fig. 1's visual point is that SCALES' binary maps keep structure while
+    the baseline's collapse; edge density (sign-change rate between
+    horizontally/vertically adjacent cells) quantifies that.
+    """
+    arr = binary_map
+    if arr.ndim == 4:
+        arr = arr[0]
+    flips_h = np.mean(arr[:, :, 1:] != arr[:, :, :-1])
+    flips_v = np.mean(arr[:, 1:, :] != arr[:, :-1, :])
+    return float((flips_h + flips_v) / 2.0)

@@ -1,0 +1,84 @@
+"""Activation-variance statistics (Table II).
+
+The paper quantifies four variation axes for each network:
+
+* channel-to-channel: variance of per-channel means;
+* pixel-to-pixel: variance of per-pixel (across-channel) means;
+* layer-to-layer: variance of per-layer means;
+* image-to-image: variance of per-image means;
+
+computed over the recorded body-layer inputs.  SR networks (EDSR, SwinIR)
+show orders of magnitude more variation than classifiers (ResNet,
+SwinViT) because classifiers normalize aggressively — the numbers here
+reproduce that contrast, not the absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class VarianceStats:
+    """Table II row for one network."""
+
+    network: str
+    channel_to_channel: float
+    pixel_to_pixel: float
+    layer_to_layer: float
+    image_to_image: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "chl-to-chl": self.channel_to_channel,
+            "pixel-to-pixel": self.pixel_to_pixel,
+            "layer-to-layer": self.layer_to_layer,
+            "image-to-image": self.image_to_image,
+        }
+
+
+def _per_layer_arrays(records: Dict[str, List[np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Concatenate the per-image captures of each layer along batch."""
+    return {name: np.concatenate(arrays, axis=0) for name, arrays in records.items()}
+
+
+def variance_stats(network: str, records: Dict[str, List[np.ndarray]]) -> VarianceStats:
+    """Compute the four Table II statistics from recorder output.
+
+    Accepts NCHW conv activations or (B, L, C) token activations; token
+    tensors treat L as the "pixel" axis and C as channels.
+    """
+    layers = _per_layer_arrays(records)
+    if not layers:
+        raise ValueError("no recorded activations")
+
+    channel_vars: List[float] = []
+    pixel_vars: List[float] = []
+    layer_means: List[float] = []
+    image_means: List[float] = []
+    for arr in layers.values():
+        if arr.ndim == 4:      # (B, C, H, W)
+            channel_means = arr.mean(axis=(0, 2, 3))
+            pixel_means = arr.mean(axis=1).reshape(arr.shape[0], -1)
+            per_image = arr.mean(axis=(1, 2, 3))
+        elif arr.ndim == 3:    # (B, L, C)
+            channel_means = arr.mean(axis=(0, 1))
+            pixel_means = arr.mean(axis=2)
+            per_image = arr.mean(axis=(1, 2))
+        else:
+            raise ValueError(f"unsupported activation rank {arr.ndim}")
+        channel_vars.append(float(np.var(channel_means)))
+        pixel_vars.append(float(np.var(pixel_means)))
+        layer_means.append(float(arr.mean()))
+        image_means.extend(per_image.tolist())
+
+    return VarianceStats(
+        network=network,
+        channel_to_channel=float(np.mean(channel_vars)),
+        pixel_to_pixel=float(np.mean(pixel_vars)),
+        layer_to_layer=float(np.var(layer_means)),
+        image_to_image=float(np.var(image_means)),
+    )

@@ -1,0 +1,121 @@
+"""Binarization methods: SCALES (the paper's contribution) and baselines.
+
+The registry functions return *factories* with the signatures expected by
+the SR architectures in :mod:`repro.models`:
+
+* ``conv_factory(in_channels, out_channels, kernel_size) -> Module``
+* ``linear_factory(in_features, out_features) -> Module``
+
+so every scheme is a drop-in replacement inside any network body.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List
+
+from ..nn import Conv2d, Linear, Module
+from .channel import ChannelRescale
+from .lsf import LSFBinarizer2d, LSFBinarizerTokens, calibrate_lsf
+from .scales_layers import BinaryLayerBase, SCALESBinaryConv2d, SCALESBinaryLinear
+from .spatial import SpatialRescale2d, SpatialRescaleTokens
+from .ste import approx_sign_ste, lsf_binarize, sign_ste
+from .weight import binarize_weight, weight_scale
+from .baselines import (
+    AdaBinBinaryConv2d,
+    BAMBinaryConv2d,
+    BiBERTBinaryLinear,
+    BiRealBinaryConv2d,
+    BiViTBinaryLinear,
+    BTMBinaryConv2d,
+    DAQBinaryConv2d,
+    E2FIFBinaryConv2d,
+    LMBBinaryConv2d,
+    PlainBinaryConv2d,
+    ReActNetBinaryConv2d,
+    WeightOnlyBinaryConv2d,
+    XNORNetBinaryConv2d,
+)
+
+ConvFactory = Callable[[int, int, int], Module]
+LinearFactory = Callable[[int, int], Module]
+
+_CONV_SCHEMES: Dict[str, Callable] = {
+    "fp": lambda cin, cout, k: Conv2d(cin, cout, k),
+    "scales": lambda cin, cout, k: SCALESBinaryConv2d(cin, cout, k),
+    "scales_lsf": lambda cin, cout, k: SCALESBinaryConv2d(
+        cin, cout, k, use_spatial=False, use_channel=False),
+    "scales_lsf_channel": lambda cin, cout, k: SCALESBinaryConv2d(
+        cin, cout, k, use_spatial=False, use_channel=True),
+    "scales_lsf_spatial": lambda cin, cout, k: SCALESBinaryConv2d(
+        cin, cout, k, use_spatial=True, use_channel=False),
+    "e2fif": lambda cin, cout, k: E2FIFBinaryConv2d(cin, cout, k),
+    "bam": lambda cin, cout, k: BAMBinaryConv2d(cin, cout, k),
+    "btm": lambda cin, cout, k: BTMBinaryConv2d(cin, cout, k),
+    "lmb": lambda cin, cout, k: LMBBinaryConv2d(cin, cout, k),
+    "daq": lambda cin, cout, k: DAQBinaryConv2d(cin, cout, k),
+    "weight_only": lambda cin, cout, k: WeightOnlyBinaryConv2d(cin, cout, k),
+    "plain": lambda cin, cout, k: PlainBinaryConv2d(cin, cout, k),
+    # Classification-lineage BNNs (Sec. II-B), for the cross-domain ablation.
+    "xnornet": lambda cin, cout, k: XNORNetBinaryConv2d(cin, cout, k),
+    "bireal": lambda cin, cout, k: BiRealBinaryConv2d(cin, cout, k),
+    "reactnet": lambda cin, cout, k: ReActNetBinaryConv2d(cin, cout, k),
+    "adabin": lambda cin, cout, k: AdaBinBinaryConv2d(cin, cout, k),
+}
+
+_LINEAR_SCHEMES: Dict[str, Callable] = {
+    "fp": lambda fin, fout: Linear(fin, fout),
+    "scales": lambda fin, fout: SCALESBinaryLinear(fin, fout),
+    "scales_lsf": lambda fin, fout: SCALESBinaryLinear(fin, fout, use_spatial=False),
+    "bibert": lambda fin, fout: BiBERTBinaryLinear(fin, fout),
+    "bivit": lambda fin, fout: BiViTBinaryLinear(fin, fout),
+}
+
+
+def conv_scheme_names() -> List[str]:
+    return sorted(_CONV_SCHEMES)
+
+
+def linear_scheme_names() -> List[str]:
+    return sorted(_LINEAR_SCHEMES)
+
+
+def get_conv_factory(scheme: str) -> ConvFactory:
+    """Conv factory for one of :func:`conv_scheme_names`."""
+    if scheme not in _CONV_SCHEMES:
+        raise KeyError(f"unknown conv scheme {scheme!r}; choose from {conv_scheme_names()}")
+    return _CONV_SCHEMES[scheme]
+
+
+def get_linear_factory(scheme: str) -> LinearFactory:
+    """Linear factory for one of :func:`linear_scheme_names`."""
+    if scheme not in _LINEAR_SCHEMES:
+        raise KeyError(f"unknown linear scheme {scheme!r}; choose from {linear_scheme_names()}")
+    return _LINEAR_SCHEMES[scheme]
+
+
+#: Classes appearing as rows of the Table I reproduction, in paper order.
+TABLE1_METHODS = [
+    WeightOnlyBinaryConv2d,
+    BAMBinaryConv2d,
+    BTMBinaryConv2d,
+    LMBBinaryConv2d,
+    DAQBinaryConv2d,
+    E2FIFBinaryConv2d,
+    SCALESBinaryConv2d,
+]
+
+__all__ = [
+    "BinaryLayerBase", "SCALESBinaryConv2d", "SCALESBinaryLinear",
+    "LSFBinarizer2d", "LSFBinarizerTokens", "calibrate_lsf", "SpatialRescale2d",
+    "SpatialRescaleTokens", "ChannelRescale",
+    "approx_sign_ste", "lsf_binarize", "sign_ste",
+    "binarize_weight", "weight_scale",
+    "AdaBinBinaryConv2d", "BAMBinaryConv2d", "BiBERTBinaryLinear",
+    "BiRealBinaryConv2d", "BiViTBinaryLinear", "BTMBinaryConv2d",
+    "DAQBinaryConv2d", "E2FIFBinaryConv2d", "LMBBinaryConv2d",
+    "PlainBinaryConv2d", "ReActNetBinaryConv2d", "WeightOnlyBinaryConv2d",
+    "XNORNetBinaryConv2d",
+    "get_conv_factory", "get_linear_factory",
+    "conv_scheme_names", "linear_scheme_names", "TABLE1_METHODS",
+]

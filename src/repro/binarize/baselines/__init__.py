@@ -1,0 +1,21 @@
+"""Baseline binarization methods the paper compares against (Table I)."""
+
+from .bam import BAMBinaryConv2d
+from .bibert import BiBERTBinaryLinear
+from .bivit import BiViTBinaryLinear
+from .btm import BTMBinaryConv2d
+from .classification_bnns import (AdaBinBinaryConv2d, BiRealBinaryConv2d,
+                                  ReActNetBinaryConv2d, XNORNetBinaryConv2d)
+from .daq import DAQBinaryConv2d
+from .e2fif import E2FIFBinaryConv2d
+from .lmb import LMBBinaryConv2d
+from .plain import PlainBinaryConv2d
+from .weight_only import WeightOnlyBinaryConv2d
+
+__all__ = [
+    "AdaBinBinaryConv2d", "BAMBinaryConv2d", "BiBERTBinaryLinear",
+    "BiRealBinaryConv2d", "BiViTBinaryLinear", "BTMBinaryConv2d",
+    "DAQBinaryConv2d", "E2FIFBinaryConv2d", "LMBBinaryConv2d",
+    "PlainBinaryConv2d", "ReActNetBinaryConv2d", "WeightOnlyBinaryConv2d",
+    "XNORNetBinaryConv2d",
+]

@@ -1,0 +1,74 @@
+"""BAM: bit-accumulation mechanism (Xin et al., ECCV 2020).
+
+BAM binarizes each layer relative to an *accumulation of previous
+forward passes*: we keep a running full-precision accumulator of the
+layer input (per channel and spatial position) and use it as the
+binarization threshold.  This reproduces the method's signature
+properties from Table I — spatially adaptive (the threshold varies per
+pixel) but **not** input/image adaptive (the threshold comes from
+history, not the current image) — and its hardware cost: an extra FP
+accumulation per layer at inference.
+
+The accumulator is kept per spatial shape so the layer works on both
+training patches and full evaluation images.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import BatchNorm2d, Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class BAMBinaryConv2d(BinaryLayerBase):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True,
+                 momentum: float = 0.1):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.momentum = momentum
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        # The original BAM keeps BatchNorm after the binary conv (its FP
+        # cost is part of why Table III shows BAM as the heaviest BNN).
+        self.bn = BatchNorm2d(out_channels)
+        self.skip = stride == 1 and in_channels == out_channels
+        self._accumulators: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def _threshold(self, x: Tensor) -> np.ndarray:
+        key = x.shape[1:]
+        batch_mean = x.data.mean(axis=0)
+        if key not in self._accumulators:
+            self._accumulators[key] = batch_mean.copy()
+        elif self.training:
+            acc = self._accumulators[key]
+            self._accumulators[key] = (1 - self.momentum) * acc + self.momentum * batch_mean
+        return self._accumulators[key]
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        threshold = self._threshold(x)
+        xb = approx_sign_ste(x - Tensor(threshold[None]))
+        w_hat = binarize_weight(self.weight)
+        out = self.bn(G.conv2d(xb, w_hat, self.bias, stride=self.stride,
+                               padding=self.padding))
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "BAM", "spatial": True, "channel": False,
+                "layer": False, "image": False, "hw_cost": "Extra FP Accum."}

@@ -1,0 +1,43 @@
+"""BiBERT-style binary linear layer — the transformer baseline of Table IV.
+
+The paper builds its binary-transformer baseline from BiBERT (Bai et al.):
+activations pass through a plain sign, weights get the per-row l1 scale,
+and no input-dependent re-scaling exists anywhere.  SCALES' >1 dB gain in
+Table IV is measured against exactly this layer dropped into SwinIR / HAT.
+"""
+
+from __future__ import annotations
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import sign_ste
+from ..weight import binarize_weight
+
+
+class BiBERTBinaryLinear(BinaryLayerBase):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.trunc_normal((out_features, in_features), std=0.02))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        xb = sign_ste(x)
+        w_hat = binarize_weight(self.weight)
+        flat = x.ndim != 2
+        prefix = x.shape[:-1]
+        xb2 = G.reshape(xb, (-1, self.in_features)) if flat else xb
+        out = xb2 @ G.transpose(w_hat, (1, 0))
+        if self.bias is not None:
+            out = out + self.bias
+        if flat:
+            out = G.reshape(out, prefix + (self.out_features,))
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "BiBERT baseline", "spatial": False, "channel": False,
+                "layer": False, "image": False, "hw_cost": "Low"}

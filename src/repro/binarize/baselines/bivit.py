@@ -1,0 +1,46 @@
+"""BiViT-style binary linear layer (He et al., ICCV 2023).
+
+BiViT keeps a per-token full-precision scale (the mean absolute value of
+each token) on the binarized activations.  The paper tried this as the
+transformer baseline and found it *less effective* than BiBERT, so
+Table IV reports BiBERT; we implement both so that comparison can be
+re-run.
+"""
+
+from __future__ import annotations
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import sign_ste
+from ..weight import binarize_weight
+
+
+class BiViTBinaryLinear(BinaryLayerBase):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.trunc_normal((out_features, in_features), std=0.02))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        import numpy as np
+        token_scale = np.abs(x.data).mean(axis=-1, keepdims=True)
+        xb = sign_ste(x)
+        w_hat = binarize_weight(self.weight)
+        flat = x.ndim != 2
+        prefix = x.shape[:-1]
+        xb2 = G.reshape(xb, (-1, self.in_features)) if flat else xb
+        out = xb2 @ G.transpose(w_hat, (1, 0))
+        if self.bias is not None:
+            out = out + self.bias
+        if flat:
+            out = G.reshape(out, prefix + (self.out_features,))
+        return out * Tensor(token_scale)
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "BiViT baseline", "spatial": False, "channel": False,
+                "layer": False, "image": True, "hw_cost": "FP Mul."}

@@ -1,0 +1,54 @@
+"""BTM / IBTM: binary training mechanism without BatchNorm (Jiang et al.).
+
+BTM removes BatchNorm from the BNN entirely (BN's FP multiplies and adds
+are a large share of a BNN's remaining cost) and instead normalizes the
+*input image* once, then trains with a learnable per-layer threshold.
+The image-level scale ``mean(|x|)`` re-applied to the binary output makes
+the method image-adaptive at negligible cost (Table I: Img ✔, Low cost).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class BTMBinaryConv2d(BinaryLayerBase):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.threshold = Parameter(np.zeros((1, in_channels, 1, 1)))
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        # Image-level scalar scale: one FP mean per image (cheap, Img ✔).
+        image_scale = np.abs(x.data).mean(axis=(1, 2, 3), keepdims=True)
+        xb = approx_sign_ste(x - self.threshold)
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride, padding=self.padding)
+        out = out * Tensor(image_scale)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "BTM", "spatial": False, "channel": False,
+                "layer": False, "image": True, "hw_cost": "Low"}

@@ -1,0 +1,193 @@
+"""Classification-lineage BNN convolutions (XNOR-Net, Bi-Real, ReActNet).
+
+Sec. II-B of the paper frames SCALES against the BNN literature for image
+classification; these layers implement the three milestones that lineage
+contributed, as drop-in conv factories so they can be compared on SR
+bodies directly (the ``extension: classification-BNNs on SR`` ablation):
+
+* **XNOR-Net** (Rastegari et al.) — sign activations with a *computed*
+  per-instance activation scale ``K = mean_c |x|`` convolved with the
+  kernel support, and the per-output-channel weight scale.  The
+  activation scale costs FP ops at inference (the paper's Table I "HW
+  cost" criticism of input-computed scales).
+* **Bi-Real Net** (Liu et al.) — plain sign activations with the
+  piecewise-polynomial STE and the per-layer FP identity shortcut;
+  the cheapest of the three.
+* **ReActNet** (Liu et al.) — Bi-Real plus learnable per-channel
+  activation thresholds (RSign).  SCALES borrows exactly this threshold
+  for its Eq. 1 and adds the layer-wise scale + the two re-scaling
+  branches on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class XNORNetBinaryConv2d(BinaryLayerBase):
+    """XNOR-Net conv: sign(x) * sign(w) rescaled by K and alpha.
+
+    ``K`` is the mean absolute activation per spatial position, box-
+    filtered over the kernel support — computed from the input at
+    inference time (FP cost), which is what later SR works avoided.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None,
+                 bias: bool = False):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels,
+                                 kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        # Fixed box kernel computing the K map (no gradient; a constant).
+        self._box = np.full((1, 1, kernel_size, kernel_size),
+                            1.0 / (kernel_size * kernel_size))
+
+    def forward(self, x: Tensor) -> Tensor:
+        xb = approx_sign_ste(x)
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride,
+                       padding=self.padding)
+        # K map: mean |x| over channels, box-filtered over the support.
+        abs_mean = G.mean(G.absolute(x), axis=1, keepdims=True)
+        k_map = G.conv2d(abs_mean, Tensor(self._box.astype(x.data.dtype)),
+                         stride=self.stride, padding=self.padding)
+        return out * k_map
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "XNOR-Net", "spatial": True, "channel": False,
+                "layer": False, "image": True, "hw_cost": "FP Mul. and Accum."}
+
+
+class BiRealBinaryConv2d(BinaryLayerBase):
+    """Bi-Real Net conv: polynomial-STE sign + FP identity shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None,
+                 bias: bool = False):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels,
+                                 kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        xb = approx_sign_ste(x)
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride,
+                       padding=self.padding)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "Bi-Real Net", "spatial": False, "channel": False,
+                "layer": False, "image": False, "hw_cost": "Low"}
+
+
+class ReActNetBinaryConv2d(BinaryLayerBase):
+    """ReActNet conv: RSign (learnable per-channel threshold) + Bi-Real skip.
+
+    This is the direct ancestor of SCALES' Eq. 1: subtracting a learnable
+    ``beta`` before the sign.  What SCALES adds on top is the layer-wise
+    scale ``alpha`` and the input-dependent spatial / channel re-scaling.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None,
+                 bias: bool = False):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels,
+                                 kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.threshold = Parameter(init.zeros((1, in_channels, 1, 1)))
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        xb = approx_sign_ste(x - self.threshold)
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride,
+                       padding=self.padding)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "ReActNet", "spatial": False, "channel": True,
+                "layer": False, "image": False, "hw_cost": "Low"}
+
+
+class AdaBinBinaryConv2d(BinaryLayerBase):
+    """AdaBin-style conv: adaptive binary set ``{c - d, c + d}`` per layer.
+
+    Instead of {-1, +1}, activations binarize onto a learnable center
+    ``c`` and half-distance ``d``: ``x_hat = c + d * sign(x - c)``.  The
+    binary convolution decomposes into one binary term and one constant
+    term, so the hardware cost stays low.  Included as the most recent
+    classification-BNN baseline the paper cites (Tu et al., ECCV 2022).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None,
+                 bias: bool = False):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels,
+                                 kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.center = Parameter(init.zeros((1,)))
+        self.half_distance = Parameter(np.ones((1,)))
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        signs = approx_sign_ste(x - self.center)
+        xb = self.center + self.half_distance * signs
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride,
+                       padding=self.padding)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "AdaBin", "spatial": False, "channel": False,
+                "layer": True, "image": False, "hw_cost": "Low"}

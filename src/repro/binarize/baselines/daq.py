@@ -1,0 +1,55 @@
+"""DAQ: channel-wise distribution-aware quantization (Hong et al., WACV 2022).
+
+Each channel of the activation is standardized with its own mean and
+standard deviation before the sign, and the binary output is re-scaled by
+the channel std.  Channel- and image-adaptive, but computing per-channel
+mean/std at inference costs full-precision multiplies and accumulations
+(Table I: "FP Mul. and Accum.").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class DAQBinaryConv2d(BinaryLayerBase):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True,
+                 eps: float = 1e-5):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.eps = eps
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        mu = x.data.mean(axis=(2, 3), keepdims=True)
+        sigma = x.data.std(axis=(2, 3), keepdims=True) + self.eps
+        xb = approx_sign_ste((x - Tensor(mu)) / Tensor(sigma))
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride, padding=self.padding)
+        # Re-scale by the (spatially averaged) channel std so magnitudes
+        # survive binarization; mirrors DAQ's distribution-aware rescale.
+        out = out * Tensor(sigma.mean(axis=1, keepdims=True))
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "DAQ", "spatial": False, "channel": True,
+                "layer": False, "image": True, "hw_cost": "FP Mul. and Accum."}

@@ -1,0 +1,51 @@
+"""E2FIF binary convolution (Lang et al., the paper's prior-art CNN baseline).
+
+End-to-end full-precision information flow: a plain ``sign`` binarizes
+activations, weights use the per-channel l1 scale, BatchNorm follows the
+binary conv (this BN is exactly the FP cost SCALES removes in Table V),
+and a full-precision identity skip carries information across every layer.
+No spatial / channel / layer / image adaptivity (Table I row: all ✗, Low
+hardware cost).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import BatchNorm2d, Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class E2FIFBinaryConv2d(BinaryLayerBase):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = False):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.bn = BatchNorm2d(out_channels)
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        xb = approx_sign_ste(x)
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride, padding=self.padding)
+        out = self.bn(out)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "E2FIF", "spatial": False, "channel": False,
+                "layer": False, "image": False, "hw_cost": "Low"}

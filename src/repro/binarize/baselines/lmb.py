@@ -1,0 +1,62 @@
+"""LMB: local means binary networks (Li et al., TNNLS 2022).
+
+The binarization threshold of every pixel is the average of its local
+neighborhood (a 3x3 box filter here), which makes the method spatially
+and image adaptive but requires a full-precision accumulation per pixel
+at inference — the cost the paper criticizes in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class LMBBinaryConv2d(BinaryLayerBase):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True,
+                 neighborhood: int = 3):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.neighborhood = neighborhood
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.skip = stride == 1 and in_channels == out_channels
+        # Fixed (non-learnable) box filter computing the local mean.
+        k = neighborhood
+        self._box = np.full((1, 1, k, k), 1.0 / (k * k))
+
+    def _local_mean(self, x: Tensor) -> np.ndarray:
+        b, c, h, w = x.shape
+        flat = x.data.reshape(b * c, 1, h, w)
+        box = Tensor(self._box)
+        pooled = G.conv2d(Tensor(flat), box, padding=self.neighborhood // 2)
+        return pooled.data.reshape(b, c, h, w)
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        threshold = self._local_mean(x)
+        xb = approx_sign_ste(x - Tensor(threshold))
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride, padding=self.padding)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "LMB", "spatial": True, "channel": False,
+                "layer": False, "image": True, "hw_cost": "FP Accum."}

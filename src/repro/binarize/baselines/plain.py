@@ -1,0 +1,47 @@
+"""Plain XNOR-style binary convolution (no BN, no adaptivity).
+
+Sign activations, per-channel scaled sign weights, Bi-Real skip.  Used as
+the conv component of the transformer BiBERT baseline (the paper's
+Table IV baseline binarizes every body layer; its conv layers have no
+re-scaling of any kind).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..ste import approx_sign_ste
+from ..weight import binarize_weight
+
+
+class PlainBinaryConv2d(BinaryLayerBase):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        xb = approx_sign_ste(x)
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(xb, w_hat, self.bias, stride=self.stride, padding=self.padding)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "Plain (XNOR-style)", "spatial": False, "channel": False,
+                "layer": False, "image": False, "hw_cost": "Low"}

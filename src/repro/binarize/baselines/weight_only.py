@@ -1,0 +1,48 @@
+"""Weight-only binarization (Ma et al., CVPRW 2019 — reference [23]).
+
+The first binarized SR network: weights are binarized, activations stay
+full precision.  This blocks XNOR/popcount execution entirely (every
+accumulation is FP), which is the hardware criticism in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ... import grad as G
+from ...grad import Tensor
+from ...nn import Parameter, init
+from ..scales_layers import BinaryLayerBase
+from ..weight import binarize_weight
+
+
+class WeightOnlyBinaryConv2d(BinaryLayerBase):
+    #: Activations stay FP, so the main computation is *not* 1-bit.
+    binary = False
+    binary_weights = True
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.skip = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        w_hat = binarize_weight(self.weight)
+        out = G.conv2d(x, w_hat, self.bias, stride=self.stride, padding=self.padding)
+        if self.skip:
+            out = out + identity
+        return out
+
+    @classmethod
+    def adaptability(cls):
+        return {"method": "Ma et al. [23]", "spatial": False, "channel": False,
+                "layer": False, "image": False, "hw_cost": "FP Accum."}

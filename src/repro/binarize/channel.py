@@ -1,0 +1,40 @@
+"""Channel-wise re-scaling (Sec. IV-C, Fig. 7).
+
+GlobalAvgPool aggregates spatial information, a Conv1d with kernel size 5
+slides across the channel axis to capture inter-channel structure, and a
+sigmoid produces one scale per channel (Eq. 5).  The branch costs only
+``k`` FP parameters — the paper contrasts this with the
+GlobalAvgPool-Linear-ReLU-Linear-Sigmoid block of Real-to-Binary Net,
+which needs ``2 C^2 / r`` parameters (a ratio of ``2 C^2 / (r k)``,
+about 1638x at C=256, r=16, k=5).
+"""
+
+from __future__ import annotations
+
+from .. import grad as G
+from ..grad import Tensor
+from ..nn import Conv1d, Module
+
+
+class ChannelRescale(Module):
+    """GlobalAvgPool -> Conv1d(k) -> sigmoid -> (B, C, 1, 1) scales."""
+
+    def __init__(self, channels: int, kernel_size: int = 5):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd to preserve channel count")
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.conv = Conv1d(1, 1, kernel_size, padding=kernel_size // 2, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, c = x.shape[0], x.shape[1]
+        pooled = G.global_avg_pool2d(x)                      # (B, C, 1, 1)
+        seq = G.reshape(pooled, (b, 1, c))                   # (B, 1, C)
+        mixed = self.conv(seq)                               # (B, 1, C)
+        scales = G.sigmoid(G.reshape(mixed, (b, c, 1, 1)))   # (B, C, 1, 1)
+        return scales
+
+    def num_fp_parameters(self) -> int:
+        """FP parameter count of the branch (= kernel size, per the paper)."""
+        return self.kernel_size

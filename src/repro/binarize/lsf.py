@@ -1,0 +1,128 @@
+"""Layer-wise scaling factor + channel-wise threshold (Sec. IV-A).
+
+Each binary layer owns one learnable scalar ``alpha`` (the layer-wise
+scaling factor capturing layer-to-layer variation) and a learnable
+per-channel threshold ``beta`` (ReActNet-style, capturing the channel-wise
+shift visible in Fig. 3d).  Both are trained end-to-end through the
+Eq. 2 / Eq. 3 straight-through gradients in :mod:`repro.binarize.ste`.
+
+Data-dependent calibration
+--------------------------
+The paper trains for 300 epochs, long enough for ``alpha``/``beta`` to find
+each layer's activation statistics from their generic init (alpha = 1,
+beta = 0).  At this repo's reduced step budgets that search dominates the
+run, so :func:`calibrate_lsf` seeds both parameters from one forward pass:
+
+* ``beta``  <- per-channel mean of the pre-binarization activations (the
+  centering E2FIF obtains implicitly from its BatchNorm), and
+* ``alpha`` <- ``mean |x - beta|``, the L1-optimal binary scale of
+  XNOR-Net (it minimizes ``||(x - beta) - alpha * sign(x - beta)||_1``).
+
+Calibration happens *inside* the forward pass (each binarizer calibrates
+before producing its output), so downstream layers see statistics computed
+with every upstream binarizer already calibrated.  Training afterwards
+refines both parameters exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..grad import Tensor, no_grad
+from ..nn import Module, Parameter
+from .ste import lsf_binarize
+
+
+class _LSFBinarizerBase(Module):
+    """Shared calibration plumbing for the two binarizer layouts."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._calibrating = False
+        self._calibrate_alpha = False
+
+    def _channel_stats(self, data: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Return (per-channel mean shaped like beta, scalar mean |x - mean|)."""
+        raise NotImplementedError
+
+    def _maybe_calibrate(self, x: Tensor) -> None:
+        if not self._calibrating:
+            return
+        beta, alpha = self._channel_stats(np.asarray(x.data))
+        self.beta.data[...] = beta
+        if self._calibrate_alpha:
+            self.alpha.data[...] = max(float(alpha), 1e-3)
+        self._calibrating = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._maybe_calibrate(x)
+        return lsf_binarize(x, self.alpha, self.beta)
+
+
+class LSFBinarizer2d(_LSFBinarizerBase):
+    """Activation binarizer for NCHW feature maps."""
+
+    def __init__(self, channels: int, init_alpha: float = 1.0):
+        super().__init__()
+        self.channels = channels
+        self.alpha = Parameter(np.full((1, 1, 1, 1), float(init_alpha)))
+        self.beta = Parameter(np.zeros((1, channels, 1, 1)))
+
+    def _channel_stats(self, data: np.ndarray) -> Tuple[np.ndarray, float]:
+        beta = data.mean(axis=(0, 2, 3)).reshape(1, -1, 1, 1)
+        alpha = float(np.abs(data - beta).mean())
+        return beta, alpha
+
+
+class LSFBinarizerTokens(_LSFBinarizerBase):
+    """Activation binarizer for (B, L, C) token tensors."""
+
+    def __init__(self, channels: int, init_alpha: float = 1.0):
+        super().__init__()
+        self.channels = channels
+        # Trailing-axis shapes broadcast over both (B, L, C) and (B, C).
+        self.alpha = Parameter(np.full((1,), float(init_alpha)))
+        self.beta = Parameter(np.zeros((channels,)))
+
+    def _channel_stats(self, data: np.ndarray) -> Tuple[np.ndarray, float]:
+        flat = data.reshape(-1, data.shape[-1])
+        beta = flat.mean(axis=0)
+        alpha = float(np.abs(flat - beta).mean())
+        return beta, alpha
+
+
+def calibrate_lsf(model: Module, batch: np.ndarray,
+                  calibrate_alpha: bool = False) -> int:
+    """Data-dependent init of every LSF binarizer in ``model``.
+
+    Runs one no-grad forward pass over ``batch`` (an NCHW ndarray); each
+    :class:`LSFBinarizer2d` / :class:`LSFBinarizerTokens` it reaches resets
+    ``beta`` to the per-channel mean of its input, and — when
+    ``calibrate_alpha`` is true — ``alpha`` to the L1-optimal scale
+    ``mean |x - beta|`` (XNOR-Net).  Beta-only is the default: centering the
+    threshold is what short training budgets cannot recover on their own,
+    while the layer-wise scale trains quickly from its generic init and
+    seeding it too aggressively was measurably worse in our sweeps (see
+    DESIGN.md).  Returns the number of binarizers calibrated.  A model
+    without LSF binarizers is left untouched (and the forward pass is
+    skipped).
+    """
+    binarizers = [m for m in model.modules() if isinstance(m, _LSFBinarizerBase)]
+    if not binarizers:
+        return 0
+    for b in binarizers:
+        b._calibrating = True
+        b._calibrate_alpha = calibrate_alpha
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model(Tensor(np.asarray(batch)))
+    finally:
+        model.train(was_training)
+        # Binarizers never reached by this input shape stay uncalibrated.
+        for b in binarizers:
+            b._calibrating = False
+    return len(binarizers)

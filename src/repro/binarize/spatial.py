@@ -1,0 +1,39 @@
+"""Spatial re-scaling (Sec. IV-B, Fig. 6).
+
+A tiny full-precision side branch reads the *pre-binarization* activation
+and predicts one scaling factor per spatial position, which multiplies the
+output of the binary conv / linear layer (Eq. 4).  Because the factor is
+inferred from data at inference time, it captures pixel-to-pixel and
+image-to-image variation in an input-dependent manner.
+"""
+
+from __future__ import annotations
+
+from .. import grad as G
+from ..grad import Tensor
+from ..nn import Conv2d, Linear, Module
+
+
+class SpatialRescale2d(Module):
+    """1x1 FP conv + sigmoid -> (B, 1, H, W) scale map (Fig. 6a)."""
+
+    def __init__(self, channels: int, kernel_size: int = 1, stride: int = 1):
+        super().__init__()
+        self.channels = channels
+        self.proj = Conv2d(channels, 1, kernel_size, stride=stride,
+                           padding=kernel_size // 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.sigmoid(self.proj(x))
+
+
+class SpatialRescaleTokens(Module):
+    """FP linear + sigmoid -> (B, L, 1) scale per token (Fig. 6b)."""
+
+    def __init__(self, channels: int):
+        super().__init__()
+        self.channels = channels
+        self.proj = Linear(channels, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.sigmoid(self.proj(x))

@@ -1,0 +1,100 @@
+"""Straight-through estimators for binarization.
+
+Implements the activation binarization function of SCALES (Eq. 1) with the
+paper's hand-derived gradients:
+
+* Eq. (2): gradient of ``x_hat = alpha * sign((x - beta)/alpha)`` w.r.t. the
+  layer-wise scaling factor ``alpha``;
+* Eq. (3): gradient w.r.t. the channel-wise threshold ``beta``;
+* the Bi-Real-style piecewise-polynomial approximation of ``d sign(u)/du``
+  (``g(u) = 2+2u`` on (-1, 0], ``2-2u`` on (0, 1], 0 outside) for the
+  gradient w.r.t. the input ``x``.
+
+The three formulas are consistent: the paper keeps the *forward* sign exact
+and substitutes the polynomial only when differentiating, i.e.
+
+``d x_hat / d alpha = sign(u) - u * g(u)``  with ``u = (x - beta)/alpha``,
+
+which expands exactly to the four branches printed in Eq. (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grad import Tensor, custom_op
+
+#: Forward sign maps 0 to +1 so binary codes stay in {-1, +1}.
+def _hard_sign(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0, 1.0, -1.0)
+
+
+def _poly_sign_grad(u: np.ndarray) -> np.ndarray:
+    """Piecewise-polynomial surrogate for d sign(u)/du (Bi-Real Net)."""
+    g = np.zeros_like(u)
+    left = (u > -1.0) & (u <= 0.0)
+    right = (u > 0.0) & (u <= 1.0)
+    g[left] = 2.0 + 2.0 * u[left]
+    g[right] = 2.0 - 2.0 * u[right]
+    return g
+
+
+def sign_ste(x: Tensor, clip_value: float = 1.0) -> Tensor:
+    """Plain binarization ``sign(x)`` with clipped identity STE.
+
+    This is the activation binarizer of E2FIF and the BiBERT baseline.
+    """
+    data = _hard_sign(x.data)
+
+    def backward(grad, send):
+        send(x, grad * (np.abs(x.data) <= clip_value))
+
+    return custom_op((x,), data, backward)
+
+
+def approx_sign_ste(x: Tensor) -> Tensor:
+    """``sign(x)`` with the piecewise-polynomial gradient (Bi-Real Net)."""
+    data = _hard_sign(x.data)
+
+    def backward(grad, send):
+        send(x, grad * _poly_sign_grad(x.data))
+
+    return custom_op((x,), data, backward)
+
+
+def lsf_binarize(x: Tensor, alpha: Tensor, beta: Tensor,
+                 min_alpha: float = 1e-3) -> Tensor:
+    """SCALES activation binarization (Eq. 1) with Eq. 2/3 gradients.
+
+    ``x_hat = alpha * sign((x - beta) / alpha)``
+
+    Parameters
+    ----------
+    x:
+        Activations; any shape.
+    alpha:
+        Layer-wise scaling factor, broadcastable to ``x`` (scalar per layer
+        in the paper).
+    beta:
+        Channel-wise threshold, broadcastable to ``x``.
+    min_alpha:
+        Numerical floor: alpha is clamped away from zero in the forward
+        computation so the division stays defined.
+    """
+    alpha_safe = np.where(np.abs(alpha.data) < min_alpha,
+                          np.where(alpha.data < 0, -min_alpha, min_alpha),
+                          alpha.data)
+    u = (x.data - beta.data) / alpha_safe
+    s = _hard_sign(u)
+    data = alpha_safe * s
+
+    def backward(grad, send):
+        g_poly = _poly_sign_grad(u)
+        # Eq. (2): sign(u) - u * g(u); saturates to -1 / +1 outside [-1, 1].
+        send(alpha, grad * (s - u * g_poly))
+        # Eq. (3): -g(u).
+        send(beta, grad * (-g_poly))
+        # d x_hat / d x = g(u).
+        send(x, grad * g_poly)
+
+    return custom_op((x, alpha, beta), data, backward)

@@ -1,0 +1,43 @@
+"""Per-channel weight binarization (Sec. IV-A).
+
+``w_hat = (||w||_l1 / n) * sign(w)`` where the scale is the absolute mean
+of the weights feeding each *output* channel — the XNOR-Net scheme the
+paper adopts for all binary conv and linear layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grad import Tensor, custom_op
+
+
+def binarize_weight(weight: Tensor, clip_value: float = 1.0) -> Tensor:
+    """Binarize ``weight`` per output channel (first axis).
+
+    Works for conv weights ``(C_out, C_in, kh, kw)``, conv1d weights
+    ``(C_out, C_in, k)`` and linear weights ``(out, in)``.
+
+    The backward pass includes both terms of the exact derivative of
+    ``s * sign(w)``: the clipped STE through ``sign`` and the gradient
+    through the scale ``s = mean(|w|)``.
+    """
+    w = weight.data
+    reduce_axes = tuple(range(1, w.ndim))
+    n = int(np.prod(w.shape[1:]))
+    scale = np.abs(w).mean(axis=reduce_axes, keepdims=True)
+    sign_w = np.where(w >= 0, 1.0, -1.0)
+    data = scale * sign_w
+
+    def backward(grad, send):
+        ste = scale * grad * (np.abs(w) <= clip_value)
+        through_scale = sign_w / n * (grad * sign_w).sum(axis=reduce_axes, keepdims=True)
+        send(weight, ste + through_scale)
+
+    return custom_op((weight,), data, backward)
+
+
+def weight_scale(weight: Tensor) -> np.ndarray:
+    """The per-output-channel l1 scale (for inspection/tests)."""
+    w = weight.data
+    return np.abs(w).mean(axis=tuple(range(1, w.ndim)))

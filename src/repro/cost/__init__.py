@@ -1,0 +1,22 @@
+"""Cost accounting: params/OPs counting and the analytic latency model."""
+
+from .counting import (
+    BN_OPS_PER_ELEMENT,
+    MAC_OPS,
+    CostReport,
+    count_cost,
+    count_cost_for_hr,
+    count_params,
+)
+from .latency import (
+    PAPER_TABLE6,
+    LatencyModel,
+    fit_latency_model,
+    paper_calibrated_model,
+)
+
+__all__ = [
+    "BN_OPS_PER_ELEMENT", "MAC_OPS", "CostReport", "count_cost",
+    "count_cost_for_hr", "count_params",
+    "PAPER_TABLE6", "LatencyModel", "fit_latency_model", "paper_calibrated_model",
+]

@@ -1,0 +1,238 @@
+"""Parameter and operation counting (Sec. V-E).
+
+The paper reports ``OPs = OPs_f + OPs_b / 64`` and
+``Params = Param_f + Param_b / 32`` following Bi-Real Net / DoReFa, with
+OPs evaluated on a 1280x720 HR image (Tables III/IV) or a 128x128 input
+(Tables V/VI).
+
+Counting convention (calibrated to reproduce the deltas of Table V):
+
+* conv / linear multiply-accumulate = 2 OPs (binary MACs land in the
+  1-bit pool and are divided by 64);
+* BatchNorm = 8 OPs per element — the (x - mu)/sigma * gamma + beta chain
+  cannot be folded into a binary conv, which is exactly why Table V
+  credits SCALES' OPs drop to BN removal (LayerNorm counted the same);
+* global average pooling and broadcast re-scale applications = 1 OP per
+  element; sigmoid = 4 OPs per produced scale value;
+* attention score/value matmuls are full-precision MACs (2 OPs each).
+
+Shapes are observed with forward hooks on a *probe* input, then scaled to
+the target resolution by output-area ratio — exact for convolutions and
+window attention (windows are fixed-size, so attention cost is linear in
+area too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..grad import Tensor, no_grad
+from ..nn import (
+    BatchNorm2d,
+    Conv1d,
+    Conv2d,
+    LayerNorm,
+    Linear,
+    Module,
+    WindowAttention,
+)
+from ..binarize import BinaryLayerBase
+from ..binarize.baselines import (
+    BAMBinaryConv2d,
+    BTMBinaryConv2d,
+    DAQBinaryConv2d,
+    LMBBinaryConv2d,
+    WeightOnlyBinaryConv2d,
+)
+
+BN_OPS_PER_ELEMENT = 8.0
+POOL_OPS_PER_ELEMENT = 1.0
+RESCALE_OPS_PER_ELEMENT = 1.0
+SIGMOID_OPS_PER_VALUE = 4.0
+MAC_OPS = 2.0
+
+
+@dataclass
+class CostReport:
+    """Aggregate parameter / operation cost of one model at one input size."""
+
+    fp_params: float = 0.0
+    binary_params: float = 0.0
+    fp_ops: float = 0.0
+    binary_ops: float = 0.0
+    n_counted_layers: int = 0
+    per_layer: List[Tuple[str, str, float, float]] = field(default_factory=list)
+
+    @property
+    def params_effective(self) -> float:
+        """Paper's storage metric: FP params + binary params / 32."""
+        return self.fp_params + self.binary_params / 32.0
+
+    @property
+    def ops_effective(self) -> float:
+        """Paper's compute metric: FP OPs + binary OPs / 64."""
+        return self.fp_ops + self.binary_ops / 64.0
+
+    def scaled(self, factor: float) -> "CostReport":
+        """Scale all *operation* counts by ``factor`` (params unchanged)."""
+        return CostReport(
+            fp_params=self.fp_params,
+            binary_params=self.binary_params,
+            fp_ops=self.fp_ops * factor,
+            binary_ops=self.binary_ops * factor,
+            n_counted_layers=self.n_counted_layers,
+            per_layer=[(n, k, f * factor, b * factor)
+                       for (n, k, f, b) in self.per_layer],
+        )
+
+
+def count_params(model: Module) -> Tuple[float, float]:
+    """(fp_params, binary_params): binary layers store 1-bit main weights."""
+    fp = 0.0
+    binary = 0.0
+    for module in model.modules():
+        own = module._parameters
+        is_binary = isinstance(module, BinaryLayerBase) and getattr(module, "binary", False)
+        has_binary_weights = is_binary or getattr(module, "binary_weights", False)
+        for name, param in own.items():
+            if has_binary_weights and name == "weight":
+                binary += param.size
+            else:
+                fp += param.size
+        if isinstance(module, BatchNorm2d):
+            # Running mean/var ship with the deployed model; counting them
+            # is what makes E2FIF's BN heavier than SCALES' side branches.
+            fp += module.running_mean.size + module.running_var.size
+    return fp, binary
+
+
+def _conv2d_macs(module, out_shape: Tuple[int, ...]) -> float:
+    b, c_out, h, w = out_shape
+    return float(b * h * w * c_out * module.in_channels * module.kernel_size ** 2)
+
+
+def _conv1d_macs(module, out_shape: Tuple[int, ...]) -> float:
+    b, c_out, length = out_shape
+    return float(b * length * c_out * module.in_channels * module.kernel_size)
+
+
+def _linear_macs(module, out_shape: Tuple[int, ...]) -> float:
+    tokens = float(np.prod(out_shape[:-1]))
+    return tokens * module.in_features * module.out_features
+
+
+def _elements(shape: Tuple[int, ...]) -> float:
+    return float(np.prod(shape))
+
+
+def count_cost(model: Module, lr_shape: Tuple[int, int, int, int],
+               target_lr_hw: Optional[Tuple[int, int]] = None,
+               seed: int = 0) -> CostReport:
+    """Measure the cost of ``model`` on input shape ``lr_shape`` (NCHW).
+
+    ``target_lr_hw`` scales operation counts to a larger LR resolution by
+    area ratio (how the 1280x720-HR numbers of Tables III/IV are obtained
+    without running a full-size NumPy forward pass).
+    """
+    report = CostReport()
+    report.fp_params, report.binary_params = count_params(model)
+    records: List[Tuple[Module, str, Tuple, Tuple[int, ...]]] = []
+    names = {id(m): n for n, m in model.named_modules()}
+
+    def hook(module, inputs, output):
+        in_shapes = tuple(t.shape for t in inputs if isinstance(t, Tensor))
+        out_shape = output.shape if isinstance(output, Tensor) else ()
+        records.append((module, names.get(id(module), "?"), in_shapes, out_shape))
+
+    removers = [m.register_forward_hook(hook) for m in model.modules()]
+    was_training = model.training
+    model.eval()
+    rng = np.random.default_rng(seed)
+    try:
+        with no_grad():
+            model(Tensor(rng.random(lr_shape)))
+    finally:
+        for remove in removers:
+            remove()
+        model.train(was_training)
+
+    for module, name, in_shapes, out_shape in records:
+        fp_ops = 0.0
+        binary_ops = 0.0
+        kind = type(module).__name__
+        if isinstance(module, BinaryLayerBase):
+            in_shape = in_shapes[0]
+            if hasattr(module, "kernel_size"):
+                macs = _conv2d_macs(module, out_shape) * MAC_OPS
+            else:
+                macs = _linear_macs(module, out_shape) * MAC_OPS
+            if getattr(module, "binary", True):
+                binary_ops += macs
+            else:
+                fp_ops += macs  # weight-only binarization: FP accumulations
+            out_elems = _elements(out_shape)
+            in_elems = _elements(in_shape)
+            if getattr(module, "use_spatial", False):
+                # Branch conv hooked separately; count sigmoid + apply.
+                scale_values = out_elems / out_shape[1]
+                fp_ops += SIGMOID_OPS_PER_VALUE * scale_values
+                fp_ops += RESCALE_OPS_PER_ELEMENT * out_elems
+            if getattr(module, "use_channel", False):
+                fp_ops += POOL_OPS_PER_ELEMENT * in_elems          # GAP
+                fp_ops += SIGMOID_OPS_PER_VALUE * in_shape[1]      # sigmoid
+                fp_ops += RESCALE_OPS_PER_ELEMENT * out_elems      # apply
+            if isinstance(module, BAMBinaryConv2d):
+                fp_ops += 2.0 * in_elems                           # FP accumulation
+            if isinstance(module, BTMBinaryConv2d):
+                fp_ops += 2.0 * in_elems                           # image mean + apply
+            if isinstance(module, LMBBinaryConv2d):
+                k = module.neighborhood
+                fp_ops += MAC_OPS * k * k * in_elems               # per-pixel threshold
+            if isinstance(module, DAQBinaryConv2d):
+                fp_ops += 4.0 * in_elems + out_elems               # mean/std + apply
+        elif isinstance(module, Conv2d):
+            fp_ops += _conv2d_macs(module, out_shape) * MAC_OPS
+        elif isinstance(module, Conv1d):
+            fp_ops += _conv1d_macs(module, out_shape) * MAC_OPS
+        elif isinstance(module, Linear):
+            fp_ops += _linear_macs(module, out_shape) * MAC_OPS
+        elif isinstance(module, (BatchNorm2d, LayerNorm)):
+            fp_ops += BN_OPS_PER_ELEMENT * _elements(out_shape)
+        elif isinstance(module, WindowAttention):
+            bw, n, c = in_shapes[0]
+            head_dim = module.head_dim
+            heads = module.num_heads
+            # q@k^T and attn@v, per window.
+            fp_ops += MAC_OPS * 2.0 * bw * heads * n * n * head_dim
+        else:
+            continue
+        if fp_ops or binary_ops:
+            report.fp_ops += fp_ops
+            report.binary_ops += binary_ops
+            report.n_counted_layers += 1
+            report.per_layer.append((name, kind, fp_ops, binary_ops))
+
+    if target_lr_hw is not None:
+        probe_area = lr_shape[2] * lr_shape[3]
+        target_area = target_lr_hw[0] * target_lr_hw[1]
+        report = report.scaled(target_area / probe_area)
+    return report
+
+
+def count_cost_for_hr(model: Module, scale: int,
+                      hr_hw: Tuple[int, int] = (720, 1280),
+                      probe_lr: int = 16,
+                      window_multiple: int = 1) -> CostReport:
+    """Cost at the paper's evaluation resolution (1280x720 HR image).
+
+    A small probe forward runs at ``probe_lr`` (rounded up to the window
+    multiple for transformers) and is scaled to ``hr_hw / scale``.
+    """
+    multiple = max(window_multiple, 1)
+    probe = max(probe_lr, multiple)
+    probe += (-probe) % multiple
+    target = (hr_hw[0] // scale, hr_hw[1] // scale)
+    return count_cost(model, (1, 3, probe, probe), target_lr_hw=target)

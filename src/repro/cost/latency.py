@@ -1,0 +1,98 @@
+"""Analytic mobile-latency model — the Table VI substitute.
+
+The paper benchmarks on a Redmi K40S (Snapdragon 870) with Larq.  That
+hardware is not available here, so latency is predicted with a two-term
+roofline fitted by least squares to the paper's own measurements:
+
+``latency_ms = c_fp * fp_ops + c_bin * binary_ops + c_layer * n_layers``
+
+Binary XNOR/popcount ops are far cheaper per op than FP MACs but not the
+ideal 64x (dispatch overhead, packing, the FP accumulate at the end);
+fitting ``c_bin`` separately captures that, which is why the paper's
+measured speedup is 9.9x rather than the OPs-ratio's ~37x.  The model is
+calibrated once against the four Table VI rows and then reused to rank
+arbitrary configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .counting import CostReport
+
+#: Paper Table VI: (OPs shown, params, measured ms). OPs here are the
+#: *effective* OPs at a 128x128 input; used only for calibration.
+PAPER_TABLE6 = {
+    "fp_srresnet": {"ops_g": 64.98, "latency_ms": 1649.0},
+    "e2fif": {"ops_g": 1.83, "latency_ms": 197.0},
+    "scales_chl64": {"ops_g": 1.74, "latency_ms": 237.0},
+    "scales_chl40": {"ops_g": 0.83, "latency_ms": 166.0},
+}
+
+
+@dataclass
+class LatencyModel:
+    """Roofline latency predictor (milliseconds)."""
+
+    c_fp_ms_per_gop: float
+    c_bin_ms_per_gop: float
+    c_layer_ms: float
+
+    def predict(self, report: CostReport) -> float:
+        """Predicted single-thread latency in ms for a counted model."""
+        return (self.c_fp_ms_per_gop * report.fp_ops / 1e9
+                + self.c_bin_ms_per_gop * report.binary_ops / 1e9
+                + self.c_layer_ms * report.n_counted_layers)
+
+    def speedup(self, baseline: CostReport, other: CostReport) -> float:
+        return self.predict(baseline) / self.predict(other)
+
+
+def fit_latency_model(
+    samples: Sequence[Tuple[CostReport, float]],
+    c_layer_ms: float = 0.5,
+) -> LatencyModel:
+    """Fit ``c_fp`` and ``c_bin`` to (cost report, measured ms) samples.
+
+    ``c_layer_ms`` (per-layer dispatch overhead) is fixed, the two
+    throughput coefficients are solved by non-negative least squares.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two calibration samples")
+    a = np.array([[r.fp_ops / 1e9, r.binary_ops / 1e9] for r, _ in samples])
+    b = np.array([ms - c_layer_ms * r.n_counted_layers for r, ms in samples])
+    coeffs, *_ = np.linalg.lstsq(a, b, rcond=None)
+    coeffs = np.maximum(coeffs, 1e-6)
+    return LatencyModel(float(coeffs[0]), float(coeffs[1]), c_layer_ms)
+
+
+def paper_calibrated_model() -> LatencyModel:
+    """Latency model fitted to the paper's Table VI operating points.
+
+    Because Table VI reports only *effective* OPs, the calibration treats
+    the FP row as pure FP ops and the binary rows as dominated by binary
+    ops with the residual FP head/tail, reconstructing approximate
+    (fp_ops, binary_ops) splits before fitting.
+    """
+    # FP SRResNet: everything FP.
+    fp = CostReport(fp_ops=64.98e9, binary_ops=0.0, n_counted_layers=40)
+    # Binary rows: head/tail ~0.6 GOPs stay FP; the rest of the effective
+    # OPs are binary contributions (effective = fp + bin/64).
+    def binary_row(ops_g: float, layers: int) -> CostReport:
+        fp_part = min(0.6e9, ops_g * 1e9 * 0.4)
+        bin_part = max(ops_g * 1e9 - fp_part, 0.0) * 64.0
+        return CostReport(fp_ops=fp_part, binary_ops=bin_part,
+                          n_counted_layers=layers)
+
+    samples = [
+        (fp, PAPER_TABLE6["fp_srresnet"]["latency_ms"]),
+        (binary_row(PAPER_TABLE6["e2fif"]["ops_g"], 72), PAPER_TABLE6["e2fif"]["latency_ms"]),
+        (binary_row(PAPER_TABLE6["scales_chl64"]["ops_g"], 104),
+         PAPER_TABLE6["scales_chl64"]["latency_ms"]),
+        (binary_row(PAPER_TABLE6["scales_chl40"]["ops_g"], 104),
+         PAPER_TABLE6["scales_chl40"]["latency_ms"]),
+    ]
+    return fit_latency_model(samples)

@@ -1,0 +1,24 @@
+"""Data substrate: synthetic images, bicubic degradation, suites, sampling."""
+
+from .color import rgb_to_y, rgb_to_ycbcr, shave_border, ycbcr_to_rgb
+from .datasets import (
+    BENCHMARK_SUITES,
+    SRPair,
+    benchmark_suite,
+    hr_images,
+    make_pair,
+    training_pool,
+)
+from .folder import folder_suite, list_images, load_image
+from .patches import PatchSampler
+from .resize import bicubic_resize, cubic_kernel, downscale, upscale
+from . import synthetic
+
+__all__ = [
+    "rgb_to_y", "rgb_to_ycbcr", "shave_border", "ycbcr_to_rgb",
+    "BENCHMARK_SUITES", "SRPair", "benchmark_suite", "hr_images",
+    "make_pair", "training_pool", "PatchSampler",
+    "folder_suite", "list_images", "load_image",
+    "bicubic_resize", "cubic_kernel", "downscale", "upscale",
+    "synthetic",
+]

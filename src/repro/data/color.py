@@ -1,0 +1,51 @@
+"""Color-space conversion (BT.601 YCbCr, as used by SR evaluation).
+
+PSNR/SSIM in the paper are computed "over the Y channel of transformed
+YCbCr space"; these are the standard ITU-R BT.601 conversions on [0, 1]
+images, with the Y channel returned in [0, 1] (digital 16–235 range
+rescaled by 255 as in the common SR evaluation code).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RGB_TO_YCBCR = np.array([
+    [65.481, 128.553, 24.966],
+    [-37.797, -74.203, 112.0],
+    [112.0, -93.786, -18.214],
+]) / 255.0
+
+_OFFSET = np.array([16.0, 128.0, 128.0]) / 255.0
+
+
+def rgb_to_ycbcr(img: np.ndarray) -> np.ndarray:
+    """(H, W, 3) RGB in [0,1] -> YCbCr in [0,1] (BT.601 digital range)."""
+    if img.shape[-1] != 3:
+        raise ValueError("expected an (H, W, 3) RGB image")
+    return img @ _RGB_TO_YCBCR.T + _OFFSET
+
+
+def ycbcr_to_rgb(img: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr`."""
+    if img.shape[-1] != 3:
+        raise ValueError("expected an (H, W, 3) YCbCr image")
+    inv = np.linalg.inv(_RGB_TO_YCBCR)
+    return (img - _OFFSET) @ inv.T
+
+
+def rgb_to_y(img: np.ndarray) -> np.ndarray:
+    """(H, W, 3) RGB in [0,1] -> (H, W) luma channel (BT.601)."""
+    if img.shape[-1] != 3:
+        raise ValueError("expected an (H, W, 3) RGB image")
+    return img @ _RGB_TO_YCBCR[0] + _OFFSET[0]
+
+
+def shave_border(img: np.ndarray, border: int) -> np.ndarray:
+    """Crop ``border`` pixels from each spatial edge (SR convention:
+    border = upscale factor before computing metrics)."""
+    if border <= 0:
+        return img
+    if img.shape[0] <= 2 * border or img.shape[1] <= 2 * border:
+        raise ValueError("image too small for requested border shave")
+    return img[border:-border, border:-border]

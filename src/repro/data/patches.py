@@ -1,0 +1,67 @@
+"""Random patch sampling for training.
+
+The paper trains on 48x48 input patches with batch size 16; the sampler
+cuts aligned LR/HR patch pairs (the HR patch is ``scale`` times larger)
+and returns NCHW batches ready for the network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .datasets import SRPair
+
+
+def _to_nchw(images: Sequence[np.ndarray]) -> np.ndarray:
+    return np.stack([img.transpose(2, 0, 1) for img in images])
+
+
+class PatchSampler:
+    """Samples aligned (LR, HR) patch batches from a pool of SR pairs."""
+
+    def __init__(self, pairs: List[SRPair], patch_size: int = 48,
+                 batch_size: int = 16, seed: int = 0,
+                 augment: bool = True, lr_multiple: int = 1):
+        if not pairs:
+            raise ValueError("empty training pool")
+        self.pairs = pairs
+        self.patch_size = patch_size
+        self.batch_size = batch_size
+        self.augment = augment
+        self.lr_multiple = max(lr_multiple, 1)
+        if patch_size % self.lr_multiple:
+            raise ValueError("patch_size must be divisible by lr_multiple")
+        self.rng = np.random.default_rng(seed)
+        for pair in pairs:
+            if pair.lr.shape[0] < patch_size or pair.lr.shape[1] < patch_size:
+                raise ValueError(
+                    f"LR image {pair.lr.shape[:2]} smaller than patch {patch_size}")
+
+    def _sample_one(self) -> Tuple[np.ndarray, np.ndarray]:
+        pair = self.pairs[int(self.rng.integers(len(self.pairs)))]
+        scale = pair.scale
+        ps = self.patch_size
+        max_y = pair.lr.shape[0] - ps
+        max_x = pair.lr.shape[1] - ps
+        y = int(self.rng.integers(max_y + 1))
+        x = int(self.rng.integers(max_x + 1))
+        lr = pair.lr[y:y + ps, x:x + ps]
+        hr = pair.hr[y * scale:(y + ps) * scale, x * scale:(x + ps) * scale]
+        if self.augment:
+            if self.rng.random() < 0.5:
+                lr, hr = lr[:, ::-1], hr[:, ::-1]
+            if self.rng.random() < 0.5:
+                lr, hr = lr[::-1], hr[::-1]
+            k = int(self.rng.integers(4))
+            if k:
+                lr, hr = np.rot90(lr, k), np.rot90(hr, k)
+        return np.ascontiguousarray(lr), np.ascontiguousarray(hr)
+
+    def batch(self, batch_size: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """One training batch: (LR NCHW, HR NCHW)."""
+        n = batch_size if batch_size is not None else self.batch_size
+        samples = [self._sample_one() for _ in range(n)]
+        return (_to_nchw([s[0] for s in samples]),
+                _to_nchw([s[1] for s in samples]))

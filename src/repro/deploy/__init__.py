@@ -1,0 +1,38 @@
+"""Bit-packed deployment of binarized SR networks.
+
+The paper benchmarks its models on a phone through Larq, a library that
+executes binary layers with XNOR + popcount on packed 1-bit operands.
+This subpackage is the equivalent substrate for this repo: it compiles a
+*trained* binarized SR network into a form whose binary convolutions and
+linears really do run on ``uint64`` words —
+
+* :mod:`repro.deploy.packing`  — {-1,+1} <-> packed ``uint64`` codecs and
+  a vectorized popcount;
+* :mod:`repro.deploy.kernels`  — XNOR-popcount GEMM, packed binary conv2d
+  (bit-exact against the float graph, including zero-padding correction)
+  and packed binary linear;
+* :mod:`repro.deploy.engine`   — ``compile_model``: walks a trained model
+  and swaps every supported binary layer for its packed twin;
+* :mod:`repro.deploy.report`   — memory/operation accounting of a
+  deployed model (the 32x weight-compression story of Table VI).
+
+The deployed model produces outputs numerically identical to the training
+graph (same scales, thresholds, re-scaling branches and skips), which the
+test suite verifies end-to-end.
+"""
+
+from .packing import pack_signs, unpack_signs, popcount_u64, packed_words
+from .kernels import (binary_gemm, packed_conv2d, packed_linear,
+                      pack_weight_conv, pack_weight_linear)
+from .engine import (PackedBinaryConv2d, PackedBinaryLinear, compile_model,
+                     deployable_layers)
+from .report import DeploymentReport, deployment_report
+
+__all__ = [
+    "pack_signs", "unpack_signs", "popcount_u64", "packed_words",
+    "binary_gemm", "packed_conv2d", "packed_linear",
+    "pack_weight_conv", "pack_weight_linear",
+    "PackedBinaryConv2d", "PackedBinaryLinear", "compile_model",
+    "deployable_layers",
+    "DeploymentReport", "deployment_report",
+]

@@ -1,0 +1,234 @@
+"""Compile trained binarized SR networks onto the packed kernels.
+
+``compile_model`` walks a trained model and replaces every supported
+binary layer with a packed twin whose heavy matmul runs on ``uint64``
+words via XNOR + popcount.  Everything the paper keeps in full precision
+(head/tail, the tiny spatial / channel re-scaling branches, BatchNorm,
+skips, scaling factors and thresholds) is preserved exactly, so the
+deployed model's outputs match the training graph's to float tolerance.
+
+Supported source layers:
+
+=====================================  =========================
+training layer                         packed twin
+=====================================  =========================
+``SCALESBinaryConv2d``                 :class:`PackedBinaryConv2d`
+``E2FIFBinaryConv2d``                  :class:`PackedBinaryConv2d`
+``SCALESBinaryLinear``                 :class:`PackedBinaryLinear`
+``BiBERTBinaryLinear``                 :class:`PackedBinaryLinear`
+=====================================  =========================
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..binarize.baselines import BiBERTBinaryLinear, E2FIFBinaryConv2d
+from ..binarize.scales_layers import SCALESBinaryConv2d, SCALESBinaryLinear
+from ..grad import Tensor
+from ..nn import Module
+from .kernels import (pack_weight_conv, pack_weight_linear, packed_conv2d,
+                      packed_linear)
+
+_MIN_ALPHA = 1e-3  # must match repro.binarize.ste.lsf_binarize
+
+
+def _safe_alpha(alpha: np.ndarray) -> np.ndarray:
+    return np.where(np.abs(alpha) < _MIN_ALPHA,
+                    np.where(alpha < 0, -_MIN_ALPHA, _MIN_ALPHA), alpha)
+
+
+def _weight_scale(weight: np.ndarray) -> np.ndarray:
+    """Per-output-channel l1 scale, identical to ``binarize_weight``."""
+    reduce_axes = tuple(range(1, weight.ndim))
+    return np.abs(weight).mean(axis=reduce_axes)
+
+
+class PackedBinaryConv2d(Module):
+    """Inference-only binary conv on packed weights (drop-in replacement).
+
+    The forward math mirrors the training layer term by term:
+
+    1. activation signs from the layer's binarizer (LSF threshold/scale or
+       plain sign);
+    2. XNOR-popcount convolution against packed ``sign(w)``;
+    3. multiply by ``alpha`` (activation scale) and the per-channel weight
+       scale; add bias;
+    4. FP re-scaling branches / BatchNorm / skip exactly as trained.
+    """
+
+    binary = True
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray],
+                 stride: int, padding: int,
+                 alpha: Optional[np.ndarray], beta: Optional[np.ndarray],
+                 spatial: Optional[Module] = None,
+                 channel: Optional[Module] = None,
+                 bn: Optional[Module] = None, skip: bool = False):
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        self.alpha = None if alpha is None else _safe_alpha(np.asarray(alpha))
+        self.beta = None if beta is None else np.asarray(beta)
+        self.packed_weight, self.weight_signs = pack_weight_conv(weight)
+        self.weight_scale = _weight_scale(weight)
+        self.conv_bias = None if bias is None else np.asarray(bias)
+        if spatial is not None:
+            self.spatial = spatial
+        if channel is not None:
+            self.channel = channel
+        if bn is not None:
+            self.bn = bn
+        self._has_spatial = spatial is not None
+        self._has_channel = channel is not None
+        self._has_bn = bn is not None
+        self.skip = skip
+
+    @classmethod
+    def from_scales(cls, layer: SCALESBinaryConv2d) -> "PackedBinaryConv2d":
+        alpha = layer.binarizer.alpha.data if layer.use_lsf else None
+        beta = layer.binarizer.beta.data if layer.use_lsf else None
+        return cls(layer.weight.data,
+                   None if layer.bias is None else layer.bias.data,
+                   layer.stride, layer.padding, alpha, beta,
+                   spatial=layer.spatial if layer.use_spatial else None,
+                   channel=layer.channel if layer.use_channel else None,
+                   skip=layer.skip)
+
+    @classmethod
+    def from_e2fif(cls, layer: E2FIFBinaryConv2d) -> "PackedBinaryConv2d":
+        return cls(layer.weight.data,
+                   None if layer.bias is None else layer.bias.data,
+                   layer.stride, layer.padding, alpha=None, beta=None,
+                   bn=layer.bn, skip=layer.skip)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data, dtype=np.float64)
+        if self.alpha is not None:
+            u = (data - self.beta) / self.alpha
+            signs = np.where(u >= 0, 1.0, -1.0)
+            act_scale = float(self.alpha.reshape(-1)[0])
+        else:
+            signs = np.where(data >= 0, 1.0, -1.0)
+            act_scale = 1.0
+        out = packed_conv2d(signs, self.packed_weight, self.weight_signs,
+                            stride=self.stride, padding=self.padding)
+        out *= act_scale * self.weight_scale[None, :, None, None]
+        if self.conv_bias is not None:
+            out += self.conv_bias[None, :, None, None]
+        result = Tensor(out.astype(data.dtype))
+        if self._has_spatial:
+            result = result * self.spatial(x)
+        if self._has_channel:
+            result = result * self.channel(x)
+        if self._has_bn:
+            result = self.bn(result)
+        if self.skip:
+            result = result + x
+        return result
+
+
+class PackedBinaryLinear(Module):
+    """Inference-only binary linear on packed weights."""
+
+    binary = True
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray],
+                 alpha: Optional[np.ndarray], beta: Optional[np.ndarray],
+                 spatial: Optional[Module] = None, skip: bool = False):
+        super().__init__()
+        self.alpha = None if alpha is None else _safe_alpha(np.asarray(alpha))
+        self.beta = None if beta is None else np.asarray(beta)
+        self.packed_weight, self.in_features = pack_weight_linear(weight)
+        self.out_features = weight.shape[0]
+        self.weight_scale = _weight_scale(weight)
+        self.lin_bias = None if bias is None else np.asarray(bias)
+        if spatial is not None:
+            self.spatial = spatial
+        self._has_spatial = spatial is not None
+        self.skip = skip
+
+    @classmethod
+    def from_scales(cls, layer: SCALESBinaryLinear) -> "PackedBinaryLinear":
+        alpha = layer.binarizer.alpha.data if layer.use_lsf else None
+        beta = layer.binarizer.beta.data if layer.use_lsf else None
+        return cls(layer.weight.data,
+                   None if layer.bias is None else layer.bias.data,
+                   alpha, beta,
+                   spatial=layer.spatial if layer.use_spatial else None,
+                   skip=layer.skip)
+
+    @classmethod
+    def from_bibert(cls, layer: BiBERTBinaryLinear) -> "PackedBinaryLinear":
+        return cls(layer.weight.data,
+                   None if layer.bias is None else layer.bias.data,
+                   alpha=None, beta=None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data, dtype=np.float64)
+        if self.alpha is not None:
+            u = (data - self.beta) / self.alpha
+            signs = np.where(u >= 0, 1.0, -1.0)
+            act_scale = float(np.asarray(self.alpha).reshape(-1)[0])
+        else:
+            signs = np.where(data >= 0, 1.0, -1.0)
+            act_scale = 1.0
+        out = packed_linear(signs, self.packed_weight, self.in_features)
+        out *= act_scale * self.weight_scale
+        if self.lin_bias is not None:
+            out += self.lin_bias
+        result = Tensor(out.astype(data.dtype))
+        if self._has_spatial:
+            result = result * self.spatial(x)
+        if self.skip:
+            result = result + x
+        return result
+
+
+_COMPILERS: List[Tuple[type, Callable[[Module], Module]]] = [
+    (SCALESBinaryConv2d, PackedBinaryConv2d.from_scales),
+    (E2FIFBinaryConv2d, PackedBinaryConv2d.from_e2fif),
+    (SCALESBinaryLinear, PackedBinaryLinear.from_scales),
+    (BiBERTBinaryLinear, PackedBinaryLinear.from_bibert),
+]
+
+
+def deployable_layers(model: Module) -> Dict[str, Module]:
+    """Name -> module map of every layer ``compile_model`` would replace."""
+    found: Dict[str, Module] = {}
+    for name, module in model.named_modules():
+        if any(isinstance(module, src) for src, _ in _COMPILERS):
+            found[name] = module
+    return found
+
+
+def _compile_in_place(module: Module) -> int:
+    replaced = 0
+    for name, child in list(module._modules.items()):
+        for source_type, factory in _COMPILERS:
+            if isinstance(child, source_type):
+                module.register_module(name, factory(child))
+                replaced += 1
+                break
+        else:
+            replaced += _compile_in_place(child)
+    return replaced
+
+
+def compile_model(model: Module) -> Module:
+    """Deep-copy ``model`` and swap binary layers for packed twins.
+
+    Returns the compiled copy in eval mode; raises if nothing in the model
+    is deployable (compiling an FP model is almost certainly a bug).
+    """
+    compiled = copy.deepcopy(model)
+    replaced = _compile_in_place(compiled)
+    if replaced == 0:
+        raise ValueError(
+            "model contains no deployable binary layers; expected at least "
+            "one SCALES / E2FIF / BiBERT binary conv or linear")
+    compiled.eval()
+    return compiled

@@ -1,0 +1,175 @@
+"""XNOR-popcount compute kernels on packed operands.
+
+The arithmetic identity all of this rests on: for two {-1, +1} vectors
+``a``, ``b`` of length ``K`` packed into words with equal padding bits,
+
+``dot(a, b) = K - 2 * popcount(pack(a) XOR pack(b))``
+
+because every agreeing position contributes +1 and every disagreeing
+position -1, and the zero-padding bits agree by construction so they
+never enter the popcount.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..grad.conv import _gather_patches, conv2d_output_shape
+from .packing import pack_signs, popcount_u64
+
+
+def binary_gemm(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
+                block: int = 256) -> np.ndarray:
+    """Binary matrix product ``signs_a @ signs_b.T`` via XNOR + popcount.
+
+    Parameters
+    ----------
+    packed_a:
+        ``uint64`` array ``(M, W)`` — M packed rows.
+    packed_b:
+        ``uint64`` array ``(N, W)`` — N packed rows.
+    k:
+        The true (unpadded) number of bits per row.
+    block:
+        Row-block size bounding the ``(block, N, W)`` XOR workspace.
+
+    Returns
+    -------
+    ``int32`` array ``(M, N)`` of exact {-1,+1} dot products.
+    """
+    packed_a = np.asarray(packed_a, dtype=np.uint64)
+    packed_b = np.asarray(packed_b, dtype=np.uint64)
+    if packed_a.ndim != 2 or packed_b.ndim != 2:
+        raise ValueError("binary_gemm expects 2-D packed operands")
+    if packed_a.shape[1] != packed_b.shape[1]:
+        raise ValueError(
+            f"word-count mismatch: {packed_a.shape[1]} vs {packed_b.shape[1]}")
+    m = packed_a.shape[0]
+    n = packed_b.shape[0]
+    out = np.empty((m, n), dtype=np.int32)
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        xor = packed_a[start:stop, None, :] ^ packed_b[None, :, :]
+        mismatches = popcount_u64(xor).sum(axis=2)
+        out[start:stop] = k - 2 * mismatches.astype(np.int32)
+    return out
+
+
+def _padding_correction(shape: Tuple[int, int], weight_signs: np.ndarray,
+                        stride: int, padding: int) -> np.ndarray:
+    """Output-plane correction for zero padding.
+
+    The float graph pads the *binarized* activations with zeros, but a
+    packed operand can only hold {-1, +1}; the packed kernel therefore
+    behaves as if the border were -1.  The difference at each padded
+    position is ``0 - (-1) = +1`` per weight tap, so adding the
+    convolution of the padding indicator with the weight signs restores
+    exact equality:
+
+    ``out_float = out_packed + conv(pad_mask, sign(w))``
+
+    Returns an array ``(C_out, H_out, W_out)`` (zero when ``padding == 0``).
+    """
+    h, w = shape
+    c_out, c_in, kh, kw = weight_signs.shape
+    out_h, out_w = conv2d_output_shape((h + 2 * padding, w + 2 * padding),
+                                       (kh, kw), stride, 0)
+    if padding == 0:
+        return np.zeros((c_out, out_h, out_w), dtype=weight_signs.dtype)
+    mask = np.ones((1, 1, h + 2 * padding, w + 2 * padding),
+                   dtype=weight_signs.dtype)
+    mask[:, :, padding:padding + h, padding:padding + w] = 0.0
+    # All input channels share the padding mask: sum weight signs over C_in.
+    w_taps = weight_signs.sum(axis=1).reshape(c_out, kh * kw)
+    patches = _gather_patches(mask, kh, kw, stride, stride, out_h, out_w)
+    cols = patches.reshape(kh * kw, out_h * out_w)
+    return (w_taps @ cols).reshape(c_out, out_h, out_w)
+
+
+def packed_conv2d(activation_signs: np.ndarray, packed_weight: np.ndarray,
+                  weight_signs: np.ndarray, stride: int = 1,
+                  padding: int = 0) -> np.ndarray:
+    """Binary convolution on packed weights, bit-exact vs the float graph.
+
+    Parameters
+    ----------
+    activation_signs:
+        ``(B, C_in, H, W)`` array in {-1, +1} (pre-computed activation
+        signs; scaling factors are applied by the caller).
+    packed_weight:
+        ``(C_out, words)`` packed ``sign(w)`` rows over ``C_in*kh*kw`` bits
+        (from :func:`pack_weight_conv`).
+    weight_signs:
+        ``(C_out, C_in, kh, kw)`` float sign tensor — used only for the
+        zero-padding correction (border arithmetic stays cheap and exact).
+    stride, padding:
+        Standard convolution geometry.
+
+    Returns
+    -------
+    ``(B, C_out, H_out, W_out)`` float64 array equal to
+    ``conv2d(pad(signs), sign(w))``.
+    """
+    b, c_in, h, w = activation_signs.shape
+    c_out, c_in_w, kh, kw = weight_signs.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+    if padding:
+        padded = np.full((b, c_in, h + 2 * padding, w + 2 * padding), -1.0,
+                         dtype=activation_signs.dtype)
+        padded[:, :, padding:padding + h, padding:padding + w] = activation_signs
+    else:
+        padded = activation_signs
+    out_h, out_w = conv2d_output_shape(padded.shape[2:], (kh, kw), stride, 0)
+    patches = _gather_patches(padded, kh, kw, stride, stride, out_h, out_w)
+    k = c_in * kh * kw
+    cols = patches.reshape(b, k, out_h * out_w).transpose(0, 2, 1)
+    packed_cols = pack_signs(cols.reshape(-1, k))
+    dots = binary_gemm(packed_cols, packed_weight, k)
+    out = dots.reshape(b, out_h * out_w, c_out).transpose(0, 2, 1)
+    out = out.reshape(b, c_out, out_h, out_w).astype(np.float64)
+    if padding:
+        out += _padding_correction((h, w), weight_signs, stride, padding)[None]
+    return out
+
+
+def packed_linear(activation_signs: np.ndarray,
+                  packed_weight: np.ndarray, k: int) -> np.ndarray:
+    """Binary linear layer ``signs @ sign(w).T`` on packed weights.
+
+    ``activation_signs`` is ``(..., K)`` in {-1, +1}; ``packed_weight`` is
+    ``(out_features, words)``.  Returns ``(..., out_features)`` float64.
+    """
+    signs = np.asarray(activation_signs)
+    *lead, k_in = signs.shape
+    if k_in != k:
+        raise ValueError(f"activation feature size {k_in} != weight bits {k}")
+    packed_rows = pack_signs(signs.reshape(-1, k))
+    dots = binary_gemm(packed_rows, packed_weight, k)
+    return dots.astype(np.float64).reshape(*lead, -1)
+
+
+def pack_weight_conv(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack a conv weight ``(C_out, C_in, kh, kw)``.
+
+    Returns ``(packed_rows, weight_signs)`` where ``packed_rows`` is
+    ``(C_out, words)`` over the flattened ``C_in*kh*kw`` taps in the same
+    order :func:`packed_conv2d` flattens its activation patches.
+    """
+    weight = np.asarray(weight)
+    c_out = weight.shape[0]
+    signs = np.where(weight >= 0, 1.0, -1.0)
+    packed = pack_signs(signs.reshape(c_out, -1))
+    return packed, signs
+
+
+def pack_weight_linear(weight: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Pack a linear weight ``(out_features, in_features)``.
+
+    Returns ``(packed_rows, in_features)``.
+    """
+    weight = np.asarray(weight)
+    signs = np.where(weight >= 0, 1.0, -1.0)
+    return pack_signs(signs), weight.shape[1]

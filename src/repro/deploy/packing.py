@@ -1,0 +1,93 @@
+"""{-1,+1} <-> packed ``uint64`` codecs and a vectorized popcount.
+
+Conventions
+-----------
+* A *sign vector* is any array whose last axis holds values in
+  ``{-1.0, +1.0}`` (the output domain of every binarizer in
+  :mod:`repro.binarize`).
+* Packing maps ``+1 -> bit 1`` and ``-1 -> bit 0``, little-endian within
+  each 64-bit word: element ``i`` of a row lands in word ``i // 64`` at
+  bit ``i % 64``.
+* Rows whose length is not a multiple of 64 are padded with 0-bits.  The
+  XNOR-GEMM identity ``dot = K - 2 * popcount(a ^ b)`` is unaffected as
+  long as *both* operands pad with the same bit (the paddings XNOR to
+  "agree" and the constant ``K`` already excludes them — see
+  :func:`repro.deploy.kernels.binary_gemm`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of bits per packed word.
+WORD_BITS = 64
+
+#: 16-bit popcount lookup table (64 KiB) — 4 lookups per uint64.
+_POPCOUNT16 = np.array([bin(i).count("1") for i in range(1 << 16)],
+                       dtype=np.uint8)
+
+
+def packed_words(n_bits: int) -> int:
+    """Number of ``uint64`` words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_signs(signs: np.ndarray) -> np.ndarray:
+    """Pack a sign array along its last axis into ``uint64`` words.
+
+    Parameters
+    ----------
+    signs:
+        Array of shape ``(..., K)`` with values in {-1, +1} (anything
+        ``>= 0`` counts as +1, mirroring the forward ``sign`` used by
+        every binarizer in this repo).
+
+    Returns
+    -------
+    ``uint64`` array of shape ``(..., packed_words(K))``.
+    """
+    signs = np.asarray(signs)
+    if signs.ndim == 0:
+        raise ValueError("pack_signs needs at least one axis")
+    *lead, k = signs.shape
+    bits = (signs >= 0).astype(np.uint8).reshape(-1, k)
+    pad = packed_words(k) * WORD_BITS - k
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros((bits.shape[0], pad), dtype=np.uint8)], axis=1)
+    # LSB-first within each byte (reverse the 8-bit groups for packbits'
+    # MSB-first convention), then little-endian byte order within each word.
+    grouped = bits.reshape(bits.shape[0], -1, 8)[:, :, ::-1]
+    packed_bytes = np.packbits(grouped, axis=2).reshape(bits.shape[0], -1)
+    words = np.ascontiguousarray(packed_bytes).view("<u8")
+    return words.reshape(*lead, -1).astype(np.uint64)
+
+
+def unpack_signs(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs`: recover the {-1, +1} sign array."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    *lead, n_words = packed.shape
+    if packed_words(n_bits) != n_words:
+        raise ValueError(
+            f"packed array has {n_words} words, expected {packed_words(n_bits)} "
+            f"for {n_bits} bits")
+    flat = np.ascontiguousarray(packed.reshape(-1, n_words)).astype("<u8")
+    as_bytes = flat.view(np.uint8).reshape(flat.shape[0], -1)
+    # Invert the LSB-first bit order within each byte before unpackbits.
+    bits = np.unpackbits(as_bytes, axis=1)
+    bits = bits.reshape(flat.shape[0], -1, 8)[:, :, ::-1]
+    bits = bits.reshape(flat.shape[0], -1)[:, :n_bits]
+    signs = np.where(bits > 0, 1.0, -1.0)
+    return signs.reshape(*lead, n_bits)
+
+
+def popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array (16-bit LUT, 4 lookups)."""
+    words = np.asarray(words, dtype=np.uint64)
+    mask = np.uint64(0xFFFF)
+    counts = _POPCOUNT16[(words & mask).astype(np.uint16)].astype(np.uint32)
+    for shift in (16, 32, 48):
+        counts += _POPCOUNT16[((words >> np.uint64(shift)) & mask).astype(np.uint16)]
+    return counts

@@ -1,0 +1,98 @@
+"""Memory and operation accounting for deployed (packed) models.
+
+Quantifies the deployment story of Table VI on the *actual packed
+buffers*: binary weights live in ``uint64`` words (32x smaller than
+float32), while the FP remainder (head/tail, re-scaling branches,
+thresholds, BatchNorm) stays in float32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..nn import Module
+from .engine import PackedBinaryConv2d, PackedBinaryLinear
+
+_FLOAT_BYTES = 4  # deployment stores FP tensors as float32
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Byte-level footprint of a compiled model."""
+
+    #: bytes of packed binary weights (uint64 buffers)
+    packed_weight_bytes: int
+    #: bytes those weights would occupy in float32
+    dense_weight_bytes: int
+    #: bytes of everything kept in full precision (float32)
+    fp_bytes: int
+    #: number of packed binary layers
+    n_binary_layers: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.packed_weight_bytes + self.fp_bytes
+
+    @property
+    def dense_total_bytes(self) -> int:
+        return self.dense_weight_bytes + self.fp_bytes
+
+    @property
+    def weight_compression(self) -> float:
+        """Compression of the binarized weights alone (~32x)."""
+        if self.packed_weight_bytes == 0:
+            return 1.0
+        return self.dense_weight_bytes / self.packed_weight_bytes
+
+    @property
+    def model_compression(self) -> float:
+        """End-to-end model compression including the FP remainder."""
+        if self.total_bytes == 0:
+            return 1.0
+        return self.dense_total_bytes / self.total_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "packed_weight_bytes": self.packed_weight_bytes,
+            "dense_weight_bytes": self.dense_weight_bytes,
+            "fp_bytes": self.fp_bytes,
+            "total_bytes": self.total_bytes,
+            "weight_compression": self.weight_compression,
+            "model_compression": self.model_compression,
+            "n_binary_layers": self.n_binary_layers,
+        }
+
+
+def deployment_report(compiled: Module) -> DeploymentReport:
+    """Account every buffer of a model produced by ``compile_model``."""
+    packed_bytes = 0
+    dense_bytes = 0
+    n_binary = 0
+    fp_param_elements = 0
+
+    packed_types = (PackedBinaryConv2d, PackedBinaryLinear)
+    for module in compiled.modules():
+        if isinstance(module, packed_types):
+            n_binary += 1
+            packed_bytes += module.packed_weight.nbytes
+            dense_bytes += module.weight_signs.size * _FLOAT_BYTES \
+                if isinstance(module, PackedBinaryConv2d) \
+                else module.in_features * module.out_features * _FLOAT_BYTES
+            # Per-layer FP sidecars: scales, thresholds, bias.
+            for attr in ("weight_scale", "alpha", "beta", "conv_bias", "lin_bias"):
+                value = getattr(module, attr, None)
+                if value is not None:
+                    fp_param_elements += np.asarray(value).size
+
+    # Every Parameter still in the tree is FP at deployment: head/tail
+    # convs, re-scaling branches, BatchNorm / LayerNorm, etc.  Binary
+    # weights were converted to plain packed buffers by compile_model, so
+    # nothing is double-counted.
+    fp_param_elements += sum(p.data.size for p in compiled.parameters())
+    return DeploymentReport(packed_weight_bytes=packed_bytes,
+                            dense_weight_bytes=dense_bytes,
+                            fp_bytes=fp_param_elements * _FLOAT_BYTES,
+                            n_binary_layers=n_binary)

@@ -1,0 +1,11 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from . import cache, figures, tables
+from .presets import FULL, QUICK, ExperimentPreset, get_preset
+from .registry import DESCRIPTIONS, EXPERIMENTS, run
+
+__all__ = [
+    "cache", "figures", "tables",
+    "FULL", "QUICK", "ExperimentPreset", "get_preset",
+    "DESCRIPTIONS", "EXPERIMENTS", "run",
+]

@@ -1,0 +1,113 @@
+"""Render figure reproductions to image files (PNG sheets).
+
+The benchmark suite asserts each figure's *property*; this module
+produces the figures themselves so they can be compared with the paper
+visually:
+
+* Fig. 1 — one sheet per method with a grid of binarized body feature
+  maps (channel slices);
+* Fig. 9 — per image, an HR | bicubic | E2FIF | SCALES comparison row.
+
+Everything is written with the dependency-free PNG writer in
+:mod:`repro.viz`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .. import grad as G
+from ..data import benchmark_suite, hr_images, make_pair
+from ..data.resize import upscale
+from ..train import super_resolve
+from ..viz import image_grid, labeled_row, write_png
+from . import cache
+from .figures import fig1_binary_feature_maps
+from .presets import ExperimentPreset, get_preset
+
+PathLike = Union[str, Path]
+
+
+def save_fig1_sheets(out_dir: PathLike, max_channels: int = 16,
+                     preset: Optional[ExperimentPreset] = None) -> List[Path]:
+    """Write the Fig. 1 feature-map sheets; returns the files created."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = fig1_binary_feature_maps(preset=preset)
+    written: List[Path] = []
+    for method, key in (("scales", "scales_maps"), ("e2fif", "e2fif_maps")):
+        maps: Dict[str, np.ndarray] = data[key]
+        panels = []
+        for arr in maps.values():
+            fmap = arr[0] if arr.ndim == 4 else arr
+            for channel in fmap[:max_channels]:
+                # Binary values in {-1, +1}: map to {0, 1} for display.
+                panels.append((channel + 1.0) / 2.0)
+        sheet = image_grid(panels, n_cols=max_channels, margin=1,
+                           background=0.5)
+        path = out_dir / f"fig1_feature_maps_{method}.png"
+        write_png(path, sheet)
+        written.append(path)
+    return written
+
+
+def save_fig9_rows(out_dir: PathLike, scale: int = 4, n_images: int = 4,
+                   preset: Optional[ExperimentPreset] = None) -> List[Path]:
+    """Write per-image HR | bicubic | E2FIF | SCALES comparison rows."""
+    preset = preset or get_preset()
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    pairs = benchmark_suite("urban100", scale, n_images, (64, 64))
+    written: List[Path] = []
+    with G.default_dtype("float32"):
+        scales_model = cache.get_trained_model("srresnet", "scales", scale,
+                                               preset, light_tail=True,
+                                               head_kernel=3)
+        e2fif_model = cache.get_trained_model("srresnet", "e2fif", scale,
+                                              preset, light_tail=True,
+                                              head_kernel=3)
+        for pair in pairs:
+            panels = [
+                pair.hr,
+                np.clip(upscale(pair.lr, scale), 0, 1),
+                super_resolve(e2fif_model, pair.lr),
+                super_resolve(scales_model, pair.lr),
+            ]
+            row = labeled_row(panels,
+                              labels=["HR", "bicubic", "E2FIF", "SCALES"])
+            path = out_dir / f"fig9_{pair.name}.png"
+            write_png(path, row)
+            written.append(path)
+    return written
+
+
+def save_dataset_previews(out_dir: PathLike, n_per_suite: int = 3,
+                          size: int = 96) -> List[Path]:
+    """Write sample HR images of every suite (data-substitute preview)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for suite in ("set5", "set14", "b100", "urban100", "div2k"):
+        images = hr_images(suite, n_per_suite, (size, size))
+        sheet = image_grid(images, n_cols=n_per_suite, margin=2)
+        path = out_dir / f"dataset_{suite}.png"
+        write_png(path, sheet)
+        written.append(path)
+    return written
+
+
+def save_degradation_preview(out_dir: PathLike, scale: int = 4,
+                             size: int = 96) -> Path:
+    """HR | LR (upscaled back) pair showing the BD degradation."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    hr = hr_images("urban100", 1, (size, size))[0]
+    pair = make_pair(hr, scale)
+    row = labeled_row([pair.hr, np.clip(upscale(pair.lr, scale), 0, 1)],
+                      labels=["HR", f"BD-degraded LR (x{scale}, bicubic up)"])
+    path = out_dir / f"degradation_x{scale}.png"
+    write_png(path, row)
+    return path

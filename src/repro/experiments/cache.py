@@ -1,0 +1,65 @@
+"""In-process cache of trained models.
+
+Several tables and figures evaluate the same (architecture, scheme,
+scale) checkpoints; training them once per pytest session keeps the
+benchmark suite's wall-clock reasonable.  Keys include every
+hyper-parameter that affects the result, so distinct presets never
+collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .. import grad as G
+from ..data import SRPair, training_pool
+from ..models import build_model
+from ..nn import Module, init
+from ..train import TrainConfig, Trainer
+from .presets import ExperimentPreset
+
+_MODEL_CACHE: Dict[Tuple, Module] = {}
+_POOL_CACHE: Dict[Tuple, List[SRPair]] = {}
+
+
+def clear() -> None:
+    _MODEL_CACHE.clear()
+    _POOL_CACHE.clear()
+
+
+def get_training_pool(scale: int, preset: ExperimentPreset,
+                      lr_multiple: int = 1) -> List[SRPair]:
+    key = (scale, preset.train_images, preset.train_image_size, lr_multiple)
+    if key not in _POOL_CACHE:
+        _POOL_CACHE[key] = training_pool(
+            scale=scale, n_images=preset.train_images,
+            size=(preset.train_image_size, preset.train_image_size),
+            lr_multiple=lr_multiple)
+    return _POOL_CACHE[key]
+
+
+def get_trained_model(architecture: str, scheme: str, scale: int,
+                      preset: ExperimentPreset, transformer: bool = False,
+                      **model_overrides) -> Module:
+    """Train (or fetch from cache) one model under the given preset."""
+    steps = preset.transformer_steps if transformer else preset.steps
+    patch = preset.transformer_patch if transformer else preset.patch_size
+    batch = preset.transformer_batch if transformer else preset.batch_size
+    key = (architecture, scheme, scale, steps, patch, batch, preset.lr,
+           preset.seed, tuple(sorted(model_overrides.items())))
+    if key in _MODEL_CACHE:
+        return _MODEL_CACHE[key]
+
+    with G.default_dtype("float32"):
+        init.seed(42)
+        model = build_model(architecture, scale=scale, scheme=scheme,
+                            preset="tiny", **model_overrides)
+        lr_multiple = getattr(model, "window_size", 1)
+        pool = get_training_pool(scale, preset, lr_multiple=lr_multiple)
+        config = TrainConfig(steps=steps, batch_size=batch, patch_size=patch,
+                             lr=preset.lr, lr_step=preset.lr_step,
+                             seed=preset.seed)
+        trainer = Trainer(model, pool, config, lr_multiple=lr_multiple)
+        trainer.fit()
+    _MODEL_CACHE[key] = model
+    return model

@@ -1,0 +1,47 @@
+"""Experiment presets: the scaled-down configurations every table uses.
+
+Two knobs exist:
+
+* ``quick`` presets run inside the pytest-benchmark suite (a couple of
+  minutes per table);
+* ``full`` presets give cleaner numbers when run standalone via
+  ``python -m repro.experiments.runner <table> --full``.
+
+Both use the same code paths; only steps / dataset sizes change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Sizes shared by the training-based table reproductions."""
+
+    train_images: int = 24
+    train_image_size: int = 96
+    eval_images: int = 10
+    eval_image_size: int = 64
+    steps: int = 700
+    batch_size: int = 8
+    patch_size: int = 16
+    lr: float = 3e-4
+    lr_step: int = 450
+    seed: int = 7
+    #: transformer runs are slower; they override these
+    transformer_steps: int = 720
+    transformer_patch: int = 8
+    transformer_batch: int = 8
+
+
+QUICK = ExperimentPreset()
+FULL = ExperimentPreset(train_images=40, train_image_size=128, eval_images=14,
+                        eval_image_size=96, steps=2000, lr=3e-4, lr_step=1300,
+                        transformer_steps=2000, transformer_patch=8,
+                        transformer_batch=8)
+
+
+def get_preset(full: bool = False) -> ExperimentPreset:
+    return FULL if full else QUICK

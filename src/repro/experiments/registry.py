@@ -1,0 +1,42 @@
+"""Registry mapping experiment ids (paper table/figure) to callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import figures, tables
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": tables.table1_adaptability,
+    "table2": tables.table2_variance,
+    "table3": tables.table3_srresnet,
+    "table4": tables.table4_transformer,
+    "table5": tables.table5_ablation,
+    "table6": tables.table6_latency,
+    "fig1": figures.fig1_binary_feature_maps,
+    "fig3": figures.fig3_edsr_distributions,
+    "fig4": figures.fig4_classifier_distributions,
+    "fig5": figures.fig5_swinir_distributions,
+    "fig9": figures.fig9_visual_comparison,
+}
+
+DESCRIPTIONS: Dict[str, str] = {
+    "table1": "Adaptability / HW-cost matrix of BNN-SR methods",
+    "table2": "Activation variance: SR networks vs classifiers",
+    "table3": "SRResNet comparison (PSNR/SSIM + Params/OPs)",
+    "table4": "Transformer comparison (SwinIR/HAT, BiBERT vs SCALES)",
+    "table5": "SCALES component ablation",
+    "table6": "Mobile latency (analytic model)",
+    "fig1": "Binary feature maps: SCALES vs E2FIF",
+    "fig3": "EDSR activation distributions",
+    "fig4": "Classifier activation distributions",
+    "fig5": "SwinIR activation distributions",
+    "fig9": "Visual comparison (per-image PSNR proxy)",
+}
+
+
+def run(name: str, **kwargs):
+    """Run an experiment by id (e.g. ``"table3"``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](**kwargs)

@@ -1,0 +1,91 @@
+"""Markdown report generator: one document with every regenerated artifact.
+
+``python -m repro.experiments.report out.md`` runs the fast experiments
+(Tables I/II/VI, Figs. 3-5) plus, with ``--trained``, the training-based
+ones, and writes a self-contained paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+from typing import List
+
+from .registry import DESCRIPTIONS, run
+from .tables import (
+    PAPER_TABLE3_X4,
+    PAPER_TABLE5,
+    PAPER_TABLE6_ROWS,
+    format_rows,
+    format_table1,
+)
+
+FAST_EXPERIMENTS = ["table1", "table2", "table6", "fig3", "fig4", "fig5"]
+TRAINED_EXPERIMENTS = ["table3", "table4", "table5", "fig1", "fig9"]
+
+
+def _render(name: str, result) -> str:
+    out = io.StringIO()
+    out.write(f"\n## {name}: {DESCRIPTIONS[name]}\n\n```\n")
+    if name == "table1":
+        out.write(format_table1(result))
+    elif isinstance(result, list) and result and isinstance(result[0], dict):
+        out.write(format_rows(result))
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            if hasattr(value, "rows"):
+                out.write(f"{key}: spread={value.spread:.3f} "
+                          f"center_var={value.center_variation:.3f}\n")
+            elif isinstance(value, list) and value and isinstance(value[0], float):
+                out.write(f"{key}: {[round(v, 3) for v in value]}\n")
+    out.write("\n```\n")
+    return out.getvalue()
+
+
+def _paper_reference_section() -> str:
+    lines = ["\n## Paper reference values\n", "```"]
+    lines.append("Table III (x4): " + ", ".join(
+        f"{k}: set5={v.get('set5')}, urban={v.get('urban100')}"
+        for k, v in PAPER_TABLE3_X4.items()))
+    lines.append("Table V OPs: " + ", ".join(
+        f"{k}={v['ops_g']}G" for k, v in PAPER_TABLE5.items()))
+    lines.append("Table VI latency: " + ", ".join(
+        f"{k}={v}ms" for k, v in PAPER_TABLE6_ROWS.items()))
+    lines.append("```")
+    return "\n".join(lines)
+
+
+def generate_report(include_trained: bool = False) -> str:
+    """Run experiments and return the markdown report."""
+    names: List[str] = list(FAST_EXPERIMENTS)
+    if include_trained:
+        names += TRAINED_EXPERIMENTS
+    parts = ["# SCALES reproduction report\n",
+             "Regenerated tables/figures (see EXPERIMENTS.md for the "
+             "paper-vs-measured discussion).\n"]
+    for name in names:
+        parts.append(_render(name, run(name)))
+    parts.append(_paper_reference_section())
+    return "".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="generate reproduction report")
+    parser.add_argument("output", nargs="?", default="-",
+                        help="output file (default: stdout)")
+    parser.add_argument("--trained", action="store_true",
+                        help="include the training-based experiments (slow)")
+    args = parser.parse_args(argv)
+    report = generate_report(include_trained=args.trained)
+    if args.output == "-":
+        print(report)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner table3
+    python -m repro.experiments.runner table4 --arch hat --scale 2
+    python -m repro.experiments.runner all --full
+    python -m repro.experiments.runner fig9 --save-images out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .presets import get_preset
+from .registry import DESCRIPTIONS, EXPERIMENTS, run
+from .tables import format_rows, format_table1
+
+
+def _print_result(name: str, result) -> None:
+    print(f"\n=== {name}: {DESCRIPTIONS[name]} ===")
+    if name == "table1":
+        print(format_table1(result))
+    elif isinstance(result, list) and result and isinstance(result[0], dict):
+        print(format_rows(result))
+    elif isinstance(result, dict):
+        summaries = [v for v in result.values() if hasattr(v, "rows")]
+        if summaries:
+            from ..viz import render_summaries
+            print(render_summaries(summaries))
+        for key, value in result.items():
+            if hasattr(value, "rows"):
+                continue
+            if isinstance(value, list) and value and isinstance(value[0], float):
+                formatted = ", ".join(f"{v:.3f}" for v in value)
+                print(f"  {key}: [{formatted}]")
+            else:
+                print(f"  {key}: <{type(value).__name__}>")
+    else:
+        print(result)
+
+
+def _save_images(name: str, out_dir: str, preset) -> None:
+    from . import artifacts
+
+    if name == "fig1":
+        files = artifacts.save_fig1_sheets(out_dir, preset=preset)
+    elif name == "fig9":
+        files = artifacts.save_fig9_rows(out_dir, preset=preset)
+    else:
+        return
+    for path in files:
+        print(f"  wrote {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="SCALES reproduction experiments")
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="experiment id (paper table/figure) or 'all'")
+    parser.add_argument("--full", action="store_true",
+                        help="use the larger (slower) preset")
+    parser.add_argument("--arch", default="swinir",
+                        help="architecture for table4 (swinir or hat)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="upscale factor override")
+    parser.add_argument("--save-images", metavar="DIR", default=None,
+                        help="write PNG sheets for fig1/fig9 into DIR")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    preset = get_preset(args.full)
+    for name in names:
+        kwargs = {}
+        if name in ("table3", "table4", "table5", "fig1", "fig9"):
+            kwargs["preset"] = preset
+        if name == "table4":
+            kwargs["architecture"] = args.arch
+        if args.scale is not None and name in ("table3", "table4", "table5",
+                                               "table6", "fig1", "fig9"):
+            kwargs["scale"] = args.scale
+        start = time.time()
+        result = run(name, **kwargs)
+        _print_result(name, result)
+        if args.save_images:
+            _save_images(name, args.save_images, preset)
+        print(f"[{name} finished in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Pointwise functions with autograd support."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def exp(x: Tensor) -> Tensor:
+    data = np.exp(x.data)
+
+    def backward(grad, send):
+        send(x, grad * data)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    data = np.log(x.data)
+
+    def backward(grad, send):
+        send(x, grad / x.data)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    data = np.sqrt(x.data)
+
+    def backward(grad, send):
+        send(x, grad * 0.5 / np.maximum(data, 1e-300))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def absolute(x: Tensor) -> Tensor:
+    """|x| with subgradient sign(x) at 0 (i.e. 0)."""
+    data = np.abs(x.data)
+
+    def backward(grad, send):
+        send(x, grad * np.sign(x.data))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    data = np.maximum(x.data, 0.0)
+
+    def backward(grad, send):
+        send(x, grad * (x.data > 0))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad, send):
+        send(x, grad * np.where(x.data > 0, 1.0, negative_slope))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    # Numerically stable two-sided formulation.
+    pos = x.data >= 0
+    z = np.exp(np.where(pos, -x.data, x.data))
+    data = np.where(pos, 1.0 / (1.0 + z), z / (1.0 + z))
+
+    def backward(grad, send):
+        send(x, grad * data * (1.0 - data))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    data = np.tanh(x.data)
+
+    def backward(grad, send):
+        send(x, grad * (1.0 - data ** 2))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU with the tanh approximation (as used in transformer MLPs)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data ** 3)
+    t = np.tanh(inner)
+    data = 0.5 * x.data * (1.0 + t)
+
+    def backward(grad, send):
+        dt = (1.0 - t ** 2) * c * (1.0 + 3 * 0.044715 * x.data ** 2)
+        send(x, grad * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp with zero gradient outside [low, high]."""
+    data = np.clip(x.data, low, high)
+
+    def backward(grad, send):
+        send(x, grad * ((x.data >= low) & (x.data <= high)))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def maximum(x: Tensor, y: Tensor) -> Tensor:
+    """Elementwise max; ties route gradient to the first argument."""
+    data = np.maximum(x.data, y.data)
+
+    def backward(grad, send):
+        mask = x.data >= y.data
+        send(x, grad * mask)
+        send(y, grad * (~mask))
+
+    return Tensor._make(data, (x, y), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad, send):
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        send(x, data * (grad - dot))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def where(cond: np.ndarray, x: Tensor, y: Tensor) -> Tensor:
+    """Select with a boolean (non-differentiable) condition array."""
+    cond = np.asarray(cond, dtype=bool)
+    data = np.where(cond, x.data, y.data)
+
+    def backward(grad, send):
+        send(x, grad * cond)
+        send(y, grad * (~cond))
+
+    return Tensor._make(data, (x, y), backward)

@@ -1,0 +1,194 @@
+"""Convolution and pooling with autograd support.
+
+``conv2d`` is the computational core of every CNN-based SR network in the
+paper (SRResNet/EDSR/RDN/RCAN) and of the binary convolution layers.  It is
+implemented with an explicit patch-gather (im2col) so the backward pass is
+exact; the small kernel loops (3x3 typically) keep it reasonably fast in
+NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+def conv2d_output_shape(
+    in_shape: Tuple[int, int],
+    kernel: IntPair,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tuple[int, int]:
+    """Spatial output size of a 2-D convolution."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    h, w = in_shape
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    return out_h, out_w
+
+
+def _gather_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
+                    out_h: int, out_w: int) -> np.ndarray:
+    """Gather conv patches into shape (B, C, kh, kw, out_h, out_w)."""
+    b, c = x.shape[:2]
+    patches = np.empty((b, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            patches[:, :, i, j] = x[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw]
+    return patches
+
+
+def _scatter_patches(grad_patches: np.ndarray, x_shape: Tuple[int, ...],
+                     kh: int, kw: int, sh: int, sw: int,
+                     out_h: int, out_w: int) -> np.ndarray:
+    """Inverse of :func:`_gather_patches` (col2im, overlapping add)."""
+    gx = np.zeros(x_shape, dtype=grad_patches.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            gx[:, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw] += grad_patches[:, :, i, j]
+    return gx
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over NCHW input.
+
+    Parameters mirror ``torch.nn.functional.conv2d`` (no dilation/groups,
+    which the paper's networks do not use).
+    """
+    b, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("convolution output would be empty")
+
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
+    patches = _gather_patches(x_pad, kh, kw, sh, sw, out_h, out_w)
+    cols = patches.reshape(b, c_in * kh * kw, out_h * out_w)
+    w_mat = weight.data.reshape(c_out, c_in * kh * kw)
+    out = np.einsum("ok,bkl->bol", w_mat, cols, optimize=True)
+    out = out.reshape(b, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, send):
+        grad_mat = grad.reshape(b, c_out, out_h * out_w)
+        gw = np.einsum("bol,bkl->ok", grad_mat, cols, optimize=True)
+        send(weight, gw.reshape(weight.shape))
+        gcols = np.einsum("ok,bol->bkl", w_mat, grad_mat, optimize=True)
+        gpatches = gcols.reshape(b, c_in, kh, kw, out_h, out_w)
+        gx_pad = _scatter_patches(gpatches, x_pad.shape, kh, kw, sh, sw, out_h, out_w)
+        if ph or pw:
+            gx = gx_pad[:, :, ph:ph + h, pw:pw + w]
+        else:
+            gx = gx_pad
+        send(x, gx)
+        if bias is not None:
+            send(bias, grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """1-D convolution over (B, C, L) input.
+
+    Used by the channel-wise re-scaling module of SCALES (Fig. 7), which
+    applies a Conv1d with kernel size 5 across the channel axis.
+    """
+    b, c_in, length = x.shape
+    c_out, c_in_w, k = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+    out_l = (length + 2 * padding - k) // stride + 1
+    if out_l <= 0:
+        raise ValueError("conv1d output would be empty")
+
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
+    patches = np.empty((b, c_in, k, out_l), dtype=x.data.dtype)
+    for i in range(k):
+        patches[:, :, i] = x_pad[:, :, i:i + out_l * stride:stride]
+    cols = patches.reshape(b, c_in * k, out_l)
+    w_mat = weight.data.reshape(c_out, c_in * k)
+    out = np.einsum("ok,bkl->bol", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad, send):
+        gw = np.einsum("bol,bkl->ok", grad, cols, optimize=True)
+        send(weight, gw.reshape(weight.shape))
+        gcols = np.einsum("ok,bol->bkl", w_mat, grad, optimize=True)
+        gpatches = gcols.reshape(b, c_in, k, out_l)
+        gx_pad = np.zeros(x_pad.shape, dtype=grad.dtype)
+        for i in range(k):
+            gx_pad[:, :, i:i + out_l * stride:stride] += gpatches[:, :, i]
+        gx = gx_pad[:, :, padding:padding + length] if padding else gx_pad
+        send(x, gx)
+        if bias is not None:
+            send(bias, grad.sum(axis=(0, 2)))
+
+    return Tensor._make(out, parents, backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """(B, C, H, W) -> (B, C, 1, 1) spatial mean.
+
+    The aggregation step of the channel-wise re-scaling branch.
+    """
+    b, c, h, w = x.shape
+    data = x.data.mean(axis=(2, 3), keepdims=True)
+
+    def backward(grad, send):
+        send(x, np.broadcast_to(grad / (h * w), x.shape))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling (no padding)."""
+    kh, kw = _pair(kernel)
+    sh, sw = _pair(stride if stride is not None else kernel)
+    b, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    patches = _gather_patches(x.data, kh, kw, sh, sw, out_h, out_w)
+    data = patches.mean(axis=(2, 3))
+
+    def backward(grad, send):
+        gpatches = np.broadcast_to(
+            grad[:, :, None, None] / (kh * kw), (b, c, kh, kw, out_h, out_w)
+        )
+        send(x, _scatter_patches(gpatches, x.shape, kh, kw, sh, sw, out_h, out_w))
+
+    return Tensor._make(data, (x,), backward)

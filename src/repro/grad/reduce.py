@@ -1,0 +1,103 @@
+"""Reduction operations with autograd support."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+Axis = Union[None, int, Tuple[int, ...], Sequence[int]]
+
+
+def _normalize_axis(axis: Axis, ndim: int) -> Optional[Tuple[int, ...]]:
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_for_reduce(grad: np.ndarray, shape: Tuple[int, ...], axis) -> np.ndarray:
+    """Reshape a reduced gradient back to broadcastable form."""
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    expanded = list(shape)
+    for a in axis:
+        expanded[a] = 1
+    return np.broadcast_to(grad.reshape(expanded), shape)
+
+
+def sum(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    norm_axis = _normalize_axis(axis, x.ndim)
+    data = x.data.sum(axis=norm_axis, keepdims=keepdims)
+
+    def backward(grad, send):
+        g = grad
+        if not keepdims:
+            g = _expand_for_reduce(g, x.shape, norm_axis)
+        else:
+            g = np.broadcast_to(g, x.shape)
+        send(x, g)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def mean(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    norm_axis = _normalize_axis(axis, x.ndim)
+    data = x.data.mean(axis=norm_axis, keepdims=keepdims)
+    if norm_axis is None:
+        count = x.size
+    else:
+        count = int(np.prod([x.shape[a] for a in norm_axis]))
+
+    def backward(grad, send):
+        g = grad / count
+        if not keepdims:
+            g = _expand_for_reduce(g, x.shape, norm_axis)
+        else:
+            g = np.broadcast_to(g, x.shape)
+        send(x, g)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def var(x: Tensor, axis: Axis = None, keepdims: bool = False, ddof: int = 0) -> Tensor:
+    """Variance, differentiable through the mean."""
+    mu = mean(x, axis=axis, keepdims=True)
+    centered = x - mu
+    sq = centered * centered
+    norm_axis = _normalize_axis(axis, x.ndim)
+    if norm_axis is None:
+        count = x.size
+    else:
+        count = int(np.prod([x.shape[a] for a in norm_axis]))
+    scale = 1.0 / max(count - ddof, 1)
+    total = sum(sq, axis=axis, keepdims=keepdims)
+    return total * scale
+
+
+def maxval(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Max reduction; gradient flows to the (first) argmax positions."""
+    norm_axis = _normalize_axis(axis, x.ndim)
+    data = x.data.max(axis=norm_axis, keepdims=keepdims)
+
+    def backward(grad, send):
+        full = data if keepdims else _expand_for_reduce(
+            np.asarray(data), x.shape, norm_axis)
+        if keepdims:
+            full = np.broadcast_to(full, x.shape)
+        mask = (x.data == full)
+        # Split gradient equally among ties to keep the op well-behaved.
+        denom = mask.sum(axis=norm_axis, keepdims=True)
+        g = grad if keepdims else _expand_for_reduce(grad, x.shape, norm_axis)
+        if keepdims:
+            g = np.broadcast_to(g, x.shape)
+        send(x, g * mask / np.maximum(denom, 1))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def minval(x: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    return -maxval(-x, axis=axis, keepdims=keepdims)

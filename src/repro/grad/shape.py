@@ -1,0 +1,174 @@
+"""Shape-manipulation operations with autograd support."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def reshape(x: Tensor, shape: Union[int, Tuple[int, ...]]) -> Tensor:
+    if isinstance(shape, int):
+        shape = (shape,)
+    data = x.data.reshape(shape)
+
+    def backward(grad, send):
+        send(x, grad.reshape(x.shape))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def transpose(x: Tensor, axes: Sequence[int]) -> Tensor:
+    axes = tuple(axes)
+    data = x.data.transpose(axes)
+    inverse = tuple(np.argsort(axes))
+
+    def backward(grad, send):
+        send(x, grad.transpose(inverse))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def swapaxes(x: Tensor, a: int, b: int) -> Tensor:
+    axes = list(range(x.ndim))
+    axes[a], axes[b] = axes[b], axes[a]
+    return transpose(x, axes)
+
+
+def getitem(x: Tensor, index) -> Tensor:
+    data = x.data[index]
+
+    def backward(grad, send):
+        g = np.zeros_like(x.data)
+        np.add.at(g, index, grad)
+        send(x, g)
+
+    return Tensor._make(data, (x,), backward)
+
+
+Tensor.__getitem__ = getitem  # type: ignore[assignment]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, send):
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            idx = [slice(None)] * grad.ndim
+            idx[axis] = slice(int(lo), int(hi))
+            send(t, grad[tuple(idx)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, send):
+        parts = np.split(grad, len(tensors), axis=axis)
+        for t, g in zip(tensors, parts):
+            send(t, np.squeeze(g, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def pad2d(x: Tensor, padding: Union[int, Tuple[int, int]], value: float = 0.0) -> Tensor:
+    """Pad the last two (spatial) dims of an NCHW tensor."""
+    if isinstance(padding, int):
+        ph = pw = padding
+    else:
+        ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    widths = [(0, 0)] * (x.ndim - 2) + [(ph, ph), (pw, pw)]
+    data = np.pad(x.data, widths, constant_values=value)
+
+    def backward(grad, send):
+        idx = (
+            (slice(None),) * (x.ndim - 2)
+            + (slice(ph, grad.shape[-2] - ph if ph else None),
+               slice(pw, grad.shape[-1] - pw if pw else None))
+        )
+        send(x, grad[idx])
+
+    return Tensor._make(data, (x,), backward)
+
+
+def roll(x: Tensor, shift: Union[int, Tuple[int, ...]], axis: Union[int, Tuple[int, ...]]) -> Tensor:
+    """Circular shift (used by shifted-window attention)."""
+    data = np.roll(x.data, shift, axis=axis)
+    if isinstance(shift, int):
+        neg_shift: Union[int, Tuple[int, ...]] = -shift
+    else:
+        neg_shift = tuple(-s for s in shift)
+
+    def backward(grad, send):
+        send(x, np.roll(grad, neg_shift, axis=axis))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def broadcast_to(x: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    data = np.broadcast_to(x.data, shape)
+
+    def backward(grad, send):
+        send(x, grad)  # unbroadcast happens inside send
+
+    return Tensor._make(data.copy(), (x,), backward)
+
+
+def pixel_shuffle(x: Tensor, upscale: int) -> Tensor:
+    """Rearrange ``(B, C*r^2, H, W)`` to ``(B, C, H*r, W*r)``.
+
+    This is the sub-pixel convolution used by the tail module of every SR
+    network in the paper (Fig. 2).
+    """
+    b, c, h, w = x.shape
+    r = upscale
+    if c % (r * r) != 0:
+        raise ValueError(f"channels {c} not divisible by upscale^2 {r * r}")
+    c_out = c // (r * r)
+    data = (
+        x.data.reshape(b, c_out, r, r, h, w)
+        .transpose(0, 1, 4, 2, 5, 3)
+        .reshape(b, c_out, h * r, w * r)
+    )
+
+    def backward(grad, send):
+        g = (
+            grad.reshape(b, c_out, h, r, w, r)
+            .transpose(0, 1, 3, 5, 2, 4)
+            .reshape(b, c, h, w)
+        )
+        send(x, g)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def pixel_unshuffle(x: Tensor, downscale: int) -> Tensor:
+    """Inverse of :func:`pixel_shuffle`."""
+    b, c, h, w = x.shape
+    r = downscale
+    if h % r != 0 or w % r != 0:
+        raise ValueError("spatial dims must be divisible by downscale")
+    data = (
+        x.data.reshape(b, c, h // r, r, w // r, r)
+        .transpose(0, 1, 3, 5, 2, 4)
+        .reshape(b, c * r * r, h // r, w // r)
+    )
+
+    def backward(grad, send):
+        g = (
+            grad.reshape(b, c, r, r, h // r, w // r)
+            .transpose(0, 1, 4, 2, 5, 3)
+            .reshape(b, c, h, w)
+        )
+        send(x, g)
+
+    return Tensor._make(data, (x,), backward)

@@ -1,0 +1,19 @@
+"""Test-time inference utilities for SR models.
+
+The EDSR lineage (and every paper building on it, including SCALES'
+experimental protocol) evaluates with two standard tools this module
+provides:
+
+* :func:`self_ensemble` — the x8 geometric ensemble ("EDSR+"):
+  average the model's predictions over the dihedral transforms of the
+  input (4 rotations x optional flip), undoing each transform on the
+  output.  Typically worth ~0.1-0.2 dB at no training cost.
+* :func:`tiled_super_resolve` — chop the LR image into overlapping tiles,
+  super-resolve each and blend, bounding peak memory so full-resolution
+  images fit through NumPy inference.
+"""
+
+from .tta import DIHEDRAL_TRANSFORMS, self_ensemble
+from .tiling import tiled_super_resolve
+
+__all__ = ["DIHEDRAL_TRANSFORMS", "self_ensemble", "tiled_super_resolve"]

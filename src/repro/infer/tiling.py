@@ -1,0 +1,76 @@
+"""Tiled ("chopped") inference for memory-bounded full-image SR."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module
+from ..train import super_resolve
+
+
+def _tile_starts(full: int, tile: int, stride: int) -> list:
+    """Start offsets covering [0, full) with a final flush-right tile."""
+    if full <= tile:
+        return [0]
+    starts = list(range(0, full - tile, stride))
+    starts.append(full - tile)
+    return starts
+
+
+def tiled_super_resolve(model: Module, lr_image: np.ndarray, scale: int,
+                        tile: int = 48, overlap: int = 8,
+                        lr_multiple: int = 1,
+                        trim: int = None) -> np.ndarray:
+    """Super-resolve ``lr_image`` tile by tile ("chop forward").
+
+    Parameters
+    ----------
+    model:
+        SR model mapping ``(H, W, 3)`` LR to ``(scale*H, scale*W, 3)``.
+    lr_image:
+        ``(H, W, 3)`` image in [0, 1]; H and W must be multiples of
+        ``lr_multiple`` (the model's window constraint).
+    scale:
+        The model's upsampling factor (output scaling of tile placement).
+    tile:
+        LR tile size; must be a multiple of ``lr_multiple``.
+    overlap:
+        LR pixels of overlap between neighbouring tiles.
+    trim:
+        LR pixels discarded from each interior tile edge before placing
+        the output (tile borders carry the model's halo artifacts — most
+        visibly the bicubic residual computed on the tile instead of the
+        full image).  Defaults to ``overlap // 2``; must satisfy
+        ``2 * trim <= overlap`` so trimmed tiles still cover the canvas.
+        Remaining overlapped pixels are averaged.
+    """
+    h, w = lr_image.shape[:2]
+    if tile % max(lr_multiple, 1):
+        raise ValueError(f"tile {tile} must be a multiple of {lr_multiple}")
+    if overlap >= tile:
+        raise ValueError(f"overlap {overlap} must be smaller than tile {tile}")
+    trim = overlap // 2 if trim is None else trim
+    if 2 * trim > overlap:
+        raise ValueError(f"trim {trim} needs overlap >= {2 * trim}")
+    tile_h = min(tile, h)
+    tile_w = min(tile, w)
+    stride_h = max(tile_h - overlap, 1)
+    stride_w = max(tile_w - overlap, 1)
+
+    out = np.zeros((h * scale, w * scale, 3), dtype=np.float64)
+    weight = np.zeros((h * scale, w * scale, 1), dtype=np.float64)
+    for y0 in _tile_starts(h, tile_h, stride_h):
+        for x0 in _tile_starts(w, tile_w, stride_w):
+            patch = lr_image[y0:y0 + tile_h, x0:x0 + tile_w]
+            sr = super_resolve(model, patch)
+            # Trim interior edges only: image borders keep their pixels.
+            top = trim if y0 > 0 else 0
+            left = trim if x0 > 0 else 0
+            bottom = trim if y0 + tile_h < h else 0
+            right = trim if x0 + tile_w < w else 0
+            sr = sr[top * scale:sr.shape[0] - bottom * scale,
+                    left * scale:sr.shape[1] - right * scale]
+            ys, xs = (y0 + top) * scale, (x0 + left) * scale
+            out[ys:ys + sr.shape[0], xs:xs + sr.shape[1]] += sr
+            weight[ys:ys + sr.shape[0], xs:xs + sr.shape[1]] += 1.0
+    return np.clip(out / np.maximum(weight, 1e-12), 0.0, 1.0)

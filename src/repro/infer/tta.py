@@ -1,0 +1,55 @@
+"""Geometric self-ensemble (the "+" models of the EDSR lineage)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..nn import Module
+from ..train import super_resolve
+
+Transform = Tuple[Callable[[np.ndarray], np.ndarray],
+                  Callable[[np.ndarray], np.ndarray]]
+
+
+def _rot(k: int) -> Transform:
+    return (lambda a, k=k: np.rot90(a, k, axes=(0, 1)),
+            lambda a, k=k: np.rot90(a, -k, axes=(0, 1)))
+
+
+def _rot_flip(k: int) -> Transform:
+    return (lambda a, k=k: np.rot90(a[:, ::-1], k, axes=(0, 1)),
+            lambda a, k=k: np.rot90(a, -k, axes=(0, 1))[:, ::-1])
+
+
+#: The 8 dihedral (rotation x mirror) transform/inverse pairs.
+DIHEDRAL_TRANSFORMS: List[Transform] = (
+    [_rot(k) for k in range(4)] + [_rot_flip(k) for k in range(4)])
+
+
+def self_ensemble(model: Module, lr_image: np.ndarray,
+                  n_transforms: int = 8) -> np.ndarray:
+    """Super-resolve ``lr_image`` averaged over dihedral transforms.
+
+    Parameters
+    ----------
+    model:
+        Any SR model accepted by :func:`repro.train.super_resolve`.
+    lr_image:
+        ``(H, W, 3)`` image in [0, 1].
+    n_transforms:
+        How many of the 8 dihedral transforms to use (1 disables the
+        ensemble; 4 is rotations only; 8 is the full "+'' protocol).
+
+    Note: models with a square-window constraint (SwinIR/HAT) accept the
+    rotated inputs as long as H and W are both window multiples.
+    """
+    if not 1 <= n_transforms <= 8:
+        raise ValueError(f"n_transforms must be in [1, 8], got {n_transforms}")
+    accumulated: np.ndarray | None = None
+    for forward_t, inverse_t in DIHEDRAL_TRANSFORMS[:n_transforms]:
+        sr = super_resolve(model, np.ascontiguousarray(forward_t(lr_image)))
+        sr = inverse_t(sr)
+        accumulated = sr if accumulated is None else accumulated + sr
+    return np.clip(accumulated / n_transforms, 0.0, 1.0)

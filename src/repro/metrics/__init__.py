@@ -1,0 +1,6 @@
+"""Evaluation metrics: PSNR and SSIM on the Y channel."""
+
+from .psnr import psnr, psnr_y
+from .ssim import ssim, ssim_y
+
+__all__ = ["psnr", "psnr_y", "ssim", "ssim_y"]

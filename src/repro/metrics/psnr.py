@@ -1,0 +1,30 @@
+"""PSNR on the Y channel (the paper's primary metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.color import rgb_to_y, shave_border
+
+
+def psnr(sr: np.ndarray, hr: np.ndarray, shave: int = 0,
+         max_value: float = 1.0) -> float:
+    """Peak signal-to-noise ratio between two images in [0, max_value].
+
+    Accepts (H, W) or (H, W, C) arrays; ``shave`` crops the border first
+    (the SR convention is ``shave = scale``).
+    """
+    if sr.shape != hr.shape:
+        raise ValueError(f"shape mismatch: {sr.shape} vs {hr.shape}")
+    if shave:
+        sr = shave_border(sr, shave)
+        hr = shave_border(hr, shave)
+    mse = float(np.mean((sr.astype(np.float64) - hr.astype(np.float64)) ** 2))
+    if mse == 0:
+        return float("inf")
+    return float(10.0 * np.log10(max_value ** 2 / mse))
+
+
+def psnr_y(sr_rgb: np.ndarray, hr_rgb: np.ndarray, shave: int = 0) -> float:
+    """PSNR over the BT.601 luma channel, as reported in Tables III–VI."""
+    return psnr(rgb_to_y(sr_rgb), rgb_to_y(hr_rgb), shave=shave)

@@ -1,0 +1,143 @@
+"""SR network architectures and the classifier references.
+
+:func:`build_model` assembles any architecture the paper evaluates with
+any binarization scheme, at two preset sizes:
+
+* ``"tiny"`` — scaled-down configurations that train in seconds on the
+  NumPy substrate; used by the table/figure reproductions.
+* ``"paper"`` — the configurations of the original networks; used for the
+  Params/OPs accounting columns of Tables III/IV (cost counting needs no
+  training, so the full-size numbers are directly comparable with the
+  paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..binarize import get_conv_factory, get_linear_factory
+from ..nn import Module
+from .common import CALayer, MeanShift, ResidualBlock, Upsampler, fp_conv_factory
+from .edsr import EDSR
+from .hat import HAT, CAB, HAB, RHAG
+from .rcan import RCAB, RCAN, ResidualGroup
+from .rdn import RDB, RDN, DenseLayer
+from .resnet18 import BasicBlock, ResNet, resnet18
+from .srresnet import SRResNet
+from .swinir import RSTB, SwinIR, image_to_tokens, tokens_to_image
+from .swinvit import SwinViT
+
+#: Transformer-model schemes map to a (linear, conv) scheme pair; the
+#: paper binarizes the four linear layers per block with the method under
+#: test and the block convs with the corresponding conv binarizer.
+_TRANSFORMER_SCHEME_MAP: Dict[str, tuple] = {
+    "fp": ("fp", "fp"),
+    "bibert": ("bibert", "plain"),
+    "bivit": ("bivit", "plain"),
+    "scales": ("scales", "scales"),
+    "scales_lsf": ("scales_lsf", "scales_lsf"),
+}
+
+_CNN_PRESETS: Dict[str, Dict[str, Dict]] = {
+    "srresnet": {
+        "tiny": dict(n_feats=16, n_blocks=2, head_kernel=3),
+        "small": dict(n_feats=32, n_blocks=4, head_kernel=9),
+        "paper": dict(n_feats=64, n_blocks=16, head_kernel=9),
+    },
+    "edsr": {
+        "tiny": dict(n_feats=16, n_blocks=2),
+        "small": dict(n_feats=32, n_blocks=4),
+        "paper": dict(n_feats=64, n_blocks=16),
+    },
+    "rdn": {
+        "tiny": dict(n_feats=16, growth=8, n_blocks=2, n_layers=2),
+        "small": dict(n_feats=32, growth=16, n_blocks=4, n_layers=4),
+        "paper": dict(n_feats=64, growth=64, n_blocks=16, n_layers=8),
+    },
+    "rcan": {
+        "tiny": dict(n_feats=16, n_groups=1, n_blocks=2),
+        "small": dict(n_feats=32, n_groups=2, n_blocks=4),
+        "paper": dict(n_feats=64, n_groups=10, n_blocks=20, reduction=16),
+    },
+}
+
+_TRANSFORMER_PRESETS: Dict[str, Dict[str, Dict]] = {
+    "swinir": {
+        "tiny": dict(embed_dim=16, depths=(2,), num_heads=(2,), window_size=4),
+        "small": dict(embed_dim=32, depths=(2, 2), num_heads=(4, 4), window_size=8),
+        "paper": dict(embed_dim=60, depths=(6, 6, 6, 6),
+                      num_heads=(6, 6, 6, 6), window_size=8),
+    },
+    "hat": {
+        "tiny": dict(embed_dim=16, depths=(2,), num_heads=(2,), window_size=4),
+        "small": dict(embed_dim=32, depths=(2, 2), num_heads=(4, 4), window_size=8),
+        "paper": dict(embed_dim=180, depths=(6, 6, 6, 6, 6, 6),
+                      num_heads=(6, 6, 6, 6, 6, 6), window_size=16),
+    },
+}
+
+CNN_ARCHITECTURES = tuple(sorted(_CNN_PRESETS))
+TRANSFORMER_ARCHITECTURES = tuple(sorted(_TRANSFORMER_PRESETS))
+ARCHITECTURES = CNN_ARCHITECTURES + TRANSFORMER_ARCHITECTURES
+
+_CNN_CLASSES = {"srresnet": SRResNet, "edsr": EDSR, "rdn": RDN, "rcan": RCAN}
+_TRANSFORMER_CLASSES = {"swinir": SwinIR, "hat": HAT}
+
+
+def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
+                preset: str = "tiny", **overrides) -> Module:
+    """Build an SR network with a binarization scheme dropped into its body.
+
+    Parameters
+    ----------
+    architecture:
+        One of ``srresnet | edsr | rdn | rcan | swinir | hat``.
+    scale:
+        Upsampling factor (2, 3 or 4 as in the paper's experiments).
+    scheme:
+        Binarization scheme name: any conv scheme from
+        :func:`repro.binarize.conv_scheme_names` for CNNs; one of
+        ``fp | bibert | bivit | scales | scales_lsf`` for transformers.
+    preset:
+        ``tiny`` / ``small`` / ``paper`` size presets.
+    overrides:
+        Keyword overrides merged on top of the preset.
+    """
+    architecture = architecture.lower()
+    if architecture in _CNN_CLASSES:
+        presets = _CNN_PRESETS[architecture]
+        if preset not in presets:
+            raise KeyError(f"unknown preset {preset!r} for {architecture}")
+        kwargs = dict(presets[preset])
+        kwargs.update(overrides)
+        conv_factory = get_conv_factory(scheme)
+        return _CNN_CLASSES[architecture](scale=scale, conv_factory=conv_factory,
+                                          **kwargs)
+    if architecture in _TRANSFORMER_CLASSES:
+        if scheme not in _TRANSFORMER_SCHEME_MAP:
+            raise KeyError(
+                f"unknown transformer scheme {scheme!r}; choose from "
+                f"{sorted(_TRANSFORMER_SCHEME_MAP)}")
+        linear_scheme, conv_scheme = _TRANSFORMER_SCHEME_MAP[scheme]
+        presets = _TRANSFORMER_PRESETS[architecture]
+        if preset not in presets:
+            raise KeyError(f"unknown preset {preset!r} for {architecture}")
+        kwargs = dict(presets[preset])
+        kwargs.update(overrides)
+        return _TRANSFORMER_CLASSES[architecture](
+            scale=scale,
+            linear_factory=get_linear_factory(linear_scheme),
+            conv_factory=get_conv_factory(conv_scheme),
+            **kwargs)
+    raise KeyError(f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}")
+
+
+__all__ = [
+    "ARCHITECTURES", "CNN_ARCHITECTURES", "TRANSFORMER_ARCHITECTURES",
+    "build_model",
+    "SRResNet", "EDSR", "RDN", "RCAN", "SwinIR", "HAT",
+    "ResNet", "resnet18", "SwinViT",
+    "ResidualBlock", "Upsampler", "MeanShift", "CALayer", "fp_conv_factory",
+    "RDB", "DenseLayer", "RCAB", "ResidualGroup", "RSTB", "CAB", "HAB", "RHAG",
+    "BasicBlock", "image_to_tokens", "tokens_to_image",
+]

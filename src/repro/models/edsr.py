@@ -1,0 +1,46 @@
+"""EDSR (Lim et al., 2017) — the network of the Fig. 3 motivation study.
+
+EDSR removes BatchNorm from the residual blocks entirely; the paper points
+at exactly this BN removal as the reason SR activations keep large
+pixel/channel/layer variations (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from ..grad import Tensor
+from ..nn import Conv2d, Module, Sequential
+from .common import (ConvFactory, MeanShift, ResidualBlock, Upsampler,
+                     bicubic_residual, fp_conv_factory, zero_init_last_conv)
+
+
+class EDSR(Module):
+    def __init__(self, scale: int = 2, n_feats: int = 64, n_blocks: int = 16,
+                 n_colors: int = 3, res_scale: float = 1.0,
+                 conv_factory: ConvFactory = fp_conv_factory,
+                 image_residual: bool = True):
+        super().__init__()
+        self.scale = scale
+        self.n_feats = n_feats
+        self.n_blocks = n_blocks
+        self.image_residual = image_residual
+        self.sub_mean = MeanShift(sign=-1)
+        self.add_mean = MeanShift(sign=+1)
+        self.head = Conv2d(n_colors, n_feats, 3)
+        self.body = Sequential(*[
+            ResidualBlock(n_feats, conv_factory, use_bn=False, act="relu",
+                          res_scale=res_scale)
+            for _ in range(n_blocks)
+        ])
+        self.fusion = Conv2d(n_feats, n_feats, 3)
+        self.tail = Sequential(Upsampler(scale, n_feats), Conv2d(n_feats, n_colors, 3))
+        if image_residual:
+            zero_init_last_conv(self.tail)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.sub_mean(x)
+        shallow = self.head(x)
+        deep = self.fusion(self.body(shallow))
+        out = self.add_mean(self.tail(deep + shallow))
+        if self.image_residual:
+            out = out + bicubic_residual(self.add_mean(x), self.scale)
+        return out

@@ -1,0 +1,182 @@
+"""HAT: Hybrid Attention Transformer (Chen et al., 2023) — Table IV.
+
+Reproduced structure: residual hybrid attention groups (RHAG) of HAB
+blocks.  Each HAB runs window self-attention *in parallel with* a
+convolutional channel-attention block (CAB), exactly the hybrid that
+distinguishes HAT from SwinIR; a trailing conv closes each group.
+
+Simplification (documented in DESIGN.md): the overlapping cross-attention
+block (OCAB) at the end of each group is replaced by the plain conv —
+OCAB refines window boundaries but does not interact with binarization,
+which only touches the linear/conv layers that both variants share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import grad as G
+from ..grad import Tensor
+from ..nn import (
+    Conv2d,
+    GELU,
+    LayerNorm,
+    Mlp,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    WindowAttention,
+    default_linear_factory,
+    window_partition,
+    window_reverse,
+)
+from .common import (CALayer, ConvFactory, Upsampler, bicubic_residual,
+                     fp_conv_factory, zero_init_last_conv)
+from .swinir import image_to_tokens, tokens_to_image
+
+
+class CAB(Module):
+    """Channel attention block: conv -> GELU -> conv -> channel attention."""
+
+    def __init__(self, dim: int, compress: int = 2, reduction: int = 4,
+                 conv_factory: ConvFactory = fp_conv_factory):
+        super().__init__()
+        hidden = max(dim // compress, 1)
+        self.conv1 = conv_factory(dim, hidden, 3)
+        self.act = GELU()
+        self.conv2 = conv_factory(hidden, dim, 3)
+        self.attention = CALayer(dim, reduction)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.attention(self.conv2(self.act(self.conv1(x))))
+
+
+class HAB(Module):
+    """Hybrid attention block: (shifted) window MSA + weighted parallel CAB."""
+
+    def __init__(self, dim: int, num_heads: int, window_size: int,
+                 shift_size: int = 0, mlp_ratio: float = 2.0,
+                 cab_weight: float = 0.01,
+                 linear_factory=default_linear_factory,
+                 conv_factory: ConvFactory = fp_conv_factory):
+        super().__init__()
+        self.dim = dim
+        self.window_size = window_size
+        self.shift_size = shift_size
+        self.norm1 = LayerNorm(dim)
+        self.attn = WindowAttention(dim, window_size, num_heads, linear_factory)
+        self.cab = CAB(dim, conv_factory=conv_factory)
+        self.cab_weight = Parameter(np.array([cab_weight]))
+        self.norm2 = LayerNorm(dim)
+        self.mlp = Mlp(dim, int(dim * mlp_ratio), linear_factory)
+        self._mask_cache: dict = {}
+
+    def _mask_for(self, h: int, w: int) -> Optional[np.ndarray]:
+        if self.shift_size == 0:
+            return None
+        key = (h, w)
+        if key not in self._mask_cache:
+            from ..nn import shifted_window_attention_mask
+            self._mask_cache[key] = shifted_window_attention_mask(
+                h, w, self.window_size, self.shift_size)
+        return self._mask_cache[key]
+
+    def forward(self, tokens: Tensor, hw: Tuple[int, int]) -> Tensor:
+        h, w = hw
+        b, n, c = tokens.shape
+        shortcut = tokens
+        x = self.norm1(tokens)
+        # Parallel convolutional channel-attention branch on the image view.
+        cab_out, _ = image_to_tokens(self.cab(tokens_to_image(x, hw)))
+        # Window attention branch.
+        x_img = G.reshape(x, (b, h, w, c))
+        if self.shift_size:
+            x_img = G.roll(x_img, (-self.shift_size, -self.shift_size), axis=(1, 2))
+        windows = window_partition(x_img, self.window_size)
+        attn_out = self.attn(windows, mask=self._mask_for(h, w))
+        x_img = window_reverse(attn_out, self.window_size, h, w)
+        if self.shift_size:
+            x_img = G.roll(x_img, (self.shift_size, self.shift_size), axis=(1, 2))
+        attn_tokens = G.reshape(x_img, (b, n, c))
+        x = shortcut + attn_tokens + self.cab_weight * cab_out
+        return x + self.mlp(self.norm2(x))
+
+
+class RHAG(Module):
+    """Residual hybrid attention group: HABs + trailing conv + skip."""
+
+    def __init__(self, dim: int, depth: int, num_heads: int, window_size: int,
+                 mlp_ratio: float = 2.0,
+                 linear_factory=default_linear_factory,
+                 conv_factory: ConvFactory = fp_conv_factory):
+        super().__init__()
+        self.blocks = ModuleList([
+            HAB(dim, num_heads, window_size,
+                shift_size=0 if i % 2 == 0 else window_size // 2,
+                mlp_ratio=mlp_ratio, linear_factory=linear_factory,
+                conv_factory=conv_factory)
+            for i in range(depth)
+        ])
+        self.conv = conv_factory(dim, dim, 3)
+
+    def forward(self, tokens: Tensor, hw: Tuple[int, int]) -> Tensor:
+        shortcut = tokens
+        x = tokens
+        for block in self.blocks:
+            x = block(x, hw)
+        image = self.conv(tokens_to_image(x, hw))
+        x, _ = image_to_tokens(image)
+        return x + shortcut
+
+
+class HAT(Module):
+    def __init__(self, scale: int = 2, embed_dim: int = 96,
+                 depths: Sequence[int] = (6, 6, 6, 6),
+                 num_heads: Sequence[int] = (6, 6, 6, 6),
+                 window_size: int = 8, mlp_ratio: float = 2.0, n_colors: int = 3,
+                 linear_factory=default_linear_factory,
+                 conv_factory: ConvFactory = fp_conv_factory,
+                 image_residual: bool = True, light_tail: bool = False):
+        super().__init__()
+        if len(depths) != len(num_heads):
+            raise ValueError("depths and num_heads must have equal length")
+        self.scale = scale
+        self.embed_dim = embed_dim
+        self.window_size = window_size
+        self.image_residual = image_residual
+        self.head = Conv2d(n_colors, embed_dim, 3)
+        self.groups = ModuleList([
+            RHAG(embed_dim, depth, heads, window_size, mlp_ratio,
+                 linear_factory, conv_factory)
+            for depth, heads in zip(depths, num_heads)
+        ])
+        self.norm = LayerNorm(embed_dim)
+        self.conv_after_body = Conv2d(embed_dim, embed_dim, 3)
+        if light_tail:
+            from ..nn import PixelShuffle
+            self.tail = Sequential(
+                Conv2d(embed_dim, n_colors * scale * scale, 3), PixelShuffle(scale))
+        else:
+            self.tail = Sequential(Upsampler(scale, embed_dim),
+                                   Conv2d(embed_dim, n_colors, 3))
+        if image_residual:
+            zero_init_last_conv(self.tail)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h, w = x.shape[2], x.shape[3]
+        if h % self.window_size or w % self.window_size:
+            raise ValueError(
+                f"input {h}x{w} must be divisible by window size {self.window_size}")
+        shallow = self.head(x)
+        tokens, hw = image_to_tokens(shallow)
+        for group in self.groups:
+            tokens = group(tokens, hw)
+        tokens = self.norm(tokens)
+        deep = self.conv_after_body(tokens_to_image(tokens, hw))
+        out = self.tail(deep + shallow)
+        if self.image_residual:
+            out = out + bicubic_residual(x, self.scale)
+        return out

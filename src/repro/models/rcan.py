@@ -1,0 +1,68 @@
+"""RCAN: residual channel attention network (Zhang et al., 2018).
+
+Used for the qualitative comparison of Fig. 9a.  Residual-in-residual
+structure: groups of residual channel attention blocks (RCAB), each RCAB
+being conv-relu-conv (binarizable) followed by FP squeeze-and-excitation
+channel attention and a skip.
+"""
+
+from __future__ import annotations
+
+from ..grad import Tensor
+from ..nn import Conv2d, Module, ReLU, Sequential
+from .common import (CALayer, ConvFactory, Upsampler, bicubic_residual,
+                     fp_conv_factory, zero_init_last_conv)
+
+
+class RCAB(Module):
+    def __init__(self, n_feats: int, conv_factory: ConvFactory, reduction: int = 4):
+        super().__init__()
+        self.conv1 = conv_factory(n_feats, n_feats, 3)
+        self.act = ReLU()
+        self.conv2 = conv_factory(n_feats, n_feats, 3)
+        self.attention = CALayer(n_feats, reduction)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.attention(self.conv2(self.act(self.conv1(x))))
+        return out + x
+
+
+class ResidualGroup(Module):
+    def __init__(self, n_feats: int, n_blocks: int, conv_factory: ConvFactory,
+                 reduction: int = 4):
+        super().__init__()
+        self.blocks = Sequential(*[
+            RCAB(n_feats, conv_factory, reduction) for _ in range(n_blocks)
+        ])
+        self.conv = Conv2d(n_feats, n_feats, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(self.blocks(x)) + x
+
+
+class RCAN(Module):
+    def __init__(self, scale: int = 2, n_feats: int = 64, n_groups: int = 4,
+                 n_blocks: int = 4, reduction: int = 4, n_colors: int = 3,
+                 conv_factory: ConvFactory = fp_conv_factory,
+                 image_residual: bool = True):
+        super().__init__()
+        self.scale = scale
+        self.n_feats = n_feats
+        self.image_residual = image_residual
+        self.head = Conv2d(n_colors, n_feats, 3)
+        self.body = Sequential(*[
+            ResidualGroup(n_feats, n_blocks, conv_factory, reduction)
+            for _ in range(n_groups)
+        ])
+        self.fusion = Conv2d(n_feats, n_feats, 3)
+        self.tail = Sequential(Upsampler(scale, n_feats), Conv2d(n_feats, n_colors, 3))
+        if image_residual:
+            zero_init_last_conv(self.tail)
+
+    def forward(self, x: Tensor) -> Tensor:
+        shallow = self.head(x)
+        deep = self.fusion(self.body(shallow))
+        out = self.tail(deep + shallow)
+        if self.image_residual:
+            out = out + bicubic_residual(x, self.scale)
+        return out

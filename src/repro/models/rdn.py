@@ -1,0 +1,77 @@
+"""RDN: residual dense network (Zhang et al., 2018).
+
+One of the four CNN-based SR architectures the paper evaluates SCALES on.
+Each residual dense block (RDB) grows features through densely connected
+convs (these are the binarized layers), fuses them with a FP 1x1 conv and
+adds the local skip; global feature fusion concatenates all RDB outputs.
+"""
+
+from __future__ import annotations
+
+from .. import grad as G
+from ..grad import Tensor
+from ..nn import Conv2d, Module, ModuleList, ReLU, Sequential
+from .common import (ConvFactory, Upsampler, bicubic_residual, fp_conv_factory,
+                     zero_init_last_conv)
+
+
+class DenseLayer(Module):
+    def __init__(self, in_channels: int, growth: int, conv_factory: ConvFactory):
+        super().__init__()
+        self.conv = conv_factory(in_channels, growth, 3)
+        self.act = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.concat([x, self.act(self.conv(x))], axis=1)
+
+
+class RDB(Module):
+    """Residual dense block: dense convs + 1x1 local fusion + local skip."""
+
+    def __init__(self, n_feats: int, growth: int, n_layers: int,
+                 conv_factory: ConvFactory):
+        super().__init__()
+        layers = []
+        channels = n_feats
+        for _ in range(n_layers):
+            layers.append(DenseLayer(channels, growth, conv_factory))
+            channels += growth
+        self.layers = Sequential(*layers)
+        self.fusion = Conv2d(channels, n_feats, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fusion(self.layers(x)) + x
+
+
+class RDN(Module):
+    def __init__(self, scale: int = 2, n_feats: int = 64, growth: int = 32,
+                 n_blocks: int = 8, n_layers: int = 4, n_colors: int = 3,
+                 conv_factory: ConvFactory = fp_conv_factory,
+                 image_residual: bool = True):
+        super().__init__()
+        self.scale = scale
+        self.n_feats = n_feats
+        self.image_residual = image_residual
+        self.head1 = Conv2d(n_colors, n_feats, 3)
+        self.head2 = Conv2d(n_feats, n_feats, 3)
+        self.blocks = ModuleList([
+            RDB(n_feats, growth, n_layers, conv_factory) for _ in range(n_blocks)
+        ])
+        self.gff1 = Conv2d(n_feats * n_blocks, n_feats, 1)
+        self.gff2 = Conv2d(n_feats, n_feats, 3)
+        self.tail = Sequential(Upsampler(scale, n_feats), Conv2d(n_feats, n_colors, 3))
+        if image_residual:
+            zero_init_last_conv(self.tail)
+
+    def forward(self, x: Tensor) -> Tensor:
+        f_minus1 = self.head1(x)
+        feat = self.head2(f_minus1)
+        block_outs = []
+        for block in self.blocks:
+            feat = block(feat)
+            block_outs.append(feat)
+        fused = self.gff2(self.gff1(G.concat(block_outs, axis=1)))
+        out = self.tail(fused + f_minus1)
+        if self.image_residual:
+            out = out + bicubic_residual(x, self.scale)
+        return out

@@ -1,0 +1,76 @@
+"""ResNet-style image classifier — the Fig. 4a / Table II comparison point.
+
+The motivation study of Sec. III contrasts SR-network activations with a
+classification CNN: BatchNorm keeps classifier activations in a narrow
+band, which is exactly what Fig. 4a shows.  A configurable-depth ResNet
+(default mirrors ResNet18's 4-stage layout at reduced width) provides
+that reference here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..grad import Tensor
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+
+class BasicBlock(Module):
+    """conv-BN-ReLU-conv-BN + skip (1x1 projection on stride/width change)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.act = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, padding=0),
+                BatchNorm2d(out_channels))
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn2(self.conv2(self.act(self.bn1(self.conv1(x)))))
+        return self.act.forward(out + self.shortcut(x))
+
+
+class ResNet(Module):
+    def __init__(self, num_classes: int = 10, base_width: int = 16,
+                 blocks_per_stage: Sequence[int] = (2, 2, 2, 2), n_colors: int = 3):
+        super().__init__()
+        self.stem = Sequential(Conv2d(n_colors, base_width, 3),
+                               BatchNorm2d(base_width), ReLU())
+        stages = []
+        in_ch = base_width
+        for stage_idx, n_blocks in enumerate(blocks_per_stage):
+            out_ch = base_width * (2 ** stage_idx)
+            for block_idx in range(n_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                stages.append(BasicBlock(in_ch, out_ch, stride))
+                in_ch = out_ch
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = Linear(in_ch, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.stages(self.stem(x))
+        return self.fc(self.flatten(self.pool(feat)))
+
+
+def resnet18(num_classes: int = 10, base_width: int = 16) -> ResNet:
+    """The 4-stage / 2-blocks-per-stage layout of ResNet18."""
+    return ResNet(num_classes, base_width, (2, 2, 2, 2))

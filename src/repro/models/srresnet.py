@@ -1,0 +1,57 @@
+"""SRResNet (Ledig et al., 2017) — the CNN benchmarked in Table III.
+
+Head: large-kernel FP conv + PReLU.  Body: residual blocks whose convs
+come from ``conv_factory`` (full precision or any binary scheme), followed
+by a fusion conv and the global residual.  Tail: FP upsampler + output
+conv.  The FP variant keeps BatchNorm inside the blocks; binary variants
+drop the block-level BN (each binary layer decides its own normalization,
+e.g. E2FIF carries a BN, SCALES does not — that is the OPs saving the
+ablation of Table V attributes to BN removal).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..grad import Tensor
+from ..nn import Conv2d, Module, PixelShuffle, PReLU, Sequential
+from .common import (ConvFactory, ResidualBlock, Upsampler, bicubic_residual,
+                     fp_conv_factory, zero_init_last_conv)
+
+
+class SRResNet(Module):
+    def __init__(self, scale: int = 2, n_feats: int = 64, n_blocks: int = 16,
+                 n_colors: int = 3, conv_factory: ConvFactory = fp_conv_factory,
+                 use_bn: Optional[bool] = None, head_kernel: int = 9,
+                 light_tail: bool = False, image_residual: bool = True):
+        super().__init__()
+        self.scale = scale
+        self.n_feats = n_feats
+        self.n_blocks = n_blocks
+        self.image_residual = image_residual
+        if use_bn is None:
+            use_bn = conv_factory is fp_conv_factory
+        self.head = Sequential(Conv2d(n_colors, n_feats, head_kernel), PReLU())
+        self.body = Sequential(*[
+            ResidualBlock(n_feats, conv_factory, use_bn=use_bn, act="prelu")
+            for _ in range(n_blocks)
+        ])
+        self.fusion = Conv2d(n_feats, n_feats, 3)
+        if light_tail:
+            # Single-conv sub-pixel tail, as the binary SR literature uses
+            # (keeps the FP tail from dominating the binary model's params).
+            self.tail = Sequential(
+                Conv2d(n_feats, n_colors * scale * scale, 3), PixelShuffle(scale))
+        else:
+            self.tail = Sequential(Upsampler(scale, n_feats),
+                                   Conv2d(n_feats, n_colors, head_kernel))
+        if image_residual:
+            zero_init_last_conv(self.tail)
+
+    def forward(self, x: Tensor) -> Tensor:
+        shallow = self.head(x)
+        deep = self.fusion(self.body(shallow))
+        out = self.tail(deep + shallow)
+        if self.image_residual:
+            out = out + bicubic_residual(x, self.scale)
+        return out

@@ -1,0 +1,119 @@
+"""SwinIR (lightweight) — the transformer SR network of Table IV / Fig. 5.
+
+Structure (Liang et al., 2021): FP shallow conv, residual Swin transformer
+blocks (RSTB = several SwinBlocks + a trailing conv + residual), a FP
+fusion conv with global residual, and the upsampling tail.  The four
+linear layers of every transformer block and the trailing conv of every
+RSTB accept the pluggable factories, which is where BiBERT / SCALES
+binarization is inserted for Table IV.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .. import grad as G
+from ..grad import Tensor
+from ..nn import (
+    Conv2d,
+    LayerNorm,
+    Module,
+    ModuleList,
+    Sequential,
+    SwinBlock,
+    default_linear_factory,
+)
+from .common import (ConvFactory, Upsampler, bicubic_residual, fp_conv_factory,
+                     zero_init_last_conv)
+
+
+def image_to_tokens(x: Tensor) -> Tuple[Tensor, Tuple[int, int]]:
+    """(B, C, H, W) -> (B, H*W, C) plus the spatial size."""
+    b, c, h, w = x.shape
+    tokens = G.reshape(x, (b, c, h * w))
+    return G.transpose(tokens, (0, 2, 1)), (h, w)
+
+
+def tokens_to_image(tokens: Tensor, hw: Tuple[int, int]) -> Tensor:
+    """(B, H*W, C) -> (B, C, H, W)."""
+    b, n, c = tokens.shape
+    h, w = hw
+    x = G.transpose(tokens, (0, 2, 1))
+    return G.reshape(x, (b, c, h, w))
+
+
+class RSTB(Module):
+    """Residual Swin Transformer Block group (+ trailing conv)."""
+
+    def __init__(self, dim: int, depth: int, num_heads: int, window_size: int,
+                 mlp_ratio: float = 2.0,
+                 linear_factory=default_linear_factory,
+                 conv_factory: ConvFactory = fp_conv_factory):
+        super().__init__()
+        self.blocks = ModuleList([
+            SwinBlock(dim, num_heads, window_size,
+                      shift_size=0 if i % 2 == 0 else window_size // 2,
+                      mlp_ratio=mlp_ratio, linear_factory=linear_factory)
+            for i in range(depth)
+        ])
+        self.conv = conv_factory(dim, dim, 3)
+
+    def forward(self, tokens: Tensor, hw: Tuple[int, int]) -> Tensor:
+        shortcut = tokens
+        x = tokens
+        for block in self.blocks:
+            x = block(x, hw)
+        image = tokens_to_image(x, hw)
+        image = self.conv(image)
+        x, _ = image_to_tokens(image)
+        return x + shortcut
+
+
+class SwinIR(Module):
+    def __init__(self, scale: int = 2, embed_dim: int = 60,
+                 depths: Sequence[int] = (6, 6, 6, 6),
+                 num_heads: Sequence[int] = (6, 6, 6, 6),
+                 window_size: int = 8, mlp_ratio: float = 2.0, n_colors: int = 3,
+                 linear_factory=default_linear_factory,
+                 conv_factory: ConvFactory = fp_conv_factory,
+                 image_residual: bool = True, light_tail: bool = False):
+        super().__init__()
+        if len(depths) != len(num_heads):
+            raise ValueError("depths and num_heads must have equal length")
+        self.scale = scale
+        self.embed_dim = embed_dim
+        self.window_size = window_size
+        self.image_residual = image_residual
+        self.head = Conv2d(n_colors, embed_dim, 3)
+        self.groups = ModuleList([
+            RSTB(embed_dim, depth, heads, window_size, mlp_ratio,
+                 linear_factory, conv_factory)
+            for depth, heads in zip(depths, num_heads)
+        ])
+        self.norm = LayerNorm(embed_dim)
+        self.conv_after_body = Conv2d(embed_dim, embed_dim, 3)
+        if light_tail:
+            from ..nn import PixelShuffle
+            self.tail = Sequential(
+                Conv2d(embed_dim, n_colors * scale * scale, 3), PixelShuffle(scale))
+        else:
+            self.tail = Sequential(Upsampler(scale, embed_dim),
+                                   Conv2d(embed_dim, n_colors, 3))
+        if image_residual:
+            zero_init_last_conv(self.tail)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h, w = x.shape[2], x.shape[3]
+        if h % self.window_size or w % self.window_size:
+            raise ValueError(
+                f"input {h}x{w} must be divisible by window size {self.window_size}")
+        shallow = self.head(x)
+        tokens, hw = image_to_tokens(shallow)
+        for group in self.groups:
+            tokens = group(tokens, hw)
+        tokens = self.norm(tokens)
+        deep = self.conv_after_body(tokens_to_image(tokens, hw))
+        out = self.tail(deep + shallow)
+        if self.image_residual:
+            out = out + bicubic_residual(x, self.scale)
+        return out

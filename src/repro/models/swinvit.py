@@ -1,0 +1,45 @@
+"""Swin-style vision-transformer classifier — the Fig. 4b / Table II reference.
+
+Patch-embedding conv, Swin blocks with LayerNorm (which is what keeps
+token activations narrow — the reason the paper finds no channel-to-
+channel variation in transformer classifiers), global pooling, linear head.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import grad as G
+from ..grad import Tensor
+from ..nn import Conv2d, LayerNorm, Linear, Module, ModuleList, SwinBlock
+
+
+class SwinViT(Module):
+    def __init__(self, num_classes: int = 10, embed_dim: int = 32,
+                 depth: int = 4, num_heads: int = 4, window_size: int = 4,
+                 patch_size: int = 4, n_colors: int = 3):
+        super().__init__()
+        self.patch_size = patch_size
+        self.window_size = window_size
+        self.embed = Conv2d(n_colors, embed_dim, patch_size,
+                            stride=patch_size, padding=0)
+        self.blocks = ModuleList([
+            SwinBlock(embed_dim, num_heads, window_size,
+                      shift_size=0 if i % 2 == 0 else window_size // 2)
+            for i in range(depth)
+        ])
+        self.norm = LayerNorm(embed_dim)
+        self.fc = Linear(embed_dim, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = self.embed(x)
+        b, c, h, w = feat.shape
+        if h % self.window_size or w % self.window_size:
+            raise ValueError(
+                f"patch grid {h}x{w} must be divisible by window {self.window_size}")
+        tokens = G.transpose(G.reshape(feat, (b, c, h * w)), (0, 2, 1))
+        for block in self.blocks:
+            tokens = block(tokens, (h, w))
+        tokens = self.norm(tokens)
+        pooled = G.mean(tokens, axis=1)
+        return self.fc(pooled)

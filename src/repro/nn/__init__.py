@@ -1,0 +1,42 @@
+"""Neural-network building blocks on top of :mod:`repro.grad`."""
+
+from .module import Module, Parameter
+from .sequential import ModuleList, Sequential
+from .layers import (
+    AvgPool2d,
+    Conv1d,
+    Conv2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    PixelShuffle,
+    PReLU,
+    ReLU,
+    Sigmoid,
+)
+from .norm import BatchNorm2d, LayerNorm
+from .attention import (
+    Mlp,
+    SwinBlock,
+    WindowAttention,
+    default_linear_factory,
+    relative_position_index,
+    shifted_window_attention_mask,
+    window_partition,
+    window_reverse,
+)
+from . import init
+
+__all__ = [
+    "Module", "Parameter", "ModuleList", "Sequential",
+    "AvgPool2d", "Conv1d", "Conv2d", "Flatten", "GELU", "GlobalAvgPool2d",
+    "Identity", "LeakyReLU", "Linear", "PixelShuffle", "PReLU", "ReLU", "Sigmoid",
+    "BatchNorm2d", "LayerNorm",
+    "Mlp", "SwinBlock", "WindowAttention", "default_linear_factory",
+    "relative_position_index", "shifted_window_attention_mask",
+    "window_partition", "window_reverse",
+    "init",
+]

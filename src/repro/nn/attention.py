@@ -1,0 +1,188 @@
+"""Window-based multi-head self-attention (Swin-style).
+
+Used by the SwinIR / HAT reproductions and by the SwinViT classifier of the
+motivation study (Fig. 4b).  The four linear layers of each transformer
+block (qkv, proj, and the two MLP linears) accept a pluggable
+``linear_factory`` so that the binarization schemes of the paper
+(BiBERT baseline, SCALES) can be dropped in without touching the
+architecture code — mirroring the paper's "drop-in replacement" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .. import grad as G
+from ..grad import Tensor
+from . import init
+from .layers import GELU, Linear
+from .module import Module, Parameter
+from .norm import LayerNorm
+
+LinearFactory = Callable[[int, int], Module]
+
+
+def default_linear_factory(in_features: int, out_features: int) -> Module:
+    return Linear(in_features, out_features)
+
+
+def window_partition(x: Tensor, window_size: int) -> Tensor:
+    """(B, H, W, C) -> (B * nH * nW, window_size^2, C)."""
+    b, h, w, c = x.shape
+    ws = window_size
+    if h % ws or w % ws:
+        raise ValueError(f"feature map {h}x{w} not divisible by window {ws}")
+    x = G.reshape(x, (b, h // ws, ws, w // ws, ws, c))
+    x = G.transpose(x, (0, 1, 3, 2, 4, 5))
+    return G.reshape(x, (b * (h // ws) * (w // ws), ws * ws, c))
+
+
+def window_reverse(windows: Tensor, window_size: int, h: int, w: int) -> Tensor:
+    """Inverse of :func:`window_partition`."""
+    ws = window_size
+    b = windows.shape[0] // ((h // ws) * (w // ws))
+    x = G.reshape(windows, (b, h // ws, w // ws, ws, ws, -1))
+    x = G.transpose(x, (0, 1, 3, 2, 4, 5))
+    return G.reshape(x, (b, h, w, x.shape[-1]))
+
+
+def relative_position_index(window_size: int) -> np.ndarray:
+    """Pairwise relative-position index table for a square window."""
+    ws = window_size
+    coords = np.stack(np.meshgrid(np.arange(ws), np.arange(ws), indexing="ij"))
+    coords_flat = coords.reshape(2, -1)
+    relative = coords_flat[:, :, None] - coords_flat[:, None, :]
+    relative = relative.transpose(1, 2, 0) + (ws - 1)
+    return relative[:, :, 0] * (2 * ws - 1) + relative[:, :, 1]
+
+
+def shifted_window_attention_mask(h: int, w: int, window_size: int,
+                                  shift: int) -> Optional[np.ndarray]:
+    """Additive attention mask for shifted windows (-100 on cross-region pairs)."""
+    if shift == 0:
+        return None
+    img_mask = np.zeros((h, w))
+    slices = (slice(0, -window_size), slice(-window_size, -shift), slice(-shift, None))
+    count = 0
+    for hs in slices:
+        for ws_ in slices:
+            img_mask[hs, ws_] = count
+            count += 1
+    nh, nw = h // window_size, w // window_size
+    mask_windows = (
+        img_mask.reshape(nh, window_size, nw, window_size)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, window_size * window_size)
+    )
+    attn_mask = mask_windows[:, None, :] - mask_windows[:, :, None]
+    return np.where(attn_mask != 0, -100.0, 0.0)
+
+
+class Mlp(Module):
+    """Transformer MLP (fc1 -> GELU -> fc2)."""
+
+    def __init__(self, dim: int, hidden_dim: int,
+                 linear_factory: LinearFactory = default_linear_factory):
+        super().__init__()
+        self.fc1 = linear_factory(dim, hidden_dim)
+        self.act = GELU()
+        self.fc2 = linear_factory(hidden_dim, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class WindowAttention(Module):
+    """Multi-head self-attention inside non-overlapping windows."""
+
+    def __init__(self, dim: int, window_size: int, num_heads: int,
+                 linear_factory: LinearFactory = default_linear_factory):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.window_size = window_size
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = self.head_dim ** -0.5
+        self.qkv = linear_factory(dim, dim * 3)
+        self.proj = linear_factory(dim, dim)
+        table_size = (2 * window_size - 1) ** 2
+        self.relative_bias = Parameter(init.trunc_normal((table_size, num_heads)))
+        self._rel_index = relative_position_index(window_size).reshape(-1)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        b, n, c = x.shape
+        qkv = self.qkv(x)
+        qkv = G.reshape(qkv, (b, n, 3, self.num_heads, self.head_dim))
+        qkv = G.transpose(qkv, (2, 0, 3, 1, 4))  # (3, B, heads, N, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        attn = (q * self.scale) @ G.transpose(k, (0, 1, 3, 2))
+        bias = self.relative_bias[self._rel_index]
+        bias = G.reshape(bias, (n, n, self.num_heads))
+        bias = G.transpose(bias, (2, 0, 1))
+        attn = attn + bias
+        if mask is not None:
+            nw = mask.shape[0]
+            attn = G.reshape(attn, (b // nw, nw, self.num_heads, n, n))
+            attn = attn + Tensor(mask[None, :, None, :, :])
+            attn = G.reshape(attn, (b, self.num_heads, n, n))
+        attn = G.softmax(attn, axis=-1)
+        out = attn @ v
+        out = G.transpose(out, (0, 2, 1, 3))
+        out = G.reshape(out, (b, n, c))
+        return self.proj(out)
+
+
+class SwinBlock(Module):
+    """Swin transformer block: (shifted-)window MSA + MLP with residuals.
+
+    This is the "basic block" of the transformer-based SR networks in
+    Fig. 2 (minus the trailing conv, which RSTB adds around a group of
+    these blocks).  The spatial resolution is supplied at forward time so
+    the same trained block runs on training patches and full evaluation
+    images; shifted-window masks are cached per resolution.
+    """
+
+    def __init__(self, dim: int, num_heads: int, window_size: int,
+                 shift_size: int = 0, mlp_ratio: float = 2.0,
+                 linear_factory: LinearFactory = default_linear_factory):
+        super().__init__()
+        self.dim = dim
+        self.window_size = window_size
+        self.shift_size = shift_size
+        self.norm1 = LayerNorm(dim)
+        self.attn = WindowAttention(dim, window_size, num_heads, linear_factory)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = Mlp(dim, int(dim * mlp_ratio), linear_factory)
+        self._mask_cache: dict = {}
+
+    def _mask_for(self, h: int, w: int) -> Optional[np.ndarray]:
+        if self.shift_size == 0:
+            return None
+        key = (h, w)
+        if key not in self._mask_cache:
+            self._mask_cache[key] = shifted_window_attention_mask(
+                h, w, self.window_size, self.shift_size)
+        return self._mask_cache[key]
+
+    def forward(self, x: Tensor, hw: Tuple[int, int]) -> Tensor:
+        h, w = hw
+        b, n, c = x.shape
+        if n != h * w:
+            raise ValueError(f"token count {n} != resolution {h}x{w}")
+        shortcut = x
+        x = self.norm1(x)
+        x = G.reshape(x, (b, h, w, c))
+        if self.shift_size:
+            x = G.roll(x, (-self.shift_size, -self.shift_size), axis=(1, 2))
+        windows = window_partition(x, self.window_size)
+        attn_out = self.attn(windows, mask=self._mask_for(h, w))
+        x = window_reverse(attn_out, self.window_size, h, w)
+        if self.shift_size:
+            x = G.roll(x, (self.shift_size, self.shift_size), axis=(1, 2))
+        x = G.reshape(x, (b, n, c))
+        x = shortcut + x
+        return x + self.mlp(self.norm2(x))

@@ -1,0 +1,63 @@
+"""Weight initialization helpers (Kaiming / Xavier / truncated normal)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+_INIT_RNG = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Reseed the initializer stream (used for reproducible experiments)."""
+    global _INIT_RNG
+    _INIT_RNG = np.random.default_rng(value)
+
+
+def _fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(fan_in, fan_out) for linear (out,in) or conv (out,in,kh,kw) shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) >= 3:
+        receptive = int(np.prod(shape[2:]))
+        return shape[1] * receptive, shape[0] * receptive
+    return shape[0], shape[0]
+
+
+def kaiming_normal(shape: Tuple[int, ...], gain: float = math.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan(shape)
+    std = gain / math.sqrt(max(fan_in, 1))
+    return _INIT_RNG.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], gain: float = math.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan(shape)
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return _INIT_RNG.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...]) -> np.ndarray:
+    fan_in, fan_out = _fan(shape)
+    std = math.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return _INIT_RNG.normal(0.0, std, size=shape)
+
+
+def trunc_normal(shape: Tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """Truncated normal at 2 std, the transformer default."""
+    values = _INIT_RNG.normal(0.0, std, size=shape)
+    return np.clip(values, -2 * std, 2 * std)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float, high: float) -> np.ndarray:
+    return _INIT_RNG.uniform(low, high, size=shape)

@@ -1,0 +1,147 @@
+"""Core layers: convolutions, linear, activations, pixel shuffle."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import grad as G
+from ..grad import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors.
+
+    The full-precision workhorse of the CNN-based SR networks; the binary
+    layers in :mod:`repro.binarize` replace it inside body blocks.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kernel_size, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class Conv1d(Module):
+    """1-D convolution over (B, C, L) tensors (channel re-scaling branch)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: Optional[int] = None, bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(init.kaiming_normal((out_channels, in_channels, kernel_size)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.conv1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class Linear(Module):
+    """Affine map over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.trunc_normal((out_features, in_features), std=0.02))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        flat_dims = x.shape[:-1]
+        x2 = G.reshape(x, (-1, self.in_features)) if x.ndim != 2 else x
+        out = x2 @ G.transpose(self.weight, (1, 0))
+        if self.bias is not None:
+            out = out + self.bias
+        if x.ndim != 2:
+            out = G.reshape(out, flat_dims + (self.out_features,))
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return G.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.2):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.leaky_relu(x, self.negative_slope)
+
+
+class PReLU(Module):
+    """Parametric ReLU with a single learnable slope (SRResNet uses this)."""
+
+    def __init__(self, init_slope: float = 0.25):
+        super().__init__()
+        self.slope = Parameter(np.array([init_slope]))
+
+    def forward(self, x: Tensor) -> Tensor:
+        positive = G.relu(x)
+        negative = self.slope * (x - G.absolute(x)) * 0.5
+        return positive + negative
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return G.sigmoid(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return G.gelu(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class PixelShuffle(Module):
+    """Sub-pixel upsampling used by the tail module (Fig. 2)."""
+
+    def __init__(self, upscale: int):
+        super().__init__()
+        self.upscale = upscale
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.pixel_shuffle(x, self.upscale)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return G.global_avg_pool2d(x)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return G.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return G.reshape(x, (x.shape[0], -1))

@@ -1,0 +1,148 @@
+"""Module/Parameter system, mirroring the subset of ``torch.nn`` the paper needs.
+
+Modules register parameters and sub-modules automatically via
+``__setattr__``; forward hooks are supported because the cost model
+(:mod:`repro.cost`) and the activation-distribution study of Sec. III
+(:mod:`repro.analysis`) both observe layer inputs/outputs from outside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..grad import Tensor, no_grad
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+HookFn = Callable[["Module", Tuple, Tensor], None]
+
+
+class Module:
+    """Base class for all layers and networks."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_forward_hooks", [])
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Forward / hooks
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        out = self.forward(*args, **kwargs)
+        for hook in self._forward_hooks:
+            hook(self, args, out)
+        return out
+
+    def register_forward_hook(self, hook: HookFn) -> Callable[[], None]:
+        """Attach ``hook(module, inputs, output)``; returns a remover."""
+        self._forward_hooks.append(hook)
+
+        def remove() -> None:
+            if hook in self._forward_hooks:
+                self._forward_hooks.remove(hook)
+
+        return remove
+
+    def clear_forward_hooks(self) -> None:
+        for module in self.modules():
+            module._forward_hooks.clear()
+
+    # ------------------------------------------------------------------
+    # State (save / load)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if name in own:
+                if own[name].data.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}: "
+                                     f"{own[name].data.shape} vs {value.shape}")
+                own[name].data = np.asarray(value, dtype=own[name].data.dtype).copy()
+
+    def save(self, path: str) -> None:
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    def num_parameters(self) -> int:
+        return int(np.sum([p.size for p in self.parameters()])) if self.parameters() else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(params={self.num_parameters()})"

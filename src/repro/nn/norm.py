@@ -1,0 +1,65 @@
+"""Normalization layers.
+
+BatchNorm matters to the reproduction: the paper's Table V attributes part
+of SCALES' OPs saving to *removing* BatchNorm from SRResNet-E2FIF, and BTM
+is motivated by the FP cost of BN in BNNs.  LayerNorm is what removes
+channel-to-channel variation in transformer SR networks (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import grad as G
+from ..grad import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW tensors with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = G.mean(x, axis=(0, 2, 3), keepdims=True)
+            varv = G.mean((x - mu) * (x - mu), axis=(0, 2, 3), keepdims=True)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mu.data.reshape(-1))
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * varv.data.reshape(-1))
+            x_hat = (x - mu) / G.sqrt(varv + self.eps)
+        else:
+            mu = self.running_mean.reshape(1, -1, 1, 1)
+            varv = self.running_var.reshape(1, -1, 1, 1)
+            x_hat = (x - Tensor(mu)) / Tensor(np.sqrt(varv + self.eps))
+        w = G.reshape(self.weight, (1, self.num_features, 1, 1))
+        b = G.reshape(self.bias, (1, self.num_features, 1, 1))
+        return x_hat * w + b
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis (transformer token norm)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = G.mean(x, axis=-1, keepdims=True)
+        centered = x - mu
+        varv = G.mean(centered * centered, axis=-1, keepdims=True)
+        x_hat = centered / G.sqrt(varv + self.eps)
+        return x_hat * self.weight + self.bias

@@ -1,0 +1,68 @@
+"""Container modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..grad import Tensor
+from .module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order = []
+        for idx, module in enumerate(modules):
+            name = str(idx)
+            self.register_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[self._order[idx]]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+
+class ModuleList(Module):
+    """List of sub-modules (iteration order = insertion order)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._order = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._order))
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[self._order[idx]]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise NotImplementedError("ModuleList is a container; call its items")

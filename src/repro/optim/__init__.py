@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedules."""
+
+from .adam import Adam
+from .sgd import SGD
+from .schedule import CosineLR, StepLR
+
+__all__ = ["Adam", "SGD", "CosineLR", "StepLR"]

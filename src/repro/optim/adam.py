@@ -1,0 +1,46 @@
+"""ADAM optimizer — the paper trains with ADAM(b1=0.9, b2=0.999, eps=1e-8)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..grad import Tensor
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 2e-4,
+                 betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.0):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * g
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * g * g
+            m_hat = self._m[i] / bc1
+            v_hat = self._v[i] / bc2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

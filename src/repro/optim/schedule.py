@@ -1,0 +1,48 @@
+"""Learning-rate schedules.
+
+The paper halves the learning rate every 200 epochs starting from 2e-4;
+:class:`StepLR` reproduces that shape on a per-step granularity.
+"""
+
+from __future__ import annotations
+
+
+class StepLR:
+    """Multiply the optimizer lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self._count = 0
+
+    def step(self) -> float:
+        """Advance one step and return the current learning rate."""
+        self._count += 1
+        decays = self._count // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** decays)
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from base lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer, total_steps: int, min_lr: float = 0.0):
+        import math
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self._math = math
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._count = 0
+
+    def step(self) -> float:
+        self._count = min(self._count + 1, self.total_steps)
+        cos = 0.5 * (1 + self._math.cos(self._math.pi * self._count / self.total_steps))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+        return self.optimizer.lr

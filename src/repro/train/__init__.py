@@ -1,0 +1,26 @@
+"""Training harness: losses, trainer, evaluation."""
+
+from .classification import (
+    CLASS_KINDS,
+    ClassifierTrainer,
+    SyntheticClassificationDataset,
+    accuracy,
+    cross_entropy,
+)
+from .loss import LOSSES, charbonnier_loss, get_loss, l1_loss, l2_loss
+from .trainer import (
+    EvalResult,
+    TrainConfig,
+    Trainer,
+    evaluate,
+    evaluate_bicubic,
+    super_resolve,
+)
+
+__all__ = [
+    "CLASS_KINDS", "ClassifierTrainer", "SyntheticClassificationDataset",
+    "accuracy", "cross_entropy",
+    "LOSSES", "charbonnier_loss", "get_loss", "l1_loss", "l2_loss",
+    "EvalResult", "TrainConfig", "Trainer", "evaluate", "evaluate_bicubic",
+    "super_resolve",
+]

@@ -1,0 +1,32 @@
+"""Training losses.  The paper optimizes L1 between SR output and HR."""
+
+from __future__ import annotations
+
+from .. import grad as G
+from ..grad import Tensor
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error (the paper's loss function)."""
+    return G.mean(G.absolute(prediction - target))
+
+
+def l2_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (kept for ablations; early SR work used it)."""
+    diff = prediction - target
+    return G.mean(diff * diff)
+
+
+def charbonnier_loss(prediction: Tensor, target: Tensor, eps: float = 1e-6) -> Tensor:
+    """Smooth L1 variant used by some SR networks (e.g. LapSRN)."""
+    diff = prediction - target
+    return G.mean(G.sqrt(diff * diff + eps * eps))
+
+
+LOSSES = {"l1": l1_loss, "l2": l2_loss, "charbonnier": charbonnier_loss}
+
+
+def get_loss(name: str):
+    if name not in LOSSES:
+        raise KeyError(f"unknown loss {name!r}; choose from {sorted(LOSSES)}")
+    return LOSSES[name]

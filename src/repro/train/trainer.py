@@ -1,0 +1,180 @@
+"""Training and evaluation loops.
+
+Mirrors the paper's protocol at reduced scale: L1 loss, ADAM with
+beta = (0.9, 0.999), eps = 1e-8, patch training with augmentation, and a
+halving step LR schedule.  Evaluation reports PSNR/SSIM on the Y channel
+with an upscale-factor border shave, exactly as Tables III-V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import grad as G
+from ..data import PatchSampler, SRPair
+from ..grad import Tensor, no_grad
+from ..metrics import psnr_y, ssim_y
+from ..nn import Module
+from ..optim import Adam, StepLR
+from .loss import get_loss
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters (paper defaults, scaled-down steps)."""
+
+    steps: int = 200
+    batch_size: int = 8
+    patch_size: int = 16
+    lr: float = 2e-4
+    lr_step: int = 150          # paper: halve every 200 epochs
+    lr_gamma: float = 0.5
+    loss: str = "l1"
+    seed: int = 0
+    log_every: int = 50
+    #: seed LSF binarizers from one batch's statistics before step 1
+    #: (see :func:`repro.binarize.calibrate_lsf`); harmless no-op for
+    #: models without LSF binarizers.
+    calibrate: bool = True
+    #: LR pixels cropped from each patch edge before the loss — removes the
+    #: boundary artifacts of computing the bicubic image residual on a
+    #: patch instead of the full image.
+    border_margin: int = 2
+
+
+@dataclass
+class EvalResult:
+    """PSNR/SSIM over one suite (means over images)."""
+
+    psnr: float
+    ssim: float
+    per_image_psnr: List[float] = field(default_factory=list)
+    per_image_ssim: List[float] = field(default_factory=list)
+
+
+def _nchw_to_image(batch: np.ndarray) -> np.ndarray:
+    return np.clip(batch[0].transpose(1, 2, 0), 0.0, 1.0)
+
+
+def super_resolve(model: Module, lr_image: np.ndarray) -> np.ndarray:
+    """Run one (H, W, 3) LR image through ``model`` -> (sH, sW, 3) SR image."""
+    x = Tensor(lr_image.transpose(2, 0, 1)[None])
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            out = model(x)
+    finally:
+        model.train(was_training)
+    return _nchw_to_image(out.data)
+
+
+def evaluate(model: Module, pairs: Sequence[SRPair],
+             shave: Optional[int] = None) -> EvalResult:
+    """Mean Y-channel PSNR/SSIM of ``model`` over LR/HR pairs."""
+    psnrs: List[float] = []
+    ssims: List[float] = []
+    for pair in pairs:
+        sr = super_resolve(model, pair.lr)
+        border = shave if shave is not None else pair.scale
+        psnrs.append(psnr_y(sr, pair.hr, shave=border))
+        ssims.append(ssim_y(sr, pair.hr, shave=border))
+    return EvalResult(psnr=float(np.mean(psnrs)), ssim=float(np.mean(ssims)),
+                      per_image_psnr=psnrs, per_image_ssim=ssims)
+
+
+def evaluate_bicubic(pairs: Sequence[SRPair], shave: Optional[int] = None) -> EvalResult:
+    """The Bicubic baseline row of Table III."""
+    from ..data.resize import upscale
+
+    psnrs: List[float] = []
+    ssims: List[float] = []
+    for pair in pairs:
+        sr = np.clip(upscale(pair.lr, pair.scale), 0.0, 1.0)
+        border = shave if shave is not None else pair.scale
+        psnrs.append(psnr_y(sr, pair.hr, shave=border))
+        ssims.append(ssim_y(sr, pair.hr, shave=border))
+    return EvalResult(psnr=float(np.mean(psnrs)), ssim=float(np.mean(ssims)),
+                      per_image_psnr=psnrs, per_image_ssim=ssims)
+
+
+class Trainer:
+    """Patch-based SR trainer."""
+
+    def __init__(self, model: Module, train_pairs: Sequence[SRPair],
+                 config: Optional[TrainConfig] = None, lr_multiple: int = 1):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.sampler = PatchSampler(list(train_pairs),
+                                    patch_size=self.config.patch_size,
+                                    batch_size=self.config.batch_size,
+                                    seed=self.config.seed,
+                                    lr_multiple=lr_multiple)
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.schedule = StepLR(self.optimizer, self.config.lr_step,
+                               self.config.lr_gamma)
+        self.loss_fn = get_loss(self.config.loss)
+        self.history: List[float] = []
+        self._calibrated = False
+
+    def calibrate(self) -> int:
+        """Seed LSF binarizer thresholds from one calibration batch.
+
+        Idempotent, and drawn from a *dedicated* sampler so that enabling
+        calibration never shifts the training batch stream (models with and
+        without LSF binarizers stay exactly comparable).
+        """
+        from ..binarize import calibrate_lsf
+
+        if self._calibrated:
+            return 0
+        self._calibrated = True
+        calib_sampler = PatchSampler(self.sampler.pairs,
+                                     patch_size=self.config.patch_size,
+                                     batch_size=self.config.batch_size,
+                                     seed=self.config.seed + 9999,
+                                     lr_multiple=self.sampler.lr_multiple)
+        lr_batch, _ = calib_sampler.batch()
+        return calibrate_lsf(self.model, lr_batch)
+
+    def step(self) -> float:
+        """One optimization step; returns the loss value."""
+        lr_batch, hr_batch = self.sampler.batch()
+        self.model.train()
+        prediction = self.model(Tensor(lr_batch))
+        target = Tensor(hr_batch)
+        margin = self.config.border_margin
+        if margin:
+            scale = hr_batch.shape[2] // lr_batch.shape[2]
+            crop = margin * scale
+            sl = (slice(None), slice(None), slice(crop, -crop), slice(crop, -crop))
+            prediction = prediction[sl]
+            target = target[sl]
+        loss = self.loss_fn(prediction, target)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        self.schedule.step()
+        value = float(loss.data)
+        self.history.append(value)
+        return value
+
+    def fit(self, steps: Optional[int] = None, verbose: bool = False) -> List[float]:
+        """Run ``steps`` optimization steps (default: config.steps)."""
+        total = steps if steps is not None else self.config.steps
+        if self.config.calibrate:
+            self.calibrate()
+        for i in range(total):
+            value = self.step()
+            if verbose and (i + 1) % self.config.log_every == 0:
+                print(f"step {i + 1}/{total}  loss {value:.4f}")
+        return self.history
+
+    def smoothed_loss(self, window: int = 20) -> float:
+        """Mean of the last ``window`` losses (for convergence tests)."""
+        if not self.history:
+            raise RuntimeError("no training steps recorded")
+        return float(np.mean(self.history[-window:]))

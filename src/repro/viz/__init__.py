@@ -1,0 +1,26 @@
+"""Visualization and image IO without external imaging libraries.
+
+The paper's figures are images (feature maps, SR comparisons) and
+distribution plots.  This subpackage renders both from pure
+NumPy + stdlib:
+
+* :mod:`repro.viz.png`   — minimal PNG writer/reader (8-bit gray/RGB,
+  zlib via the stdlib);
+* :mod:`repro.viz.ppm`   — text/binary PPM + PGM, the no-dependency
+  interchange format;
+* :mod:`repro.viz.grid`  — image tiling for side-by-side comparisons
+  (Fig. 1 feature-map sheets, Fig. 9 method comparisons);
+* :mod:`repro.viz.ascii_plots` — terminal histograms and distribution
+  strips for the Fig. 3/4/5 activation studies.
+"""
+
+from .png import read_png, write_png
+from .ppm import read_ppm, write_ppm
+from .grid import image_grid, labeled_row, to_uint8
+from .ascii_plots import ascii_histogram, distribution_strip, render_summaries
+
+__all__ = [
+    "read_png", "write_png", "read_ppm", "write_ppm",
+    "image_grid", "labeled_row", "to_uint8",
+    "ascii_histogram", "distribution_strip", "render_summaries",
+]

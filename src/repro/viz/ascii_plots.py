@@ -1,0 +1,88 @@
+"""Terminal renderings of the paper's distribution figures.
+
+Figs. 3-5 are box-plot panels of activation distributions.  Without a
+plotting library, this module renders the same information as text:
+
+* :func:`ascii_histogram` — a fixed-width bar histogram of one array;
+* :func:`distribution_strip` — one line per group showing the five-number
+  summary as a ``|--[==|==]--|`` box-plot strip on a shared axis;
+* :func:`render_summaries` — a full figure panel from the
+  :class:`repro.analysis.DistributionSummary` objects the analysis
+  module produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+_BAR = "#"
+
+
+def ascii_histogram(values: np.ndarray, bins: int = 12, width: int = 40,
+                    title: str = "") -> str:
+    """Fixed-width text histogram of ``values``."""
+    values = np.asarray(values).ravel()
+    if values.size == 0:
+        raise ValueError("cannot histogram an empty array")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() else 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = _BAR * int(round(width * count / peak))
+        lines.append(f"{lo:+8.2f} .. {hi:+8.2f} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def _strip(row: np.ndarray, lo: float, hi: float, width: int) -> str:
+    """One box-plot line: min/max whiskers, quartile box, median mark."""
+    span = hi - lo or 1.0
+
+    def col(v: float) -> int:
+        return int(round((v - lo) / span * (width - 1)))
+
+    cells = [" "] * width
+    v_min, q1, med, q3, v_max = (col(v) for v in row)
+    for i in range(v_min, v_max + 1):
+        cells[i] = "-"
+    for i in range(q1, q3 + 1):
+        cells[i] = "="
+    cells[v_min] = "|"
+    cells[v_max] = "|"
+    cells[med] = "O"
+    return "".join(cells)
+
+
+def distribution_strip(rows: np.ndarray, labels: Sequence[str] = (),
+                       width: int = 48) -> str:
+    """Render (N, 5) five-number rows as aligned box-plot strips."""
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[1] != 5:
+        raise ValueError(f"expected (N, 5) five-number rows, got {rows.shape}")
+    if rows.shape[0] == 0:
+        raise ValueError("no rows to render")
+    lo = float(rows[:, 0].min())
+    hi = float(rows[:, 4].max())
+    labels = list(labels) or [str(i + 1) for i in range(rows.shape[0])]
+    if len(labels) != rows.shape[0]:
+        raise ValueError("one label per row required")
+    pad = max(len(s) for s in labels)
+    lines = [f"{label:>{pad}} {_strip(row, lo, hi, width)}"
+             for label, row in zip(labels, rows)]
+    lines.append(f"{'':>{pad}} {lo:<+.3g}{'':^{max(width - 16, 1)}}{hi:>+.3g}")
+    return "\n".join(lines)
+
+
+def render_summaries(summaries: Iterable, width: int = 48) -> str:
+    """Render DistributionSummary panels (Figs. 3-5) as one text block."""
+    blocks: List[str] = []
+    for summary in summaries:
+        header = (f"{summary.label}  "
+                  f"(median variance {summary.center_variation:.4g}, "
+                  f"mean IQR {summary.spread:.4g})")
+        blocks.append(header + "\n" + distribution_strip(summary.rows,
+                                                         width=width))
+    return "\n\n".join(blocks)

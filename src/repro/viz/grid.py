@@ -1,0 +1,87 @@
+"""Image tiling for side-by-side figure sheets.
+
+Fig. 1 shows grids of binary feature maps; Fig. 9 shows HR / method /
+method crops side by side.  Both reduce to: normalize each panel to
+[0, 1], then place the panels on a canvas with margins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def to_uint8(image: np.ndarray, normalize: bool = False) -> np.ndarray:
+    """Convert an image to uint8; ``normalize`` rescales min->0, max->255."""
+    arr = np.asarray(image, dtype=np.float64)
+    if normalize:
+        low, high = arr.min(), arr.max()
+        arr = (arr - low) / (high - low) if high > low else np.zeros_like(arr)
+    return np.clip(np.round(arr * 255.0), 0, 255).astype(np.uint8)
+
+
+def _as_rgb(panel: np.ndarray) -> np.ndarray:
+    if panel.ndim == 2:
+        return np.repeat(panel[:, :, None], 3, axis=2)
+    if panel.ndim == 3 and panel.shape[2] == 1:
+        return np.repeat(panel, 3, axis=2)
+    if panel.ndim == 3 and panel.shape[2] == 3:
+        return panel
+    raise ValueError(f"panel must be (H,W[,1|3]), got shape {panel.shape}")
+
+
+def image_grid(panels: Sequence[np.ndarray], n_cols: int,
+               margin: int = 2, background: float = 1.0,
+               normalize_each: bool = False) -> np.ndarray:
+    """Tile equally-sized panels into a grid image.
+
+    Parameters
+    ----------
+    panels:
+        Images in [0, 1] (float) of identical height/width.
+    n_cols:
+        Grid width; rows are ``ceil(len(panels) / n_cols)``.
+    margin:
+        Pixels of ``background`` between and around panels.
+    normalize_each:
+        Min-max normalize every panel independently (feature maps).
+
+    Returns an ``(H, W, 3)`` float image in [0, 1].
+    """
+    if not panels:
+        raise ValueError("no panels to tile")
+    rgb = []
+    for panel in panels:
+        arr = np.asarray(panel, dtype=np.float64)
+        if normalize_each:
+            low, high = arr.min(), arr.max()
+            arr = (arr - low) / (high - low) if high > low else np.zeros_like(arr)
+        rgb.append(_as_rgb(np.clip(arr, 0.0, 1.0)))
+    h, w = rgb[0].shape[:2]
+    if any(p.shape[:2] != (h, w) for p in rgb):
+        raise ValueError("all panels must share the same height and width")
+    n_rows = -(-len(rgb) // n_cols)
+    canvas = np.full((margin + n_rows * (h + margin),
+                      margin + n_cols * (w + margin), 3), background)
+    for idx, panel in enumerate(rgb):
+        r, c = divmod(idx, n_cols)
+        y = margin + r * (h + margin)
+        x = margin + c * (w + margin)
+        canvas[y:y + h, x:x + w] = panel
+    return canvas
+
+
+def labeled_row(panels: Sequence[np.ndarray],
+                labels: Optional[Sequence[str]] = None,
+                margin: int = 2) -> np.ndarray:
+    """One row of panels (Fig. 9 layout); labels are printed to stdout.
+
+    Pixel-font rendering is out of scope, so ``labels`` — when given —
+    are echoed in panel order for the caller's log instead of drawn.
+    """
+    if labels is not None:
+        if len(labels) != len(panels):
+            raise ValueError("one label per panel required")
+        print("  |  ".join(labels))
+    return image_grid(panels, n_cols=len(panels), margin=margin)

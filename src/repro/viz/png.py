@@ -1,0 +1,146 @@
+"""Minimal PNG codec (8-bit grayscale / RGB, no interlace).
+
+Implements exactly the subset of the PNG spec the figure pipeline needs:
+IHDR/IDAT/IEND chunks, zlib-compressed scanlines.  The writer always
+emits filter type 0 (None) per scanline; the reader understands all five
+standard filters so it can also load PNGs produced elsewhere, as long as
+they are 8-bit gray or RGB without interlace or palette.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+#: color type -> number of channels
+_COLOR_CHANNELS = {0: 1, 2: 3}
+_CHANNEL_COLOR = {1: 0, 3: 2}
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + tag + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF))
+
+
+def write_png(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write ``image`` as an 8-bit PNG.
+
+    ``image`` is ``(H, W)`` or ``(H, W, 1)`` for grayscale, ``(H, W, 3)``
+    for RGB.  Floats are interpreted in [0, 1] and quantized; integer
+    arrays must already be in [0, 255].
+    """
+    arr = np.asarray(image)
+    if arr.ndim == 3 and arr.shape[2] == 1:
+        arr = arr[:, :, 0]
+    if arr.ndim == 2:
+        channels = 1
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        channels = 3
+    else:
+        raise ValueError(f"expected (H,W[,1|3]) image, got shape {arr.shape}")
+    if np.issubdtype(arr.dtype, np.floating):
+        arr = np.clip(np.round(arr * 255.0), 0, 255).astype(np.uint8)
+    elif arr.dtype != np.uint8:
+        if arr.min() < 0 or arr.max() > 255:
+            raise ValueError("integer image values must be in [0, 255]")
+        arr = arr.astype(np.uint8)
+
+    h, w = arr.shape[:2]
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, _CHANNEL_COLOR[channels], 0, 0, 0)
+    raw = arr.reshape(h, w * channels)
+    # Filter byte 0 (None) in front of every scanline.
+    scanlines = np.concatenate(
+        [np.zeros((h, 1), dtype=np.uint8), raw], axis=1).tobytes()
+    payload = zlib.compress(scanlines, level=6)
+    with open(path, "wb") as f:
+        f.write(_SIGNATURE)
+        f.write(_chunk(b"IHDR", ihdr))
+        f.write(_chunk(b"IDAT", payload))
+        f.write(_chunk(b"IEND", b""))
+
+
+def _unfilter(scanlines: np.ndarray, filters: np.ndarray,
+              channels: int) -> np.ndarray:
+    """Undo per-scanline PNG filters (types 0-4)."""
+    h, stride = scanlines.shape
+    out = np.zeros_like(scanlines, dtype=np.uint8)
+    bpp = channels  # bytes per pixel at bit depth 8
+    for row in range(h):
+        cur = scanlines[row].astype(np.int32)
+        prev = out[row - 1].astype(np.int32) if row else np.zeros(stride, np.int32)
+        ftype = int(filters[row])
+        line = np.zeros(stride, dtype=np.int32)
+        if ftype == 0:
+            line = cur
+        elif ftype == 2:  # Up
+            line = (cur + prev) & 0xFF
+        else:  # Sub / Average / Paeth need a left-to-right scan
+            for i in range(stride):
+                left = line[i - bpp] if i >= bpp else 0
+                up = prev[i]
+                up_left = prev[i - bpp] if i >= bpp else 0
+                if ftype == 1:
+                    pred = left
+                elif ftype == 3:
+                    pred = (left + up) // 2
+                elif ftype == 4:
+                    p = left + up - up_left
+                    pa, pb, pc = abs(p - left), abs(p - up), abs(p - up_left)
+                    if pa <= pb and pa <= pc:
+                        pred = left
+                    elif pb <= pc:
+                        pred = up
+                    else:
+                        pred = up_left
+                else:
+                    raise ValueError(f"unsupported PNG filter type {ftype}")
+                line[i] = (cur[i] + pred) & 0xFF
+        out[row] = line.astype(np.uint8)
+    return out
+
+
+def read_png(path: Union[str, Path]) -> np.ndarray:
+    """Read an 8-bit gray/RGB PNG into a uint8 array ``(H, W[, 3])``."""
+    data = Path(path).read_bytes()
+    if data[:8] != _SIGNATURE:
+        raise ValueError(f"{path} is not a PNG file")
+    pos = 8
+    width = height = None
+    channels = None
+    idat = b""
+    while pos < len(data):
+        (length,) = struct.unpack(">I", data[pos:pos + 4])
+        tag = data[pos + 4:pos + 8]
+        payload = data[pos + 8:pos + 8 + length]
+        expected_crc = struct.unpack(">I", data[pos + 8 + length:pos + 12 + length])[0]
+        if zlib.crc32(tag + payload) & 0xFFFFFFFF != expected_crc:
+            raise ValueError(f"CRC mismatch in chunk {tag!r}")
+        if tag == b"IHDR":
+            width, height, depth, color, _, _, interlace = struct.unpack(
+                ">IIBBBBB", payload)
+            if depth != 8:
+                raise ValueError(f"only bit depth 8 supported, got {depth}")
+            if color not in _COLOR_CHANNELS:
+                raise ValueError(f"only gray/RGB supported, got color type {color}")
+            if interlace:
+                raise ValueError("interlaced PNGs not supported")
+            channels = _COLOR_CHANNELS[color]
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+        pos += 12 + length
+    if width is None or channels is None:
+        raise ValueError("missing IHDR chunk")
+    raw = np.frombuffer(zlib.decompress(idat), dtype=np.uint8)
+    stride = width * channels
+    rows = raw.reshape(height, stride + 1)
+    pixels = _unfilter(rows[:, 1:], rows[:, 0], channels)
+    image = pixels.reshape(height, width, channels)
+    return image[:, :, 0] if channels == 1 else image

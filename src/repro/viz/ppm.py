@@ -1,0 +1,83 @@
+"""PPM (P6) / PGM (P5) binary image IO.
+
+The zero-dependency interchange format: any image viewer and most tools
+(ImageMagick, ffmpeg, GIMP) read netpbm files, which makes them a handy
+escape hatch for inspecting this repo's synthetic data and SR outputs on
+machines without Python imaging libraries.  Values are 8-bit, maxval 255.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+
+def write_ppm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write ``(H, W)`` as PGM (P5) or ``(H, W, 3)`` as PPM (P6).
+
+    Floats are interpreted in [0, 1]; integers must be in [0, 255].
+    The magic number is chosen from the array shape, regardless of the
+    file extension.
+    """
+    arr = np.asarray(image)
+    if arr.ndim == 3 and arr.shape[2] == 1:
+        arr = arr[:, :, 0]
+    if arr.ndim == 2:
+        magic = b"P5"
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        magic = b"P6"
+    else:
+        raise ValueError(f"expected (H,W[,1|3]) image, got shape {arr.shape}")
+    if np.issubdtype(arr.dtype, np.floating):
+        arr = np.clip(np.round(arr * 255.0), 0, 255).astype(np.uint8)
+    elif arr.dtype != np.uint8:
+        if arr.min() < 0 or arr.max() > 255:
+            raise ValueError("integer image values must be in [0, 255]")
+        arr = arr.astype(np.uint8)
+    h, w = arr.shape[:2]
+    with open(path, "wb") as f:
+        f.write(magic + b"\n%d %d\n255\n" % (w, h))
+        f.write(arr.tobytes())
+
+
+def _read_token(data: bytes, pos: int) -> tuple:
+    """Next whitespace-delimited token, skipping ``#`` comments."""
+    n = len(data)
+    while pos < n:
+        if data[pos:pos + 1].isspace():
+            pos += 1
+        elif data[pos:pos + 1] == b"#":
+            while pos < n and data[pos:pos + 1] != b"\n":
+                pos += 1
+        else:
+            break
+    start = pos
+    while pos < n and not data[pos:pos + 1].isspace():
+        pos += 1
+    return data[start:pos], pos
+
+
+def read_ppm(path: Union[str, Path]) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) file into a uint8 array."""
+    data = Path(path).read_bytes()
+    magic, pos = _read_token(data, 0)
+    if magic not in (b"P5", b"P6"):
+        raise ValueError(f"unsupported netpbm magic {magic!r} (want P5/P6)")
+    tokens = []
+    for _ in range(3):
+        token, pos = _read_token(data, pos)
+        tokens.append(int(token))
+    width, height, maxval = tokens
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    pos += 1  # single whitespace after maxval
+    channels = 1 if magic == b"P5" else 3
+    count = width * height * channels
+    pixels = np.frombuffer(data[pos:pos + count], dtype=np.uint8)
+    if pixels.size != count:
+        raise ValueError("truncated netpbm payload")
+    if channels == 1:
+        return pixels.reshape(height, width).copy()
+    return pixels.reshape(height, width, 3).copy()

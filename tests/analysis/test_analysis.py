@@ -1,0 +1,145 @@
+"""Tests for activation recording and the variance study."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.analysis import (
+    ActivationRecorder,
+    binary_feature_maps,
+    binary_map_richness,
+    channel_distributions,
+    layer_distributions,
+    pixel_distributions,
+    token_distributions,
+    variance_stats,
+)
+from repro.binarize import LSFBinarizer2d
+from repro.models import build_model, resnet18
+from repro.nn import Conv2d, Linear
+
+from ..helpers import rng
+
+
+class TestActivationRecorder:
+    def test_records_inputs_of_matching_modules(self):
+        with G.default_dtype("float32"):
+            model = build_model("edsr", scale=2, scheme="fp", preset="tiny")
+            with ActivationRecorder(model, (Conv2d,), capture="input") as rec:
+                rec.run(rng(0).random((1, 3, 16, 16)))
+                assert rec.layer_names()
+                for arrays in rec.records.values():
+                    assert arrays[0].ndim == 4
+
+    def test_name_filter(self):
+        with G.default_dtype("float32"):
+            model = build_model("edsr", scale=2, scheme="fp", preset="tiny")
+            with ActivationRecorder(model, (Conv2d,), name_filter="body") as rec:
+                rec.run(rng(0).random((1, 3, 16, 16)))
+                assert all("body" in name for name in rec.layer_names())
+
+    def test_capture_output_mode(self):
+        with G.default_dtype("float32"):
+            model = build_model("edsr", scale=2, scheme="fp", preset="tiny")
+            with ActivationRecorder(model, (Conv2d,), capture="output") as rec:
+                rec.run(rng(0).random((1, 3, 16, 16)))
+                assert rec.records
+
+    def test_invalid_capture_mode(self):
+        with pytest.raises(ValueError):
+            ActivationRecorder(resnet18(), (Conv2d,), capture="weights")
+
+    def test_close_removes_hooks(self):
+        model = resnet18(base_width=8)
+        rec = ActivationRecorder(model, (Conv2d,))
+        rec.close()
+        assert all(not m._forward_hooks for m in model.modules())
+
+    def test_multiple_runs_accumulate(self):
+        with G.default_dtype("float32"):
+            model = build_model("edsr", scale=2, scheme="fp", preset="tiny")
+            with ActivationRecorder(model, (Conv2d,)) as rec:
+                rec.run(rng(0).random((1, 3, 16, 16)))
+                rec.run(rng(1).random((1, 3, 16, 16)))
+                name = rec.layer_names()[0]
+                assert len(rec.records[name]) == 2
+
+
+class TestDistributionSummaries:
+    def test_pixel_distributions_shape(self):
+        fmap = rng(0).normal(size=(8, 10, 10))
+        summary = pixel_distributions(fmap, n_pixels=5)
+        assert summary.rows.shape == (5, 5)
+        # five numbers must be sorted per row
+        assert np.all(np.diff(summary.rows, axis=1) >= 0)
+
+    def test_channel_distributions(self):
+        fmap = rng(1).normal(size=(8, 6, 6))
+        summary = channel_distributions(fmap, n_channels=4)
+        assert summary.rows.shape == (4, 5)
+
+    def test_token_distributions(self):
+        tokens = rng(2).normal(size=(20, 8))
+        summary = token_distributions(tokens, n_tokens=6)
+        assert summary.rows.shape == (6, 5)
+
+    def test_layer_distributions(self):
+        records = {"a": [rng(3).normal(size=(1, 4, 3, 3))],
+                   "b": [rng(4).normal(size=(1, 4, 3, 3))]}
+        summary = layer_distributions(records)
+        assert summary.rows.shape == (2, 5)
+
+    def test_spread_and_center_variation(self):
+        wide = pixel_distributions(rng(5).normal(size=(16, 8, 8)) * 10)
+        narrow = pixel_distributions(rng(5).normal(size=(16, 8, 8)) * 0.1)
+        assert wide.spread > narrow.spread
+
+
+class TestVarianceStats:
+    def test_conv_records(self):
+        records = {"l1": [rng(0).normal(size=(2, 4, 5, 5))],
+                   "l2": [rng(1).normal(size=(2, 4, 5, 5)) * 10]}
+        stats = variance_stats("net", records)
+        assert stats.layer_to_layer >= 0
+        assert set(stats.as_dict()) == {"chl-to-chl", "pixel-to-pixel",
+                                        "layer-to-layer", "image-to-image"}
+
+    def test_token_records(self):
+        records = {"l1": [rng(2).normal(size=(2, 10, 8))]}
+        stats = variance_stats("net", records)
+        assert np.isfinite(stats.pixel_to_pixel)
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            variance_stats("net", {})
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            variance_stats("net", {"l": [rng(3).normal(size=(4, 4))]})
+
+    def test_scaled_input_increases_variance(self):
+        base = {"l": [rng(4).normal(size=(2, 4, 5, 5))]}
+        scaled = {"l": [base["l"][0] * 20]}
+        assert variance_stats("a", scaled).pixel_to_pixel > \
+            variance_stats("b", base).pixel_to_pixel
+
+
+class TestBinaryMaps:
+    def test_capture_binary_maps(self):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            maps = binary_feature_maps(model, rng(0).random((1, 3, 12, 12)),
+                                       (LSFBinarizer2d,))
+            assert maps
+            for arr in maps.values():
+                magnitudes = np.unique(np.abs(arr))
+                assert len(magnitudes) == 1  # +-alpha only
+
+    def test_richness_of_structured_vs_constant(self):
+        constant = np.ones((1, 4, 8, 8))
+        checker = np.indices((8, 8)).sum(axis=0) % 2 * 2.0 - 1.0
+        structured = np.broadcast_to(checker, (1, 4, 8, 8))
+        assert binary_map_richness(constant) == 0.0
+        assert binary_map_richness(structured) == 1.0

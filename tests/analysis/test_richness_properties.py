@@ -1,0 +1,67 @@
+"""Properties of the Fig. 1 richness metric and variance statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import binary_map_richness, variance_stats
+
+
+class TestBinaryMapRichness:
+    def test_constant_map_is_zero(self):
+        assert binary_map_richness(np.ones((3, 8, 8))) == 0.0
+
+    def test_checkerboard_is_maximal(self):
+        y, x = np.mgrid[0:8, 0:8]
+        board = np.where((y + x) % 2 == 0, 1.0, -1.0)
+        assert binary_map_richness(board[None]) == 1.0
+
+    def test_half_split_map(self):
+        arr = np.ones((1, 8, 8))
+        arr[:, 4:] = -1.0
+        # One horizontal seam: 8 vertical flips of 56 vertical pairs,
+        # zero horizontal flips.
+        expected = (0 + 8 / 56) / 2
+        assert binary_map_richness(arr) == pytest.approx(expected)
+
+    def test_accepts_batch_axis(self):
+        arr = np.ones((1, 2, 4, 4))
+        assert binary_map_richness(arr) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_bounded_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        arr = np.where(rng.random((2, 6, 6)) > 0.5, 1.0, -1.0)
+        richness = binary_map_richness(arr)
+        assert 0.0 <= richness <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_invariant_to_global_sign_flip(self, seed):
+        rng = np.random.default_rng(seed)
+        arr = np.where(rng.random((2, 6, 6)) > 0.5, 1.0, -1.0)
+        assert binary_map_richness(arr) == binary_map_richness(-arr)
+
+
+class TestVarianceStats:
+    def _records(self, scale_second_layer=1.0, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            "layer0": [rng.normal(size=(1, 4, 6, 6)) for _ in range(3)],
+            "layer1": [scale_second_layer * rng.normal(size=(1, 4, 6, 6))
+                       for _ in range(3)],
+        }
+
+    def test_axes_present(self):
+        stats = variance_stats("net", self._records())
+        d = stats.as_dict()
+        for axis in ("chl-to-chl", "pixel-to-pixel", "layer-to-layer",
+                     "image-to-image"):
+            assert axis in d and np.isfinite(d[axis])
+
+    def test_layer_axis_grows_with_layer_magnitude_gap(self):
+        near = variance_stats("a", self._records(scale_second_layer=1.0))
+        far = variance_stats("b", self._records(scale_second_layer=50.0))
+        assert far.layer_to_layer > near.layer_to_layer

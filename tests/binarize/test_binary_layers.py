@@ -1,0 +1,216 @@
+"""Tests for the SCALES layers and all baseline binary layers."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.binarize import (
+    SCALESBinaryConv2d,
+    SCALESBinaryLinear,
+    TABLE1_METHODS,
+    conv_scheme_names,
+    get_conv_factory,
+    get_linear_factory,
+    linear_scheme_names,
+)
+from repro.binarize.baselines import (
+    BAMBinaryConv2d,
+    BiBERTBinaryLinear,
+    BiViTBinaryLinear,
+    BTMBinaryConv2d,
+    DAQBinaryConv2d,
+    E2FIFBinaryConv2d,
+    LMBBinaryConv2d,
+    PlainBinaryConv2d,
+    WeightOnlyBinaryConv2d,
+)
+
+from ..helpers import rng
+
+
+def _x(c=8, size=10, batch=2, seed=0):
+    return Tensor(rng(seed).normal(size=(batch, c, size, size)))
+
+
+class TestSCALESConv:
+    def test_forward_shape(self):
+        layer = SCALESBinaryConv2d(8, 8, 3)
+        assert layer(_x()).shape == (2, 8, 10, 10)
+
+    def test_all_components_have_grads(self):
+        layer = SCALESBinaryConv2d(8, 8, 3)
+        G.sum(layer(_x()) ** 2).backward()
+        for name, p in layer.named_parameters():
+            assert p.grad is not None, name
+
+    def test_skip_connection_identity_component(self):
+        """With zeroed weight and branches, output == input (skip)."""
+        layer = SCALESBinaryConv2d(4, 4, 3, use_spatial=False,
+                                   use_channel=False, bias=False)
+        layer.weight.data[:] = 0.0
+        x = _x(4, 6)
+        out = layer(x)
+        np.testing.assert_allclose(out.data, x.data, atol=1e-12)
+
+    def test_no_skip_when_channels_differ(self):
+        layer = SCALESBinaryConv2d(4, 8, 3)
+        assert not layer.skip
+
+    def test_channel_rescale_disabled_on_channel_change(self):
+        layer = SCALESBinaryConv2d(4, 8, 3, use_channel=True)
+        assert not layer.use_channel
+        assert layer(_x(4, 8)).shape == (2, 8, 8, 8)
+
+    def test_stride_supported(self):
+        layer = SCALESBinaryConv2d(4, 4, 3, stride=2)
+        assert layer(_x(4, 8)).shape == (2, 4, 4, 4)
+        assert not layer.skip
+
+    def test_component_flags(self):
+        for flags in [(False, False), (True, False), (False, True), (True, True)]:
+            layer = SCALESBinaryConv2d(4, 4, 3, use_spatial=flags[0],
+                                       use_channel=flags[1])
+            assert layer(_x(4, 6)).shape == (2, 4, 6, 6)
+
+    def test_output_differs_between_inputs(self):
+        """Input-dependence: different images -> different re-scaled outputs
+        even with identical binary codes would differ via scale branches."""
+        layer = SCALESBinaryConv2d(4, 4, 3)
+        a = layer(_x(4, 6, seed=1)).data
+        b = layer(_x(4, 6, seed=2)).data
+        assert not np.allclose(a, b)
+
+    def test_adaptability_full_row(self):
+        row = SCALESBinaryConv2d.adaptability()
+        assert row["spatial"] and row["channel"] and row["layer"] and row["image"]
+        assert row["hw_cost"] == "Low"
+
+
+class TestSCALESLinear:
+    def test_forward_shape_tokens(self):
+        layer = SCALESBinaryLinear(8, 16)
+        out = layer(Tensor(rng(0).normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 16)
+
+    def test_2d_input(self):
+        layer = SCALESBinaryLinear(8, 4)
+        assert layer(Tensor(rng(0).normal(size=(3, 8)))).shape == (3, 4)
+
+    def test_skip_only_square(self):
+        assert SCALESBinaryLinear(8, 8, skip=True).skip
+        assert not SCALESBinaryLinear(8, 16, skip=True).skip
+
+    def test_no_channel_rescale_exists(self):
+        """Sec. IV-C: transformers get no channel re-scaling (LN kills
+        channel variation)."""
+        layer = SCALESBinaryLinear(8, 8)
+        assert not hasattr(layer, "channel")
+
+    def test_grads(self):
+        layer = SCALESBinaryLinear(8, 8, skip=True)
+        G.sum(layer(Tensor(rng(1).normal(size=(2, 4, 8)))) ** 2).backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+
+class TestBaselines:
+    CONV_CLASSES = [E2FIFBinaryConv2d, BAMBinaryConv2d, BTMBinaryConv2d,
+                    LMBBinaryConv2d, DAQBinaryConv2d, PlainBinaryConv2d,
+                    WeightOnlyBinaryConv2d]
+
+    @pytest.mark.parametrize("cls", CONV_CLASSES)
+    def test_forward_backward(self, cls):
+        layer = cls(4, 4, 3)
+        out = layer(_x(4, 8))
+        assert out.shape == (2, 4, 8, 8)
+        G.sum(out * out).backward()
+        assert all(p.grad is not None for p in layer.parameters())
+
+    def test_e2fif_has_bn(self):
+        from repro.nn import BatchNorm2d
+        layer = E2FIFBinaryConv2d(4, 4, 3)
+        assert any(isinstance(m, BatchNorm2d) for m in layer.modules())
+
+    def test_bam_accumulator_updates_in_training(self):
+        layer = BAMBinaryConv2d(4, 4, 3)
+        layer.train()
+        x1 = _x(4, 6, seed=1)
+        layer(x1)
+        acc_after_first = next(iter(layer._accumulators.values())).copy()
+        layer(_x(4, 6, seed=2))
+        acc_after_second = next(iter(layer._accumulators.values()))
+        assert not np.allclose(acc_after_first, acc_after_second)
+
+    def test_bam_accumulator_frozen_in_eval(self):
+        layer = BAMBinaryConv2d(4, 4, 3)
+        layer(_x(4, 6, seed=1))
+        layer.eval()
+        frozen = next(iter(layer._accumulators.values())).copy()
+        layer(_x(4, 6, seed=2))
+        np.testing.assert_array_equal(frozen, next(iter(layer._accumulators.values())))
+
+    def test_bam_handles_multiple_resolutions(self):
+        layer = BAMBinaryConv2d(4, 4, 3)
+        layer(_x(4, 6))
+        layer(_x(4, 10))
+        assert len(layer._accumulators) == 2
+
+    def test_lmb_threshold_is_local_mean(self):
+        layer = LMBBinaryConv2d(1, 1, 3)
+        x = Tensor(np.ones((1, 1, 5, 5)))
+        thr = layer._local_mean(x)
+        # Interior of a constant image: local mean equals the constant.
+        np.testing.assert_allclose(thr[0, 0, 1:-1, 1:-1], 1.0, atol=1e-10)
+
+    def test_daq_standardizes_channels(self):
+        layer = DAQBinaryConv2d(4, 4, 3)
+        out = layer(_x(4, 8) * 100.0)  # huge dynamic range still works
+        assert np.isfinite(out.data).all()
+
+    def test_weight_only_keeps_fp_activations(self):
+        assert WeightOnlyBinaryConv2d.binary is False
+        assert WeightOnlyBinaryConv2d.binary_weights is True
+
+    def test_linear_baselines(self):
+        x = Tensor(rng(3).normal(size=(2, 6, 8)))
+        for cls in [BiBERTBinaryLinear, BiViTBinaryLinear]:
+            layer = cls(8, 16)
+            out = layer(x)
+            assert out.shape == (2, 6, 16)
+            G.sum(out * out).backward()
+            assert all(p.grad is not None for p in layer.parameters())
+
+
+class TestRegistry:
+    def test_all_conv_schemes_buildable(self):
+        for name in conv_scheme_names():
+            layer = get_conv_factory(name)(4, 4, 3)
+            assert layer(_x(4, 6)).shape == (2, 4, 6, 6)
+
+    def test_all_linear_schemes_buildable(self):
+        for name in linear_scheme_names():
+            layer = get_linear_factory(name)(8, 8)
+            assert layer(Tensor(rng(0).normal(size=(2, 3, 8)))).shape == (2, 3, 8)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            get_conv_factory("ternary")
+        with pytest.raises(KeyError):
+            get_linear_factory("ternary")
+
+    def test_table1_rows_match_paper(self):
+        """The adaptability matrix must reproduce Table I exactly."""
+        rows = {cls.adaptability()["method"]: cls.adaptability()
+                for cls in TABLE1_METHODS}
+        assert rows["BAM"]["spatial"] and not rows["BAM"]["image"]
+        assert rows["BTM"]["image"] and rows["BTM"]["hw_cost"] == "Low"
+        assert rows["LMB"]["spatial"] and rows["LMB"]["image"]
+        assert rows["DAQ"]["channel"] and not rows["DAQ"]["spatial"]
+        assert not any(rows["E2FIF"][k] for k in
+                       ("spatial", "channel", "layer", "image"))
+        scales_row = rows["SCALES (ours)"]
+        assert all(scales_row[k] for k in ("spatial", "channel", "layer", "image"))
+        # Only SCALES has all four adaptabilities.
+        full_rows = [m for m, r in rows.items()
+                     if all(r[k] for k in ("spatial", "channel", "layer", "image"))]
+        assert full_rows == ["SCALES (ours)"]

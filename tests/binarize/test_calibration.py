@@ -1,0 +1,138 @@
+"""Data-dependent LSF calibration (beta centering, optional alpha seeding)."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.binarize import LSFBinarizer2d, SCALESBinaryConv2d, calibrate_lsf
+from repro.binarize.lsf import LSFBinarizerTokens
+from repro.grad import Tensor
+from repro.models import build_model
+from repro.nn import Module, init
+
+
+class _Wrap(Module):
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+class TestBinarizerCalibration:
+    def test_beta_set_to_channel_means(self):
+        binarizer = LSFBinarizer2d(3)
+        model = _Wrap(binarizer)
+        rng = np.random.default_rng(0)
+        batch = rng.normal(loc=[1.0, -2.0, 0.5], size=(4, 8, 8, 3)).transpose(0, 3, 1, 2)
+        n = calibrate_lsf(model, batch)
+        assert n == 1
+        expected = batch.mean(axis=(0, 2, 3))
+        np.testing.assert_allclose(binarizer.beta.data.reshape(-1), expected,
+                                   atol=1e-10)
+
+    def test_alpha_untouched_by_default(self):
+        binarizer = LSFBinarizer2d(2, init_alpha=1.0)
+        calibrate_lsf(_Wrap(binarizer), np.random.default_rng(1).normal(size=(2, 2, 4, 4)))
+        assert float(binarizer.alpha.data.reshape(-1)[0]) == 1.0
+
+    def test_alpha_seeding_is_l1_optimal(self):
+        binarizer = LSFBinarizer2d(2)
+        rng = np.random.default_rng(2)
+        batch = rng.normal(size=(2, 2, 6, 6))
+        calibrate_lsf(_Wrap(binarizer), batch, calibrate_alpha=True)
+        beta = batch.mean(axis=(0, 2, 3)).reshape(1, -1, 1, 1)
+        expected_alpha = np.abs(batch - beta).mean()
+        np.testing.assert_allclose(float(binarizer.alpha.data.reshape(-1)[0]),
+                                   expected_alpha, rtol=1e-10)
+
+    def test_token_binarizer(self):
+        binarizer = LSFBinarizerTokens(5)
+        rng = np.random.default_rng(3)
+        batch = rng.normal(size=(3, 7, 5))
+        calibrate_lsf(_Wrap(binarizer), batch)
+        np.testing.assert_allclose(binarizer.beta.data,
+                                   batch.reshape(-1, 5).mean(axis=0), atol=1e-10)
+
+    def test_idempotent_one_shot(self):
+        # Calibration arms once per call; the next forward trains normally.
+        binarizer = LSFBinarizer2d(2)
+        model = _Wrap(binarizer)
+        rng = np.random.default_rng(4)
+        calibrate_lsf(model, rng.normal(size=(1, 2, 4, 4)))
+        beta_after = binarizer.beta.data.copy()
+        model(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        np.testing.assert_array_equal(binarizer.beta.data, beta_after)
+
+    def test_model_without_binarizers_is_noop(self):
+        with G.default_dtype("float32"):
+            init.seed(0)
+            model = build_model("srresnet", scale=2, scheme="e2fif",
+                                preset="tiny")
+            n = calibrate_lsf(model, np.zeros((1, 3, 8, 8), dtype=np.float32))
+        assert n == 0
+
+    def test_full_model_calibration_counts_layers(self):
+        with G.default_dtype("float32"):
+            init.seed(0)
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            batch = np.random.default_rng(5).random((2, 3, 8, 8)).astype(np.float32)
+            n = calibrate_lsf(model, batch)
+            binarizers = [m for m in model.modules()
+                          if isinstance(m, LSFBinarizer2d)]
+        assert n == len(binarizers) > 0
+        # After a real forward pass, thresholds moved off their zero init.
+        assert any(np.abs(b.beta.data).max() > 0 for b in binarizers)
+
+    def test_training_mode_restored(self):
+        with G.default_dtype("float32"):
+            init.seed(0)
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            model.train()
+            calibrate_lsf(model, np.zeros((1, 3, 8, 8), dtype=np.float32))
+            assert model.training
+            model.eval()
+            calibrate_lsf(model, np.zeros((1, 3, 8, 8), dtype=np.float32))
+            assert not model.training
+
+
+class TestTrainerIntegration:
+    def test_trainer_calibrates_scales_models(self):
+        from repro.data import training_pool
+        from repro.train import TrainConfig, Trainer
+
+        with G.default_dtype("float32"):
+            init.seed(1)
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            pool = training_pool(scale=2, n_images=2, size=(48, 48))
+            trainer = Trainer(model, pool, TrainConfig(steps=1, batch_size=4,
+                                                       patch_size=12))
+            n = trainer.calibrate()
+            assert n > 0
+            assert trainer.calibrate() == 0  # idempotent
+
+    def test_calibration_does_not_consume_training_batches(self):
+        from repro.data import training_pool
+        from repro.train import TrainConfig, Trainer
+
+        with G.default_dtype("float32"):
+            init.seed(1)
+            pool = training_pool(scale=2, n_images=2, size=(48, 48))
+            config = TrainConfig(steps=1, batch_size=4, patch_size=12, seed=3)
+
+            init.seed(2)
+            a = build_model("srresnet", scale=2, scheme="e2fif", preset="tiny")
+            trainer_plain = Trainer(a, pool, config)
+            batch_plain = trainer_plain.sampler.batch()[0]
+
+            init.seed(2)
+            b = build_model("srresnet", scale=2, scheme="e2fif", preset="tiny")
+            trainer_calibrated = Trainer(b, pool, config)
+            trainer_calibrated.calibrate()
+            batch_calibrated = trainer_calibrated.sampler.batch()[0]
+
+        np.testing.assert_array_equal(batch_plain, batch_calibrated)

@@ -1,0 +1,139 @@
+"""Classification-lineage BNN baselines (XNOR-Net / Bi-Real / ReActNet / AdaBin)."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.binarize import (AdaBinBinaryConv2d, BiRealBinaryConv2d,
+                            ReActNetBinaryConv2d, XNORNetBinaryConv2d,
+                            get_conv_factory)
+from repro.grad import Tensor
+from repro.nn import init
+
+ALL_LAYERS = [XNORNetBinaryConv2d, BiRealBinaryConv2d,
+              ReActNetBinaryConv2d, AdaBinBinaryConv2d]
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    init.seed(0)
+
+
+def _input(c=4, hw=7, b=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(b, c, hw, hw)))
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("layer_cls", ALL_LAYERS)
+    def test_same_channel_shape(self, layer_cls):
+        layer = layer_cls(4, 4, 3)
+        out = layer(_input())
+        assert out.shape == (2, 4, 7, 7)
+
+    @pytest.mark.parametrize("layer_cls", ALL_LAYERS)
+    def test_channel_change(self, layer_cls):
+        layer = layer_cls(4, 6, 3)
+        out = layer(_input())
+        assert out.shape == (2, 6, 7, 7)
+
+    @pytest.mark.parametrize("layer_cls", ALL_LAYERS)
+    def test_stride_two(self, layer_cls):
+        layer = layer_cls(4, 4, 3, stride=2)
+        out = layer(_input(hw=8))
+        assert out.shape == (2, 4, 4, 4)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("layer_cls", ALL_LAYERS)
+    def test_weights_receive_gradients(self, layer_cls):
+        layer = layer_cls(4, 4, 3)
+        loss = G.sum(layer(_input()) ** 2)
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert np.isfinite(layer.weight.grad).all()
+        assert np.abs(layer.weight.grad).max() > 0
+
+    def test_reactnet_threshold_learns(self):
+        layer = ReActNetBinaryConv2d(4, 4, 3)
+        loss = G.sum(layer(_input()) ** 2)
+        loss.backward()
+        assert layer.threshold.grad is not None
+        assert np.abs(layer.threshold.grad).max() > 0
+
+    def test_adabin_set_parameters_learn(self):
+        layer = AdaBinBinaryConv2d(4, 4, 3)
+        loss = G.sum(layer(_input()) ** 2)
+        loss.backward()
+        assert np.abs(layer.center.grad).max() > 0
+        assert np.abs(layer.half_distance.grad).max() > 0
+
+
+class TestSemantics:
+    def test_xnor_k_map_is_input_dependent(self):
+        layer = XNORNetBinaryConv2d(4, 4, 3)
+        small = layer(Tensor(0.1 * np.ones((1, 4, 6, 6)))).data
+        large = layer(Tensor(10.0 * np.ones((1, 4, 6, 6)))).data
+        # Same sign pattern, but the K map scales outputs ~100x.
+        ratio = np.abs(large).mean() / max(np.abs(small).mean(), 1e-12)
+        assert ratio > 50
+
+    def test_bireal_skip_preserves_identity_component(self):
+        layer = BiRealBinaryConv2d(4, 4, 3)
+        layer.weight.data[...] = 0.0  # sign -> +1 but scale 0 -> conv = 0
+        x = _input()
+        out = layer(x)
+        np.testing.assert_allclose(out.data, x.data, atol=1e-12)
+
+    def test_bireal_no_skip_on_channel_change(self):
+        layer = BiRealBinaryConv2d(4, 8, 3)
+        assert not layer.skip
+
+    def test_reactnet_threshold_shifts_signs(self):
+        layer = ReActNetBinaryConv2d(1, 1, 1, bias=False)
+        layer.weight.data[...] = 1.0
+        x = Tensor(np.full((1, 1, 2, 2), 0.5))
+        before = layer(x).data.copy()
+        layer.threshold.data[...] = 1.0  # now x - threshold < 0 everywhere
+        after = layer(x).data
+        assert (before > after).all()
+
+    def test_adabin_reduces_to_sign_at_default(self):
+        # c=0, d=1 -> x_hat = sign(x): identical to Bi-Real forward.
+        ada = AdaBinBinaryConv2d(4, 4, 3)
+        bir = BiRealBinaryConv2d(4, 4, 3)
+        bir.weight.data[...] = ada.weight.data
+        x = _input(seed=5)
+        np.testing.assert_allclose(ada(x).data, bir(x).data, atol=1e-12)
+
+    @pytest.mark.parametrize("layer_cls", ALL_LAYERS)
+    def test_adaptability_row_complete(self, layer_cls):
+        row = layer_cls.adaptability()
+        assert {"method", "spatial", "channel", "layer", "image",
+                "hw_cost"} <= set(row)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("scheme,layer_cls", [
+        ("xnornet", XNORNetBinaryConv2d), ("bireal", BiRealBinaryConv2d),
+        ("reactnet", ReActNetBinaryConv2d), ("adabin", AdaBinBinaryConv2d),
+    ])
+    def test_factory_registered(self, scheme, layer_cls):
+        layer = get_conv_factory(scheme)(4, 4, 3)
+        assert isinstance(layer, layer_cls)
+
+    def test_trains_inside_a_model(self):
+        from repro.data import training_pool
+        from repro.models import build_model
+        from repro.train import TrainConfig, Trainer
+
+        with G.default_dtype("float32"):
+            init.seed(1)
+            model = build_model("srresnet", scale=2, scheme="reactnet",
+                                preset="tiny")
+            pool = training_pool(scale=2, n_images=2, size=(48, 48))
+            trainer = Trainer(model, pool,
+                              TrainConfig(steps=12, batch_size=4, patch_size=12))
+            history = trainer.fit()
+            assert np.isfinite(history).all()
+            assert history[-1] < history[0] * 1.5

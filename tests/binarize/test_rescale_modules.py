@@ -1,0 +1,129 @@
+"""Tests for the LSF binarizer modules and the two re-scaling branches."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.binarize import (
+    ChannelRescale,
+    LSFBinarizer2d,
+    LSFBinarizerTokens,
+    SpatialRescale2d,
+    SpatialRescaleTokens,
+)
+
+from ..helpers import rng
+
+
+class TestLSFBinarizers:
+    def test_2d_output_binary_with_alpha_magnitude(self):
+        binarizer = LSFBinarizer2d(4, init_alpha=0.8)
+        out = binarizer(Tensor(rng(0).normal(size=(2, 4, 5, 5))))
+        np.testing.assert_allclose(np.abs(out.data), 0.8)
+
+    def test_2d_learnable_params(self):
+        binarizer = LSFBinarizer2d(4)
+        assert binarizer.alpha.shape == (1, 1, 1, 1)
+        assert binarizer.beta.shape == (1, 4, 1, 1)
+        out = binarizer(Tensor(rng(1).normal(size=(1, 4, 3, 3))))
+        G.sum(out).backward()
+        assert binarizer.alpha.grad is not None
+        assert binarizer.beta.grad is not None
+
+    def test_tokens_layout(self):
+        binarizer = LSFBinarizerTokens(8)
+        out = binarizer(Tensor(rng(2).normal(size=(2, 10, 8))))
+        assert out.shape == (2, 10, 8)
+        np.testing.assert_allclose(np.abs(out.data), 1.0)
+
+    def test_beta_shifts_threshold(self):
+        binarizer = LSFBinarizer2d(1)
+        binarizer.beta.data[:] = 0.5
+        x = Tensor(np.full((1, 1, 2, 2), 0.4))
+        out = binarizer(x)
+        np.testing.assert_allclose(out.data, -1.0)  # 0.4 < threshold 0.5
+
+
+class TestSpatialRescale:
+    def test_2d_shape_one_channel(self):
+        branch = SpatialRescale2d(8)
+        out = branch(Tensor(rng(0).normal(size=(2, 8, 6, 6))))
+        assert out.shape == (2, 1, 6, 6)
+
+    def test_output_in_sigmoid_range(self):
+        branch = SpatialRescale2d(8)
+        out = branch(Tensor(rng(1).normal(size=(1, 8, 4, 4)) * 10))
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_stride_matches_conv_output(self):
+        branch = SpatialRescale2d(8, stride=2)
+        out = branch(Tensor(rng(2).normal(size=(1, 8, 8, 8))))
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_input_dependence(self):
+        """The scale map changes with the input — the paper's key property
+        (input-dependent, captures image-to-image variation)."""
+        branch = SpatialRescale2d(4)
+        a = branch(Tensor(rng(3).normal(size=(1, 4, 4, 4)))).data
+        b = branch(Tensor(rng(4).normal(size=(1, 4, 4, 4)))).data
+        assert not np.allclose(a, b)
+
+    def test_tokens_variant(self):
+        branch = SpatialRescaleTokens(8)
+        out = branch(Tensor(rng(5).normal(size=(2, 10, 8))))
+        assert out.shape == (2, 10, 1)
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_parameter_count_is_small(self):
+        # 1x1 conv: C weights + 1 bias — "little parameters" per the paper.
+        branch = SpatialRescale2d(64)
+        assert sum(p.size for p in branch.parameters()) == 65
+
+
+class TestChannelRescale:
+    def test_shape(self):
+        branch = ChannelRescale(16)
+        out = branch(Tensor(rng(0).normal(size=(2, 16, 5, 5))))
+        assert out.shape == (2, 16, 1, 1)
+
+    def test_sigmoid_range(self):
+        branch = ChannelRescale(8)
+        out = branch(Tensor(rng(1).normal(size=(1, 8, 4, 4)) * 20))
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_fp_parameter_count_is_kernel_size(self):
+        """The paper's claim: only k FP parameters (vs 2C^2/r for SE)."""
+        branch = ChannelRescale(256, kernel_size=5)
+        assert branch.num_fp_parameters() == 5
+        assert sum(p.size for p in branch.parameters()) == 5
+
+    def test_rejects_even_kernel(self):
+        with pytest.raises(ValueError):
+            ChannelRescale(8, kernel_size=4)
+
+    def test_channel_mixing(self):
+        """Conv1d couples nearby channels: changing one channel's content
+        shifts its neighbours' scales."""
+        branch = ChannelRescale(8, kernel_size=5)
+        x = rng(2).normal(size=(1, 8, 4, 4))
+        base = branch(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 3] += 5.0
+        bumped = branch(Tensor(x2)).data
+        changed = np.abs(bumped - base)[0, :, 0, 0] > 1e-9
+        assert changed[1:6].any() and changed[3]
+
+    def test_input_dependence(self):
+        branch = ChannelRescale(8)
+        a = branch(Tensor(rng(3).normal(size=(1, 8, 3, 3)))).data
+        b = branch(Tensor(rng(4).normal(size=(1, 8, 3, 3)))).data
+        assert not np.allclose(a, b)
+
+    def test_parameter_ratio_vs_se_block(self):
+        """Reproduce the Sec. IV-C arithmetic: 2C^2/(r k) ~ 1638x at
+        C=256, r=16, k=5."""
+        c, r, k = 256, 16, 5
+        se_params = 2 * c * c // r
+        ours = ChannelRescale(c, k).num_fp_parameters()
+        assert se_params / ours == pytest.approx(1638.4, rel=1e-3)

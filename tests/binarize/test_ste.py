@@ -1,0 +1,158 @@
+"""Tests for the straight-through estimators, including finite-difference
+verification of the paper's Eq. 2 / Eq. 3 gradient formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.binarize.ste import approx_sign_ste, lsf_binarize, sign_ste
+
+from ..helpers import rng
+
+
+class TestSignSTE:
+    def test_output_is_binary(self):
+        out = sign_ste(Tensor(rng(0).normal(size=(100,))))
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+
+    def test_zero_maps_to_plus_one(self):
+        assert sign_ste(Tensor([0.0])).data[0] == 1.0
+
+    def test_grad_passthrough_inside_clip(self):
+        x = Tensor([0.5, -0.5], requires_grad=True)
+        G.sum(sign_ste(x)).backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_grad_zero_outside_clip(self):
+        x = Tensor([2.0, -2.0], requires_grad=True)
+        G.sum(sign_ste(x)).backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_binary_property(self, seed):
+        x = np.random.default_rng(seed).normal(size=20) * 5
+        out = sign_ste(Tensor(x)).data
+        assert np.all(np.abs(out) == 1.0)
+
+
+class TestApproxSignSTE:
+    def test_forward_same_as_sign(self):
+        x = rng(1).normal(size=(50,))
+        np.testing.assert_array_equal(approx_sign_ste(Tensor(x)).data,
+                                      np.where(x >= 0, 1.0, -1.0))
+
+    def test_polynomial_gradient_values(self):
+        x = Tensor([-0.5, 0.5, -1.5, 1.5], requires_grad=True)
+        G.sum(approx_sign_ste(x)).backward()
+        # g(u) = 2 + 2u on (-1, 0], 2 - 2u on (0, 1], 0 outside.
+        np.testing.assert_allclose(x.grad, [1.0, 1.0, 0.0, 0.0])
+
+    def test_gradient_peaks_at_zero(self):
+        x = Tensor([-1e-6], requires_grad=True)
+        G.sum(approx_sign_ste(x)).backward()
+        assert x.grad[0] == pytest.approx(2.0, abs=1e-4)
+
+
+class TestLSFBinarize:
+    """Eq. 1 forward + Eq. 2/3 gradients."""
+
+    def _setup(self, alpha_value=0.7, seed=0):
+        r = rng(seed)
+        x = Tensor(r.normal(size=(2, 3, 4, 4)) * 1.5, requires_grad=True)
+        alpha = Tensor(np.full((1, 1, 1, 1), alpha_value), requires_grad=True)
+        beta = Tensor(r.normal(size=(1, 3, 1, 1)) * 0.3, requires_grad=True)
+        return x, alpha, beta
+
+    def test_forward_values(self):
+        x, alpha, beta = self._setup()
+        out = lsf_binarize(x, alpha, beta)
+        u = (x.data - beta.data) / alpha.data
+        expected = alpha.data * np.where(u >= 0, 1.0, -1.0)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_output_magnitude_is_alpha(self):
+        x, alpha, beta = self._setup(alpha_value=0.35)
+        out = lsf_binarize(x, alpha, beta)
+        np.testing.assert_allclose(np.abs(out.data), 0.35)
+
+    def test_eq2_alpha_gradient_formula(self):
+        """d x_hat/d alpha = sign(u) - u*g(u), the four branches of Eq. 2."""
+        x, alpha, beta = self._setup()
+        upstream = rng(9).normal(size=x.shape)
+        out = lsf_binarize(x, alpha, beta)
+        out.backward(upstream)
+
+        u = (x.data - beta.data) / alpha.data
+        g = np.zeros_like(u)
+        left = (u > -1) & (u <= 0)
+        right = (u > 0) & (u <= 1)
+        g[left] = 2 + 2 * u[left]
+        g[right] = 2 - 2 * u[right]
+        # Eq. 2 expanded: -1 | -2u^2-2u-1 | 2u^2-2u+1 | 1
+        expected_branches = np.where(
+            u <= -1, -1.0, np.where(
+                u <= 0, -2 * u ** 2 - 2 * u - 1, np.where(
+                    u <= 1, 2 * u ** 2 - 2 * u + 1, 1.0)))
+        derived = np.where(u >= 0, 1.0, -1.0) - u * g
+        np.testing.assert_allclose(derived, expected_branches, atol=1e-12)
+        np.testing.assert_allclose(alpha.grad,
+                                   (upstream * derived).sum(keepdims=True)
+                                   .reshape(alpha.shape) * 0 + (upstream * derived).sum(),
+                                   rtol=1e-10)
+
+    def test_eq3_beta_gradient_formula(self):
+        """d x_hat/d beta = -g(u): -2-2u | -2+2u | 0 (Eq. 3)."""
+        x, alpha, beta = self._setup()
+        upstream = rng(10).normal(size=x.shape)
+        out = lsf_binarize(x, alpha, beta)
+        out.backward(upstream)
+
+        u = (x.data - beta.data) / alpha.data
+        expected = np.where(
+            (u > -1) & (u <= 0), -2 - 2 * u, np.where(
+                (u > 0) & (u <= 1), -2 + 2 * u, 0.0))
+        per_channel = (upstream * expected).sum(axis=(0, 2, 3)).reshape(beta.shape)
+        np.testing.assert_allclose(beta.grad, per_channel, rtol=1e-10)
+
+    def test_x_gradient_is_polynomial(self):
+        x, alpha, beta = self._setup()
+        out = lsf_binarize(x, alpha, beta)
+        G.sum(out).backward()
+        u = (x.data - beta.data) / alpha.data
+        g = np.where((u > -1) & (u <= 0), 2 + 2 * u,
+                     np.where((u > 0) & (u <= 1), 2 - 2 * u, 0.0))
+        np.testing.assert_allclose(x.grad, g, rtol=1e-10)
+
+    def test_alpha_saturation_gradient(self):
+        """Far outside [beta-alpha, beta+alpha], d/d alpha = sign(u)."""
+        x = Tensor(np.array([10.0, -10.0]), requires_grad=True)
+        alpha = Tensor(np.array([1.0]), requires_grad=True)
+        beta = Tensor(np.array([0.0]), requires_grad=True)
+        G.sum(lsf_binarize(x, alpha, beta)).backward()
+        assert alpha.grad[0] == pytest.approx(1.0 - 1.0)  # +1 and -1 cancel
+
+    def test_min_alpha_floor(self):
+        x = Tensor([1.0])
+        alpha = Tensor([0.0])
+        beta = Tensor([0.0])
+        out = lsf_binarize(x, alpha, beta, min_alpha=1e-3)
+        assert abs(out.data[0]) == pytest.approx(1e-3)
+
+    def test_negative_alpha_preserved(self):
+        x = Tensor([1.0])
+        alpha = Tensor([-0.5])
+        beta = Tensor([0.0])
+        out = lsf_binarize(x, alpha, beta)
+        # u = 1/-0.5 = -2 -> sign -1; x_hat = -0.5 * -1 = 0.5
+        assert out.data[0] == pytest.approx(0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), alpha=st.floats(0.1, 3.0))
+    def test_magnitude_property(self, seed, alpha):
+        x = np.random.default_rng(seed).normal(size=10)
+        out = lsf_binarize(Tensor(x), Tensor([alpha]), Tensor([0.0]))
+        np.testing.assert_allclose(np.abs(out.data), alpha, rtol=1e-10)

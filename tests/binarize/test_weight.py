@@ -1,0 +1,97 @@
+"""Tests for per-channel weight binarization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.binarize import binarize_weight, weight_scale
+
+from ..helpers import rng
+
+
+class TestForward:
+    def test_scale_is_per_channel_abs_mean(self):
+        w = rng(0).normal(size=(4, 3, 3, 3))
+        out = binarize_weight(Tensor(w)).data
+        for c in range(4):
+            expected = np.abs(w[c]).mean()
+            np.testing.assert_allclose(np.abs(out[c]), expected, rtol=1e-12)
+
+    def test_sign_preserved(self):
+        w = rng(1).normal(size=(2, 5))
+        out = binarize_weight(Tensor(w)).data
+        np.testing.assert_array_equal(np.sign(out), np.where(w >= 0, 1.0, -1.0))
+
+    def test_linear_weights_per_row(self):
+        w = rng(2).normal(size=(6, 10))
+        scales = weight_scale(Tensor(w))
+        np.testing.assert_allclose(scales, np.abs(w).mean(axis=1))
+
+    def test_conv1d_weights(self):
+        w = rng(3).normal(size=(2, 1, 5))
+        out = binarize_weight(Tensor(w)).data
+        assert out.shape == w.shape
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_l1_preservation_property(self, seed):
+        """Binarization preserves the per-channel l1 norm exactly."""
+        w = np.random.default_rng(seed).normal(size=(3, 4, 3, 3))
+        out = binarize_weight(Tensor(w)).data
+        np.testing.assert_allclose(np.abs(out).sum(axis=(1, 2, 3)),
+                                   np.abs(w).sum(axis=(1, 2, 3)), rtol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_best_binary_approximation_property(self, seed):
+        """mean|w|*sign(w) is the optimal s*b approximation (XNOR-Net thm)."""
+        w = np.random.default_rng(seed).normal(size=(1, 8))
+        out = binarize_weight(Tensor(w)).data
+        best_err = np.sum((w - out) ** 2)
+        r = np.random.default_rng(seed + 1)
+        for _ in range(20):
+            s = abs(r.normal()) + 1e-3
+            b = np.where(r.normal(size=w.shape) > 0, 1.0, -1.0)
+            assert np.sum((w - s * b) ** 2) >= best_err - 1e-9
+
+
+class TestBackward:
+    def test_scale_term_matches_finite_difference(self):
+        """sign() is piecewise constant, so the *true* derivative of
+        s * sign(w) contains only the through-scale term; finite
+        differences must match (analytic grad - STE surrogate term)."""
+        w_data = rng(4).normal(size=(2, 6)) * 0.5  # inside the clip region
+        upstream = rng(5).normal(size=(2, 6))
+        w = Tensor(w_data, requires_grad=True)
+        out = binarize_weight(w)
+        out.backward(upstream)
+
+        scale = np.abs(w_data).mean(axis=1, keepdims=True)
+        ste_term = scale * upstream * (np.abs(w_data) <= 1.0)
+
+        eps = 1e-6
+        numeric = np.zeros_like(w_data)
+        it = np.nditer(w_data, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = w_data[idx]
+            w_data[idx] = orig + eps
+            f_plus = (binarize_weight(Tensor(w_data)).data * upstream).sum()
+            w_data[idx] = orig - eps
+            f_minus = (binarize_weight(Tensor(w_data)).data * upstream).sum()
+            w_data[idx] = orig
+            numeric[idx] = (f_plus - f_minus) / (2 * eps)
+            it.iternext()
+        np.testing.assert_allclose(w.grad - ste_term, numeric, atol=1e-5)
+
+    def test_ste_clipped_outside_unit(self):
+        w = Tensor(np.array([[3.0, -0.2, 0.2, -3.0]]), requires_grad=True)
+        G.sum(binarize_weight(w)).backward()
+        # Only the scale-term gradient survives for |w| > 1.
+        n = 4
+        scale_term = np.sign(w.data) / n * np.sign(w.data).sum()
+        expected_large = scale_term[0, 0]
+        assert w.grad[0, 0] == pytest.approx(expected_large)

@@ -1,0 +1,11 @@
+"""Pytest configuration: keep the initializer deterministic per test."""
+
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_init():
+    init.seed(1234)
+    yield

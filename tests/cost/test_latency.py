@@ -1,0 +1,74 @@
+"""Tests for the analytic latency model."""
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    CostReport,
+    LatencyModel,
+    PAPER_TABLE6,
+    fit_latency_model,
+    paper_calibrated_model,
+)
+
+
+class TestLatencyModel:
+    def test_prediction_linear_in_ops(self):
+        model = LatencyModel(c_fp_ms_per_gop=10.0, c_bin_ms_per_gop=1.0,
+                             c_layer_ms=0.0)
+        r1 = CostReport(fp_ops=1e9, binary_ops=0)
+        r2 = CostReport(fp_ops=2e9, binary_ops=0)
+        assert model.predict(r2) == pytest.approx(2 * model.predict(r1))
+
+    def test_binary_cheaper_than_fp(self):
+        model = paper_calibrated_model()
+        assert model.c_bin_ms_per_gop < model.c_fp_ms_per_gop
+
+    def test_speedup_helper(self):
+        model = LatencyModel(10.0, 1.0, 0.0)
+        fast = CostReport(fp_ops=1e9)
+        slow = CostReport(fp_ops=10e9)
+        assert model.speedup(slow, fast) == pytest.approx(10.0)
+
+    def test_layer_overhead_added(self):
+        model = LatencyModel(0.0, 0.0, 2.0)
+        report = CostReport(n_counted_layers=5)
+        assert model.predict(report) == pytest.approx(10.0)
+
+
+class TestFitting:
+    def test_exact_fit_two_points(self):
+        true = LatencyModel(20.0, 2.0, 0.0)
+        samples = []
+        for fp, bn in [(1e9, 10e9), (5e9, 1e9)]:
+            r = CostReport(fp_ops=fp, binary_ops=bn)
+            samples.append((r, true.predict(r)))
+        fitted = fit_latency_model(samples, c_layer_ms=0.0)
+        assert fitted.c_fp_ms_per_gop == pytest.approx(20.0)
+        assert fitted.c_bin_ms_per_gop == pytest.approx(2.0)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_latency_model([(CostReport(fp_ops=1e9), 10.0)])
+
+    def test_coefficients_nonnegative(self):
+        samples = [(CostReport(fp_ops=1e9, binary_ops=1e9), 1.0),
+                   (CostReport(fp_ops=2e9, binary_ops=1e9), 0.5)]
+        fitted = fit_latency_model(samples, c_layer_ms=0.0)
+        assert fitted.c_fp_ms_per_gop >= 0
+        assert fitted.c_bin_ms_per_gop >= 0
+
+
+class TestPaperCalibration:
+    def test_reproduces_fp_vs_binary_gap(self):
+        """The calibrated model must keep the paper's ~8-10x FP/E2FIF gap."""
+        model = paper_calibrated_model()
+        fp = CostReport(fp_ops=64.98e9, n_counted_layers=40)
+        e2fif = CostReport(fp_ops=0.6e9, binary_ops=(1.83e9 - 0.6e9) * 64,
+                           n_counted_layers=72)
+        ratio = model.predict(fp) / model.predict(e2fif)
+        assert 5.0 < ratio < 15.0
+
+    def test_paper_table6_constants_present(self):
+        assert PAPER_TABLE6["fp_srresnet"]["latency_ms"] == 1649.0
+        assert PAPER_TABLE6["scales_chl40"]["ops_g"] == 0.83

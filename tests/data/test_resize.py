@@ -1,0 +1,102 @@
+"""Tests for bicubic resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.resize import bicubic_resize, cubic_kernel, downscale, upscale
+
+from ..helpers import rng
+
+
+class TestCubicKernel:
+    def test_partition_of_unity_at_integers(self):
+        """Sum of kernel taps at unit offsets is 1 (interpolating kernel)."""
+        for frac in [0.0, 0.25, 0.5, 0.9]:
+            taps = cubic_kernel(np.array([frac + 1, frac, frac - 1, frac - 2]))
+            assert taps.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_peak_at_zero(self):
+        assert cubic_kernel(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_zero_at_integer_offsets(self):
+        vals = cubic_kernel(np.array([1.0, 2.0, -1.0]))
+        np.testing.assert_allclose(vals, 0.0, atol=1e-12)
+
+    def test_support_limited_to_two(self):
+        vals = cubic_kernel(np.array([2.1, -3.0, 10.0]))
+        np.testing.assert_allclose(vals, 0.0)
+
+
+class TestBicubicResize:
+    def test_identity_when_same_size(self):
+        img = rng(0).random((8, 10, 3))
+        np.testing.assert_allclose(bicubic_resize(img, (8, 10)), img)
+
+    def test_constant_image_preserved(self):
+        img = np.full((12, 12, 3), 0.42)
+        out = bicubic_resize(img, (6, 6))
+        np.testing.assert_allclose(out, 0.42, atol=1e-10)
+
+    def test_linear_ramp_preserved_by_upscale(self):
+        """Bicubic reproduces affine signals exactly (away from borders).
+
+        Output pixel i samples input coordinate (i + 0.5)/s - 0.5 (half-
+        pixel centers), so the expected ramp follows that grid.
+        """
+        x = np.linspace(0, 1, 16)
+        img = np.tile(x, (16, 1))
+        out = bicubic_resize(img, (32, 32), antialias=False, clip=False)
+        coords = (np.arange(32) + 0.5) / 2.0 - 0.5
+        expected_cols = coords / 15.0
+        for row in out[8:-8]:
+            np.testing.assert_allclose(row[8:-8], expected_cols[8:-8], atol=1e-9)
+
+    def test_grayscale_2d_supported(self):
+        img = rng(1).random((9, 9))
+        assert bicubic_resize(img, (3, 3)).shape == (3, 3)
+
+    def test_clip_bounds_output(self):
+        img = rng(2).random((8, 8, 3))
+        out = bicubic_resize(img, (16, 16))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            bicubic_resize(np.zeros((4, 4)), (0, 4))
+
+    @settings(max_examples=15, deadline=None)
+    @given(h=st.integers(8, 20), w=st.integers(8, 20))
+    def test_output_shape_property(self, h, w):
+        img = np.zeros((12, 12, 3))
+        assert bicubic_resize(img, (h, w)).shape == (h, w, 3)
+
+    def test_downscale_antialias_reduces_aliasing(self):
+        """A fine checkerboard must average out under antialiased downscale,
+        not alias to a constant +-1 pattern."""
+        y, x = np.mgrid[0:32, 0:32]
+        checker = ((y + x) % 2).astype(float)
+        down = bicubic_resize(checker, (8, 8), antialias=True, clip=False)
+        assert np.abs(down - 0.5).max() < 0.2
+
+
+class TestDownUpscale:
+    def test_downscale_shape(self):
+        img = rng(3).random((16, 24, 3))
+        assert downscale(img, 4).shape == (4, 6, 3)
+
+    def test_downscale_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            downscale(np.zeros((10, 10, 3)), 4)
+
+    def test_upscale_shape(self):
+        img = rng(4).random((5, 7, 3))
+        assert upscale(img, 3).shape == (15, 21, 3)
+
+    def test_down_then_up_approximates_smooth_image(self):
+        """For a smooth image the bicubic round trip is nearly lossless."""
+        from scipy import ndimage
+        img = ndimage.gaussian_filter(rng(5).random((32, 32, 3)), (4, 4, 0))
+        round_trip = upscale(downscale(img, 2), 2)
+        assert np.abs(round_trip - img)[4:-4, 4:-4].mean() < 0.01

@@ -1,0 +1,151 @@
+"""Tests for synthetic image generation and dataset assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    BENCHMARK_SUITES,
+    PatchSampler,
+    benchmark_suite,
+    hr_images,
+    make_pair,
+    synthetic,
+    training_pool,
+)
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("kind", ["gradient", "stripes", "checkerboard",
+                                      "rectangles", "blobs", "texture",
+                                      "urban", "mixed"])
+    def test_range_and_shape(self, kind):
+        img = synthetic.generate(kind, seed=1, h=32, w=40)
+        assert img.shape == (32, 40, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_determinism(self):
+        a = synthetic.generate("mixed", seed=7, h=16, w=16)
+        b = synthetic.generate("mixed", seed=7, h=16, w=16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = synthetic.generate("urban", seed=1, h=16, w=16)
+        b = synthetic.generate("urban", seed=2, h=16, w=16)
+        assert not np.allclose(a, b)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            synthetic.generate("photos", seed=0, h=8, w=8)
+
+    def test_urban_has_high_frequency_content(self):
+        """Urban images must contain strong gradients (repeated edges)."""
+        img = synthetic.generate("urban", seed=3, h=64, w=64)
+        grad_energy = np.abs(np.diff(img, axis=1)).mean()
+        smooth = synthetic.generate("gradient", seed=3, h=64, w=64)
+        smooth_energy = np.abs(np.diff(smooth, axis=1)).mean()
+        assert grad_energy > 5 * smooth_energy
+
+    def test_resolution_independent_statistics(self):
+        """Mean gradient energy must not depend on image size (the
+        train-96px / eval-64px distribution match)."""
+        small = [np.abs(np.diff(synthetic.generate("stripes", s, 48, 48),
+                                axis=0)).mean() for s in range(60, 75)]
+        large = [np.abs(np.diff(synthetic.generate("stripes", s, 96, 96),
+                                axis=0)).mean() for s in range(60, 75)]
+        assert np.mean(small) == pytest.approx(np.mean(large), rel=0.35)
+
+
+class TestSuites:
+    def test_default_sizes(self):
+        assert len(hr_images("set5")) == 5
+        assert len(hr_images("set14")) == 14
+
+    def test_suites_are_disjoint(self):
+        a = hr_images("set5", 2)[0]
+        b = hr_images("b100", 2)[0]
+        assert not np.allclose(a, b)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            hr_images("set99")
+
+    @pytest.mark.parametrize("suite", BENCHMARK_SUITES)
+    def test_benchmark_pairs_consistent(self, suite):
+        pairs = benchmark_suite(suite, scale=2, n_images=2, size=(32, 32))
+        for pair in pairs:
+            assert pair.hr.shape == (32, 32, 3)
+            assert pair.lr.shape == (16, 16, 3)
+            assert pair.scale == 2
+
+
+class TestMakePair:
+    def test_crop_to_scale_multiple(self):
+        hr = np.zeros((33, 34, 3))
+        pair = make_pair(hr, scale=4)
+        assert pair.hr.shape == (32, 32, 3)
+        assert pair.lr.shape == (8, 8, 3)
+
+    def test_lr_multiple_crop(self):
+        hr = np.zeros((40, 40, 3))
+        pair = make_pair(hr, scale=2, lr_multiple=8)
+        assert pair.lr.shape[0] % 8 == 0
+
+    def test_bd_blurs_more_than_bicubic(self):
+        hr = synthetic.generate("urban", seed=0, h=32, w=32)
+        bd = make_pair(hr, 2, degradation="bd")
+        bic = make_pair(hr, 2, degradation="bicubic")
+        assert np.abs(np.diff(bd.lr, axis=0)).mean() < np.abs(
+            np.diff(bic.lr, axis=0)).mean()
+
+    def test_unknown_degradation(self):
+        with pytest.raises(KeyError):
+            make_pair(np.zeros((8, 8, 3)), 2, degradation="jpeg")
+
+
+class TestPatchSampler:
+    def _pool(self):
+        return training_pool(scale=2, n_images=3, size=(48, 48))
+
+    def test_batch_shapes(self):
+        sampler = PatchSampler(self._pool(), patch_size=8, batch_size=4, seed=0)
+        lr, hr = sampler.batch()
+        assert lr.shape == (4, 3, 8, 8)
+        assert hr.shape == (4, 3, 16, 16)
+
+    def test_alignment(self):
+        """The HR patch must be the upscaled region of the LR patch: check
+        the means roughly agree."""
+        sampler = PatchSampler(self._pool(), patch_size=8, batch_size=16,
+                               seed=1, augment=False)
+        lr, hr = sampler.batch()
+        lr_means = lr.mean(axis=(1, 2, 3))
+        hr_means = hr.mean(axis=(1, 2, 3))
+        np.testing.assert_allclose(lr_means, hr_means, atol=0.1)
+
+    def test_determinism_per_seed(self):
+        s1 = PatchSampler(self._pool(), patch_size=8, seed=5)
+        s2 = PatchSampler(self._pool(), patch_size=8, seed=5)
+        np.testing.assert_array_equal(s1.batch()[0], s2.batch()[0])
+
+    def test_rejects_oversized_patch(self):
+        with pytest.raises(ValueError):
+            PatchSampler(self._pool(), patch_size=64)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            PatchSampler([], patch_size=8)
+
+    def test_batch_size_override(self):
+        sampler = PatchSampler(self._pool(), patch_size=8, batch_size=4)
+        lr, _ = sampler.batch(batch_size=2)
+        assert lr.shape[0] == 2
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_values_in_range(self, seed):
+        sampler = PatchSampler(self._pool(), patch_size=8, seed=seed)
+        lr, hr = sampler.batch(2)
+        assert lr.min() >= 0 and lr.max() <= 1
+        assert hr.min() >= 0 and hr.max() <= 1

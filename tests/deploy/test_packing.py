@@ -1,0 +1,87 @@
+"""Unit and property tests for the bit-packing codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deploy import pack_signs, packed_words, popcount_u64, unpack_signs
+from repro.deploy.packing import WORD_BITS
+
+
+class TestPackedWords:
+    def test_exact_multiples(self):
+        assert packed_words(0) == 0
+        assert packed_words(64) == 1
+        assert packed_words(128) == 2
+
+    def test_rounding_up(self):
+        assert packed_words(1) == 1
+        assert packed_words(65) == 2
+        assert packed_words(127) == 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            packed_words(-1)
+
+
+class TestPackSigns:
+    def test_known_pattern(self):
+        # +1 at positions 0 and 2 -> bits 0b101 = 5.
+        signs = np.array([1.0, -1.0, 1.0])
+        packed = pack_signs(signs)
+        assert packed.shape == (1,)
+        assert packed[0] == np.uint64(5)
+
+    def test_bit_position_convention(self):
+        # A lone +1 at position i sets bit i of word i // 64.
+        for i in (0, 5, 63, 64, 100):
+            signs = -np.ones(130)
+            signs[i] = 1.0
+            packed = pack_signs(signs)
+            word, bit = divmod(i, WORD_BITS)
+            assert packed[word] == np.uint64(1) << np.uint64(bit)
+            others = [w for j, w in enumerate(packed) if j != word]
+            assert all(w == 0 for w in others)
+
+    def test_zero_counts_as_positive(self):
+        packed = pack_signs(np.array([0.0, -1.0]))
+        assert packed[0] == np.uint64(1)
+
+    def test_leading_axes_preserved(self):
+        signs = np.where(np.random.default_rng(0).random((2, 3, 70)) > 0.5, 1.0, -1.0)
+        packed = pack_signs(signs)
+        assert packed.shape == (2, 3, 2)
+
+    def test_scalar_input_raises(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.float64(1.0))
+
+    def test_unpack_word_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            unpack_signs(np.zeros((1, 2), dtype=np.uint64), 64)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers(0, 2**31))
+    def test_roundtrip(self, k, seed):
+        rng = np.random.default_rng(seed)
+        signs = np.where(rng.random((3, k)) > 0.5, 1.0, -1.0)
+        recovered = unpack_signs(pack_signs(signs), k)
+        np.testing.assert_array_equal(recovered, signs)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        values = np.array([0, 1, 3, 0xFF, 2**63, 2**64 - 1], dtype=np.uint64)
+        expected = [0, 1, 2, 8, 1, 64]
+        np.testing.assert_array_equal(popcount_u64(values), expected)
+
+    def test_shape_preserved(self):
+        words = np.zeros((2, 3, 4), dtype=np.uint64)
+        assert popcount_u64(words).shape == (2, 3, 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_python_bin(self, value):
+        arr = np.array([value], dtype=np.uint64)
+        assert popcount_u64(arr)[0] == bin(value).count("1")

@@ -1,0 +1,67 @@
+"""Artifact writers and the CLI runner (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import artifacts
+from repro.experiments.presets import ExperimentPreset
+from repro.experiments.runner import main as runner_main
+from repro.viz import read_png
+
+#: A preset small enough for test-time training (seconds, not minutes).
+_TINY = ExperimentPreset(train_images=2, train_image_size=48, eval_images=2,
+                         eval_image_size=48, steps=4, batch_size=2,
+                         patch_size=12, transformer_steps=2,
+                         transformer_patch=8, transformer_batch=2)
+
+
+class TestDatasetArtifacts:
+    def test_dataset_previews(self, tmp_path):
+        files = artifacts.save_dataset_previews(tmp_path, n_per_suite=2,
+                                                size=32)
+        assert len(files) == 5
+        for path in files:
+            img = read_png(path)
+            assert img.ndim == 3 and img.shape[2] == 3
+
+    def test_degradation_preview(self, tmp_path):
+        path = artifacts.save_degradation_preview(tmp_path, scale=2, size=32)
+        img = read_png(path)
+        # Two panels side by side: wider than tall.
+        assert img.shape[1] > img.shape[0]
+
+
+class TestFigureArtifacts:
+    def test_fig1_sheets(self, tmp_path):
+        files = artifacts.save_fig1_sheets(tmp_path, max_channels=4,
+                                           preset=_TINY)
+        assert {p.name for p in files} == {"fig1_feature_maps_scales.png",
+                                           "fig1_feature_maps_e2fif.png"}
+        for path in files:
+            img = read_png(path)
+            # Binary maps render as near-black/white panels on gray margins.
+            values = set(np.unique(img))
+            assert values <= {0, 128, 255}
+
+    def test_fig9_rows(self, tmp_path, capsys):
+        files = artifacts.save_fig9_rows(tmp_path, scale=2, n_images=1,
+                                         preset=_TINY)
+        assert len(files) == 1
+        assert "SCALES" in capsys.readouterr().out
+        assert read_png(files[0]).shape[2] == 3
+
+
+class TestRunnerCli:
+    def test_fast_experiment(self, capsys):
+        assert runner_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SCALES (ours)" in out
+
+    def test_fig4_renders_strips(self, capsys):
+        assert runner_main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "O" in out and "=" in out  # box-plot strips
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner_main(["table99"])

@@ -1,0 +1,95 @@
+"""Tests for the experiment infrastructure (fast paths only — the
+training-based tables run in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DESCRIPTIONS, EXPERIMENTS, get_preset, run
+from repro.experiments.presets import FULL, QUICK, ExperimentPreset
+from repro.experiments.tables import (
+    format_rows,
+    format_table1,
+    table1_adaptability,
+    table2_variance,
+    table6_latency,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        """Every table and figure of the paper has an experiment entry."""
+        for key in ["table1", "table2", "table3", "table4", "table5",
+                    "table6", "fig1", "fig3", "fig4", "fig5", "fig9"]:
+            assert key in EXPERIMENTS
+            assert key in DESCRIPTIONS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run("table99")
+
+
+class TestPresets:
+    def test_quick_vs_full(self):
+        assert FULL.steps > QUICK.steps
+        assert FULL.train_images > QUICK.train_images
+
+    def test_get_preset(self):
+        assert get_preset(False) is QUICK
+        assert get_preset(True) is FULL
+
+    def test_presets_frozen(self):
+        with pytest.raises(Exception):
+            QUICK.steps = 1
+
+
+class TestTable1:
+    def test_rows_and_order(self):
+        rows = table1_adaptability()
+        assert len(rows) == 7
+        assert rows[-1]["method"] == "SCALES (ours)"
+
+    def test_formatting(self):
+        text = format_table1(table1_adaptability())
+        assert "SCALES" in text and "HW cost" in text
+
+
+class TestTable2:
+    def test_sr_networks_show_larger_variation(self):
+        rows = {r["network"]: r for r in table2_variance(n_images=3,
+                                                         image_size=32)}
+        assert set(rows) == {"EDSR", "ResNet", "SwinIR", "SwinViT"}
+        # The paper's core observation (Table II): SR CNN >> classifier CNN
+        # by orders of magnitude on every axis.
+        for axis in ["chl-to-chl", "pixel-to-pixel", "layer-to-layer",
+                     "image-to-image"]:
+            assert rows["EDSR"][axis] > 100 * rows["ResNet"][axis], axis
+
+    def test_swinir_channel_variation_small(self):
+        """LN removes channel variation in transformers (Sec. III-B)."""
+        rows = {r["network"]: r for r in table2_variance(n_images=3,
+                                                         image_size=32)}
+        assert rows["SwinIR"]["chl-to-chl"] < rows["EDSR"]["chl-to-chl"]
+
+
+class TestTable6:
+    def test_latency_rows(self):
+        rows = {r["method"]: r for r in table6_latency()}
+        assert set(rows) == {"fp", "e2fif", "scales_chl64", "scales_chl40"}
+        # Paper shape: FP slowest by ~7-10x; SCALES(40) fastest binary;
+        # SCALES(64) slightly slower than E2FIF.
+        assert rows["fp"]["latency_ms"] > 4 * rows["e2fif"]["latency_ms"]
+        assert rows["scales_chl40"]["latency_ms"] < rows["e2fif"]["latency_ms"]
+        assert rows["scales_chl64"]["latency_ms"] > rows["e2fif"]["latency_ms"]
+
+    def test_chl40_cheapest_ops(self):
+        rows = {r["method"]: r for r in table6_latency()}
+        assert rows["scales_chl40"]["ops_g"] < rows["scales_chl64"]["ops_g"]
+
+
+class TestFormatting:
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(empty)"
+
+    def test_format_rows_basic(self):
+        text = format_rows([{"a": 1.23456, "b": "x"}])
+        assert "1.235" in text and "x" in text

@@ -1,0 +1,105 @@
+"""Gradient and value tests for pointwise ops."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+
+from ..helpers import check_gradients, rng
+
+
+class TestValues:
+    def test_relu_values(self):
+        out = G.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = rng(0).normal(size=100) * 5
+        out = G.sigmoid(Tensor(x)).data
+        assert np.all((out > 0) & (out < 1))
+        np.testing.assert_allclose(G.sigmoid(Tensor(-x)).data, 1 - out, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = G.sigmoid(Tensor([-1000.0, 1000.0])).data
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_softmax_sums_to_one(self):
+        x = rng(0).normal(size=(4, 7))
+        out = G.softmax(Tensor(x), axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_softmax_shift_invariance(self):
+        x = rng(0).normal(size=(5,))
+        a = G.softmax(Tensor(x)).data
+        b = G.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_clip_values(self):
+        out = G.clip(Tensor([-2.0, 0.5, 2.0]), -1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+    def test_where_selects(self):
+        cond = np.array([True, False])
+        out = G.where(cond, Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_maximum_values(self):
+        out = G.maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+
+    def test_gelu_known_points(self):
+        out = G.gelu(Tensor([0.0])).data
+        assert out[0] == pytest.approx(0.0)
+        assert G.gelu(Tensor([3.0])).data[0] == pytest.approx(3.0, abs=0.02)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("fn", [G.exp, G.tanh, G.sigmoid, G.gelu])
+    def test_smooth_unary(self, fn):
+        check_gradients(lambda ts: G.sum(fn(ts[0])),
+                        [rng(3).normal(size=(3, 4))])
+
+    def test_log_sqrt_positive_domain(self):
+        check_gradients(lambda ts: G.sum(G.log(ts[0]) + G.sqrt(ts[0])),
+                        [rng(0).random((3, 3)) + 0.5])
+
+    def test_relu_grad_masks_negative(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        G.sum(G.relu(x)).backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu_grad(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        G.sum(G.leaky_relu(x, 0.1)).backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_abs_grad_is_sign(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        G.sum(G.absolute(x)).backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+    def test_softmax_grad(self):
+        check_gradients(lambda ts: G.sum(G.softmax(ts[0], axis=-1) ** 2),
+                        [rng(5).normal(size=(2, 5))])
+
+    def test_clip_grad_zero_outside(self):
+        x = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        G.sum(G.clip(x, -1.0, 1.0)).backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_grad_routing(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        G.sum(G.maximum(a, b)).backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_where_grad_routing(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        G.sum(G.where(cond, a, b)).backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])

@@ -1,0 +1,131 @@
+"""Tests for convolution and pooling ops, including a direct-convolution
+reference implementation and hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import grad as G
+from repro.grad import Tensor, conv2d_output_shape
+
+from ..helpers import check_gradients, rng
+
+
+def reference_conv2d(x, w, b=None, stride=1, padding=0):
+    """Naive direct convolution for cross-checking the im2col version."""
+    bsz, cin, h, ww = x.shape
+    cout, _, kh, kw = w.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (ww + 2 * padding - kw) // stride + 1
+    out = np.zeros((bsz, cout, oh, ow))
+    for n in range(bsz):
+        for co in range(cout):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x_pad[n, :, i * stride:i * stride + kh,
+                                  j * stride:j * stride + kw]
+                    out[n, co, i, j] = np.sum(patch * w[co])
+            if b is not None:
+                out[n, co] += b[co]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_direct_convolution(self, stride, padding):
+        x = rng(0).normal(size=(2, 3, 6, 7))
+        w = rng(1).normal(size=(4, 3, 3, 3))
+        b = rng(2).normal(size=(4,))
+        out = G.conv2d(Tensor(x), Tensor(w), Tensor(b),
+                       stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_1x1_conv_is_channel_mix(self):
+        x = rng(3).normal(size=(1, 3, 4, 4))
+        w = rng(4).normal(size=(2, 3, 1, 1))
+        out = G.conv2d(Tensor(x), Tensor(w), padding=0).data
+        expected = np.einsum("oc,bchw->bohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_gradients(self):
+        check_gradients(
+            lambda ts: G.sum(G.conv2d(ts[0], ts[1], ts[2], stride=2, padding=1) ** 2),
+            [rng(0).normal(size=(1, 2, 5, 5)),
+             rng(1).normal(size=(3, 2, 3, 3)),
+             rng(2).normal(size=(3,))],
+            atol=1e-4, rtol=1e-3)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            G.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            G.conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 5, 5))))
+
+    def test_output_shape_helper(self):
+        assert conv2d_output_shape((8, 10), 3, stride=2, padding=1) == (4, 5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(h=st.integers(4, 9), w=st.integers(4, 9),
+           k=st.sampled_from([1, 3]), stride=st.sampled_from([1, 2]))
+    def test_shape_property(self, h, w, k, stride):
+        x = np.zeros((1, 2, h, w))
+        wt = np.zeros((3, 2, k, k))
+        pad = k // 2
+        out = G.conv2d(Tensor(x), Tensor(wt), stride=stride, padding=pad)
+        assert out.shape[2:] == conv2d_output_shape((h, w), k, stride, pad)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_linearity_property(self, seed):
+        """conv(a*x) == a * conv(x) — convolution is linear."""
+        r = np.random.default_rng(seed)
+        x = r.normal(size=(1, 2, 5, 5))
+        w = r.normal(size=(2, 2, 3, 3))
+        out1 = G.conv2d(Tensor(3.0 * x), Tensor(w), padding=1).data
+        out2 = 3.0 * G.conv2d(Tensor(x), Tensor(w), padding=1).data
+        np.testing.assert_allclose(out1, out2, atol=1e-9)
+
+
+class TestConv1d:
+    def test_values_against_manual(self):
+        x = np.array([[[1.0, 2.0, 3.0, 4.0]]])
+        w = np.array([[[1.0, 0.0, -1.0]]])
+        out = G.conv1d(Tensor(x), Tensor(w), padding=1).data
+        np.testing.assert_allclose(out[0, 0], [-2.0, -2.0, -2.0, 3.0])
+
+    def test_gradients(self):
+        check_gradients(
+            lambda ts: G.sum(G.conv1d(ts[0], ts[1], ts[2], padding=2) ** 2),
+            [rng(0).normal(size=(2, 1, 8)),
+             rng(1).normal(size=(1, 1, 5)),
+             rng(2).normal(size=(1,))],
+            atol=1e-4, rtol=1e-3)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            G.conv1d(Tensor(np.zeros((1, 2, 8))), Tensor(np.zeros((1, 3, 3))))
+
+
+class TestPooling:
+    def test_global_avg_pool_values(self):
+        x = rng(0).normal(size=(2, 3, 4, 5))
+        out = G.global_avg_pool2d(Tensor(x)).data
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3), keepdims=True))
+
+    def test_global_avg_pool_grad(self):
+        check_gradients(lambda ts: G.sum(G.global_avg_pool2d(ts[0]) ** 2),
+                        [rng(1).normal(size=(1, 2, 3, 3))])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = G.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad(self):
+        check_gradients(lambda ts: G.sum(G.avg_pool2d(ts[0], 2) ** 2),
+                        [rng(2).normal(size=(1, 1, 4, 4))])

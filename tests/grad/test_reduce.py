@@ -1,0 +1,76 @@
+"""Tests for reduction ops."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+
+from ..helpers import check_gradients, rng
+
+
+class TestValues:
+    def test_sum_axis_none(self):
+        x = rng(0).normal(size=(3, 4))
+        assert G.sum(Tensor(x)).data == pytest.approx(x.sum())
+
+    @pytest.mark.parametrize("axis", [0, 1, (0, 1), -1])
+    def test_sum_axes(self, axis):
+        x = rng(0).normal(size=(3, 4))
+        np.testing.assert_allclose(G.sum(Tensor(x), axis=axis).data,
+                                   x.sum(axis=axis))
+
+    @pytest.mark.parametrize("keepdims", [True, False])
+    def test_mean_matches_numpy(self, keepdims):
+        x = rng(1).normal(size=(2, 3, 4))
+        np.testing.assert_allclose(
+            G.mean(Tensor(x), axis=(1, 2), keepdims=keepdims).data,
+            x.mean(axis=(1, 2), keepdims=keepdims))
+
+    def test_var_matches_numpy(self):
+        x = rng(2).normal(size=(5, 6))
+        np.testing.assert_allclose(G.var(Tensor(x), axis=1).data,
+                                   x.var(axis=1), rtol=1e-10)
+
+    def test_var_ddof(self):
+        x = rng(2).normal(size=(20,))
+        np.testing.assert_allclose(G.var(Tensor(x), ddof=1).data,
+                                   x.var(ddof=1), rtol=1e-10)
+
+    def test_max_min_values(self):
+        x = rng(3).normal(size=(4, 5))
+        np.testing.assert_allclose(G.maxval(Tensor(x), axis=1).data, x.max(axis=1))
+        np.testing.assert_allclose(G.minval(Tensor(x), axis=0).data, x.min(axis=0))
+
+
+class TestGradients:
+    def test_sum_grad(self):
+        check_gradients(lambda ts: G.sum(ts[0] * ts[0]),
+                        [rng(0).normal(size=(3, 4))])
+
+    def test_mean_axis_grad(self):
+        check_gradients(lambda ts: G.sum(G.mean(ts[0], axis=1) ** 2),
+                        [rng(1).normal(size=(3, 4))])
+
+    def test_mean_keepdims_grad(self):
+        check_gradients(
+            lambda ts: G.sum((ts[0] - G.mean(ts[0], axis=1, keepdims=True)) ** 2),
+            [rng(2).normal(size=(3, 4))])
+
+    def test_var_grad(self):
+        check_gradients(lambda ts: G.sum(G.var(ts[0], axis=0)),
+                        [rng(3).normal(size=(4, 3))])
+
+    def test_max_grad_flows_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 3.0]], requires_grad=True)
+        G.sum(G.maxval(x, axis=1)).backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_grad_splits_ties(self):
+        x = Tensor([[2.0, 2.0]], requires_grad=True)
+        G.sum(G.maxval(x, axis=1)).backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_global_max_grad(self):
+        check_gradients(lambda ts: G.maxval(ts[0] ** 2),
+                        [np.array([[0.5, -2.0], [1.0, 0.1]])])

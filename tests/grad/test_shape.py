@@ -1,0 +1,123 @@
+"""Tests for shape-manipulation ops."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+
+from ..helpers import check_gradients, rng
+
+
+class TestValues:
+    def test_reshape_roundtrip(self):
+        x = rng(0).normal(size=(2, 6))
+        out = G.reshape(G.reshape(Tensor(x), (3, 4)), (2, 6))
+        np.testing.assert_allclose(out.data, x)
+
+    def test_transpose_matches_numpy(self):
+        x = rng(1).normal(size=(2, 3, 4))
+        np.testing.assert_allclose(G.transpose(Tensor(x), (2, 0, 1)).data,
+                                   x.transpose(2, 0, 1))
+
+    def test_swapaxes(self):
+        x = rng(2).normal(size=(2, 3, 4))
+        np.testing.assert_allclose(G.swapaxes(Tensor(x), 0, 2).data,
+                                   np.swapaxes(x, 0, 2))
+
+    def test_getitem_slicing(self):
+        x = rng(3).normal(size=(4, 5))
+        t = Tensor(x)
+        np.testing.assert_allclose(t[1:3, ::2].data, x[1:3, ::2])
+
+    def test_concat_and_stack(self):
+        a, b = rng(4).normal(size=(2, 3)), rng(5).normal(size=(2, 3))
+        np.testing.assert_allclose(G.concat([Tensor(a), Tensor(b)], axis=0).data,
+                                   np.concatenate([a, b], axis=0))
+        np.testing.assert_allclose(G.stack([Tensor(a), Tensor(b)], axis=1).data,
+                                   np.stack([a, b], axis=1))
+
+    def test_pad2d_shape_and_values(self):
+        x = rng(6).normal(size=(1, 2, 3, 3))
+        out = G.pad2d(Tensor(x), 2)
+        assert out.shape == (1, 2, 7, 7)
+        np.testing.assert_allclose(out.data[:, :, 2:5, 2:5], x)
+        assert out.data[:, :, 0].sum() == 0.0
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(rng(6).normal(size=(1, 1, 3, 3)))
+        assert G.pad2d(x, 0) is x
+
+    def test_roll_matches_numpy(self):
+        x = rng(7).normal(size=(1, 4, 4, 2))
+        np.testing.assert_allclose(G.roll(Tensor(x), (1, -2), axis=(1, 2)).data,
+                                   np.roll(x, (1, -2), axis=(1, 2)))
+
+    def test_broadcast_to(self):
+        x = rng(8).normal(size=(1, 3))
+        out = G.broadcast_to(Tensor(x), (4, 3))
+        np.testing.assert_allclose(out.data, np.broadcast_to(x, (4, 3)))
+
+    def test_pixel_shuffle_unshuffle_roundtrip(self):
+        x = rng(9).normal(size=(2, 8, 3, 5))
+        out = G.pixel_unshuffle(G.pixel_shuffle(Tensor(x), 2), 2)
+        np.testing.assert_allclose(out.data, x)
+
+    def test_pixel_shuffle_known_pattern(self):
+        # Channel c of the input appears at offset (c // r, c % r).
+        x = np.zeros((1, 4, 1, 1))
+        x[0, 0] = 1.0
+        x[0, 3] = 4.0
+        out = G.pixel_shuffle(Tensor(x), 2).data
+        assert out[0, 0, 0, 0] == 1.0
+        assert out[0, 0, 1, 1] == 4.0
+
+    def test_pixel_shuffle_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            G.pixel_shuffle(Tensor(np.zeros((1, 3, 2, 2))), 2)
+
+    def test_pixel_unshuffle_rejects_bad_spatial(self):
+        with pytest.raises(ValueError):
+            G.pixel_unshuffle(Tensor(np.zeros((1, 1, 3, 3))), 2)
+
+
+class TestGradients:
+    def test_reshape_grad(self):
+        check_gradients(lambda ts: G.sum(G.reshape(ts[0], (6,)) ** 2),
+                        [rng(0).normal(size=(2, 3))])
+
+    def test_transpose_grad(self):
+        check_gradients(lambda ts: G.sum(G.transpose(ts[0], (1, 0)) ** 3),
+                        [rng(1).normal(size=(2, 3))])
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(rng(2).normal(size=(4,)), requires_grad=True)
+        G.sum(x[1:3] * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [0.0, 2.0, 2.0, 0.0])
+
+    def test_concat_grad_split(self):
+        check_gradients(
+            lambda ts: G.sum(G.concat([ts[0], ts[1]], axis=1) ** 2),
+            [rng(3).normal(size=(2, 2)), rng(4).normal(size=(2, 3))])
+
+    def test_stack_grad(self):
+        check_gradients(
+            lambda ts: G.sum(G.stack([ts[0], ts[1]], axis=0) ** 2),
+            [rng(5).normal(size=(2, 2)), rng(6).normal(size=(2, 2))])
+
+    def test_pad_grad(self):
+        check_gradients(lambda ts: G.sum(G.pad2d(ts[0], 1) ** 2),
+                        [rng(7).normal(size=(1, 1, 3, 3))])
+
+    def test_roll_grad(self):
+        check_gradients(lambda ts: G.sum(G.roll(ts[0], 1, axis=1) * ts[0]),
+                        [rng(8).normal(size=(1, 4, 2))])
+
+    def test_pixel_shuffle_grad(self):
+        check_gradients(lambda ts: G.sum(G.pixel_shuffle(ts[0], 2) ** 2),
+                        [rng(9).normal(size=(1, 4, 2, 2))])
+
+    def test_broadcast_to_grad(self):
+        x = Tensor(rng(10).normal(size=(1, 3)), requires_grad=True)
+        G.sum(G.broadcast_to(x, (5, 3))).backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 3), 5.0))

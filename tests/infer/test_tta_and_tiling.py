@@ -1,0 +1,130 @@
+"""Self-ensemble and tiled inference."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.data import benchmark_suite
+from repro.infer import DIHEDRAL_TRANSFORMS, self_ensemble, tiled_super_resolve
+from repro.infer.tiling import _tile_starts
+from repro.metrics import psnr_y
+from repro.models import build_model
+from repro.nn import Module, init
+from repro.train import super_resolve
+
+
+class _Bilinear(Module):
+    """Deterministic stand-in model: nearest-neighbour x2 upscale."""
+
+    def forward(self, x):
+        data = np.repeat(np.repeat(x.data, 2, axis=2), 2, axis=3)
+        from repro.grad import Tensor
+        return Tensor(data)
+
+
+class TestDihedralTransforms:
+    def test_eight_distinct_transforms(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((6, 8, 3))
+        results = {DIHEDRAL_TRANSFORMS[i][0](img).tobytes()
+                   for i in range(8)}
+        assert len(results) == 8
+
+    def test_inverses_cancel(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((5, 7, 3))
+        for forward_t, inverse_t in DIHEDRAL_TRANSFORMS:
+            np.testing.assert_array_equal(inverse_t(forward_t(img)), img)
+
+
+class TestSelfEnsemble:
+    def test_equivariant_model_unchanged(self):
+        # A transform-equivariant model makes the ensemble a no-op, which
+        # checks the inverse bookkeeping precisely.
+        model = _Bilinear()
+        rng = np.random.default_rng(2)
+        img = rng.random((6, 6, 3)).astype(np.float32)
+        single = super_resolve(model, img)
+        ensembled = self_ensemble(model, img, n_transforms=8)
+        np.testing.assert_allclose(ensembled, single, atol=1e-6)
+
+    def test_n_transforms_one_equals_plain(self):
+        with G.default_dtype("float32"):
+            init.seed(0)
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            img = np.random.default_rng(3).random((8, 8, 3)).astype(np.float32)
+            np.testing.assert_allclose(self_ensemble(model, img, 1),
+                                       np.clip(super_resolve(model, img), 0, 1),
+                                       atol=1e-6)
+
+    def test_bad_n_transforms(self):
+        with pytest.raises(ValueError):
+            self_ensemble(_Bilinear(), np.zeros((4, 4, 3)), 0)
+        with pytest.raises(ValueError):
+            self_ensemble(_Bilinear(), np.zeros((4, 4, 3)), 9)
+
+    def test_ensemble_at_least_matches_single_on_average(self):
+        # Averaging dihedral predictions is a variance reduction; on a
+        # real (non-equivariant) model it should not hurt materially.
+        with G.default_dtype("float32"):
+            init.seed(1)
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny")
+            pairs = benchmark_suite("urban100", 2, 3, (32, 32))
+            deltas = []
+            for pair in pairs:
+                single = psnr_y(np.clip(super_resolve(model, pair.lr), 0, 1),
+                                pair.hr, shave=2)
+                plus = psnr_y(self_ensemble(model, pair.lr, 8), pair.hr, shave=2)
+                deltas.append(plus - single)
+            assert np.mean(deltas) > -0.1
+
+
+class TestTileStarts:
+    def test_small_input_single_tile(self):
+        assert _tile_starts(10, 16, 8) == [0]
+
+    def test_flush_right_coverage(self):
+        starts = _tile_starts(20, 8, 6)
+        assert starts[-1] == 12
+        covered = set()
+        for s in starts:
+            covered.update(range(s, s + 8))
+        assert covered == set(range(20))
+
+
+class TestTiledSuperResolve:
+    def test_matches_whole_image_for_local_model(self):
+        # Nearest-neighbour upscale is purely local: tiling must be exact.
+        model = _Bilinear()
+        rng = np.random.default_rng(4)
+        img = rng.random((20, 14, 3))
+        whole = np.clip(super_resolve(model, img), 0, 1)
+        tiled = tiled_super_resolve(model, img, scale=2, tile=8, overlap=4)
+        np.testing.assert_allclose(tiled, whole, atol=1e-6)
+
+    def test_close_to_whole_image_for_real_model(self):
+        with G.default_dtype("float32"):
+            init.seed(2)
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            img = np.random.default_rng(5).random((24, 24, 3)).astype(np.float32)
+            whole = np.clip(super_resolve(model, img), 0, 1)
+            tiled = tiled_super_resolve(model, img, scale=2, tile=16, overlap=8)
+            # Seam bands may differ slightly; the bulk must agree.
+            assert np.abs(tiled - whole).mean() < 0.01
+
+    def test_window_multiple_validation(self):
+        with pytest.raises(ValueError, match="multiple"):
+            tiled_super_resolve(_Bilinear(), np.zeros((16, 16, 3)), 2,
+                                tile=10, lr_multiple=4)
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError, match="overlap"):
+            tiled_super_resolve(_Bilinear(), np.zeros((16, 16, 3)), 2,
+                                tile=8, overlap=8)
+
+    def test_output_geometry(self):
+        out = tiled_super_resolve(_Bilinear(), np.zeros((18, 10, 3)), 2,
+                                  tile=8, overlap=2)
+        assert out.shape == (36, 20, 3)

@@ -1,0 +1,104 @@
+"""Cross-module workflows a downstream user would actually run.
+
+Each test chains several subsystems end to end: train -> checkpoint ->
+reload, train -> compile -> deploy, synthetic -> files -> evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.data import benchmark_suite, folder_suite, training_pool
+from repro.deploy import compile_model
+from repro.infer import self_ensemble, tiled_super_resolve
+from repro.metrics import psnr_y
+from repro.models import build_model
+from repro.nn import init
+from repro.train import TrainConfig, Trainer, evaluate, super_resolve
+from repro.viz import write_png
+
+
+@pytest.fixture(scope="module")
+def trained_scales_model():
+    """One small trained SCALES SRResNet shared by the workflow tests."""
+    with G.default_dtype("float32"):
+        init.seed(42)
+        model = build_model("srresnet", scale=2, scheme="scales",
+                            preset="tiny", light_tail=True, head_kernel=3)
+        pool = training_pool(scale=2, n_images=4, size=(64, 64))
+        Trainer(model, pool, TrainConfig(steps=30, batch_size=4,
+                                         patch_size=16, seed=7)).fit()
+    return model
+
+
+class TestCheckpointWorkflow:
+    def test_save_reload_identical_outputs(self, trained_scales_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        trained_scales_model.save(path)
+        with G.default_dtype("float32"):
+            init.seed(0)  # different init: loading must overwrite it
+            fresh = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny", light_tail=True, head_kernel=3)
+            fresh.load(path)
+            img = np.random.default_rng(1).random((8, 8, 3)).astype(np.float32)
+            np.testing.assert_allclose(super_resolve(fresh, img),
+                                       super_resolve(trained_scales_model, img),
+                                       atol=1e-6)
+
+    def test_resume_training_from_checkpoint(self, trained_scales_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        trained_scales_model.save(path)
+        with G.default_dtype("float32"):
+            init.seed(3)
+            resumed = build_model("srresnet", scale=2, scheme="scales",
+                                  preset="tiny", light_tail=True, head_kernel=3)
+            resumed.load(path)
+            pool = training_pool(scale=2, n_images=4, size=(64, 64))
+            history = Trainer(resumed, pool,
+                              TrainConfig(steps=5, batch_size=4, patch_size=16,
+                                          seed=11, calibrate=False)).fit()
+        assert np.isfinite(history).all()
+
+
+class TestDeploymentWorkflow:
+    def test_train_compile_evaluate(self, trained_scales_model):
+        with G.default_dtype("float32"):
+            deployed = compile_model(trained_scales_model)
+            pairs = benchmark_suite("b100", 2, 2, (32, 32))
+            float_result = evaluate(trained_scales_model, pairs)
+            packed_result = evaluate(deployed, pairs)
+        assert abs(float_result.psnr - packed_result.psnr) < 1e-3
+
+    def test_self_ensemble_over_packed_model(self, trained_scales_model):
+        with G.default_dtype("float32"):
+            deployed = compile_model(trained_scales_model)
+            img = np.random.default_rng(2).random((8, 8, 3)).astype(np.float32)
+            out = self_ensemble(deployed, img, n_transforms=4)
+        assert out.shape == (16, 16, 3)
+        assert np.isfinite(out).all()
+
+    def test_tiled_inference_over_packed_model(self, trained_scales_model):
+        with G.default_dtype("float32"):
+            deployed = compile_model(trained_scales_model)
+            img = np.random.default_rng(3).random((24, 24, 3)).astype(np.float32)
+            whole = np.clip(super_resolve(deployed, img), 0, 1)
+            tiled = tiled_super_resolve(deployed, img, 2, tile=16, overlap=8)
+        assert np.abs(whole - tiled).mean() < 0.02
+
+
+class TestFileBasedEvaluation:
+    def test_folder_suite_matches_synthetic_suite(self, trained_scales_model,
+                                                  tmp_path):
+        # Writing the suite to PNG and reading it back must reproduce the
+        # in-memory evaluation up to 8-bit quantization of the HR images.
+        from repro.data import hr_images
+
+        images = hr_images("b100", 2, (32, 32))
+        for i, img in enumerate(images):
+            write_png(tmp_path / f"{i}.png", img)
+        with G.default_dtype("float32"):
+            direct = evaluate(trained_scales_model,
+                              benchmark_suite("b100", 2, 2, (32, 32)))
+            from_files = evaluate(trained_scales_model,
+                                  folder_suite(tmp_path, scale=2))
+        assert abs(direct.psnr - from_files.psnr) < 0.2

@@ -1,0 +1,125 @@
+"""Tests for PSNR / SSIM and color conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.color import rgb_to_y, rgb_to_ycbcr, shave_border, ycbcr_to_rgb
+from repro.metrics import psnr, psnr_y, ssim, ssim_y
+
+from ..helpers import rng
+
+
+class TestColor:
+    def test_ycbcr_roundtrip(self):
+        img = rng(0).random((8, 8, 3))
+        back = ycbcr_to_rgb(rgb_to_ycbcr(img))
+        np.testing.assert_allclose(back, img, atol=1e-10)
+
+    def test_gray_has_neutral_chroma(self):
+        img = np.full((4, 4, 3), 0.5)
+        ycbcr = rgb_to_ycbcr(img)
+        np.testing.assert_allclose(ycbcr[..., 1], 128 / 255, atol=1e-10)
+        np.testing.assert_allclose(ycbcr[..., 2], 128 / 255, atol=1e-10)
+
+    def test_y_weights_favor_green(self):
+        red = np.zeros((1, 1, 3)); red[..., 0] = 1
+        green = np.zeros((1, 1, 3)); green[..., 1] = 1
+        assert rgb_to_y(green)[0, 0] > rgb_to_y(red)[0, 0]
+
+    def test_y_matches_ycbcr_channel(self):
+        img = rng(1).random((5, 5, 3))
+        np.testing.assert_allclose(rgb_to_y(img), rgb_to_ycbcr(img)[..., 0])
+
+    def test_rejects_non_rgb(self):
+        with pytest.raises(ValueError):
+            rgb_to_y(np.zeros((4, 4, 1)))
+
+    def test_shave_border(self):
+        img = rng(2).random((10, 12, 3))
+        out = shave_border(img, 2)
+        assert out.shape == (6, 8, 3)
+        np.testing.assert_array_equal(out, img[2:-2, 2:-2])
+
+    def test_shave_zero_is_identity(self):
+        img = rng(3).random((4, 4))
+        assert shave_border(img, 0) is img
+
+    def test_shave_too_large_raises(self):
+        with pytest.raises(ValueError):
+            shave_border(np.zeros((4, 4)), 2)
+
+
+class TestPSNR:
+    def test_identical_images_infinite(self):
+        img = rng(0).random((8, 8))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_mse(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_shave_changes_result(self):
+        hr = rng(1).random((12, 12))
+        sr = hr.copy()
+        sr[0, 0] = 1.0 - sr[0, 0]  # corrupt one border pixel
+        assert psnr(sr, hr, shave=2) == float("inf")
+        assert psnr(sr, hr) < float("inf")
+
+    def test_psnr_y_uses_luma_only(self):
+        hr = rng(2).random((8, 8, 3))
+        sr = hr.copy()
+        # A pure chroma change (constant Y) leaves psnr_y infinite is hard
+        # to construct; instead verify psnr_y equals psnr on the Y planes.
+        sr[..., 0] *= 0.9
+        assert psnr_y(sr, hr) == pytest.approx(psnr(rgb_to_y(sr), rgb_to_y(hr)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), noise=st.floats(0.01, 0.2))
+    def test_monotone_in_noise(self, seed, noise):
+        r = np.random.default_rng(seed)
+        hr = r.random((8, 8))
+        low = np.clip(hr + r.normal(0, noise, hr.shape), 0, 1)
+        lower = np.clip(hr + r.normal(0, noise * 3, hr.shape), 0, 1)
+        assert psnr(low, hr) >= psnr(lower, hr) - 1.0
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        img = rng(0).random((16, 16))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_range(self):
+        a = rng(1).random((16, 16))
+        b = rng(2).random((16, 16))
+        assert -1.0 <= ssim(a, b) <= 1.0
+
+    def test_degrades_with_blur(self):
+        from scipy import ndimage
+        img = rng(3).random((32, 32))
+        slight = ndimage.gaussian_filter(img, 0.5)
+        heavy = ndimage.gaussian_filter(img, 3.0)
+        assert ssim(slight, img) > ssim(heavy, img)
+
+    def test_rejects_rgb_input(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4, 3)), np.zeros((4, 4, 3)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((9, 9)))
+
+    def test_ssim_y_runs_on_rgb(self):
+        a = rng(4).random((16, 16, 3))
+        assert ssim_y(a, a) == pytest.approx(1.0)
+
+    def test_luminance_shift_penalized(self):
+        img = rng(5).random((16, 16)) * 0.5
+        shifted = img + 0.3
+        assert ssim(shifted, img) < 0.99

@@ -1,0 +1,151 @@
+"""Tests for the CNN-based SR architectures."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.binarize import SCALESBinaryConv2d, get_conv_factory
+from repro.models import EDSR, RCAN, RDN, SRResNet, build_model
+from repro.models.common import Upsampler, bicubic_residual
+
+from ..helpers import rng
+
+
+def _input(size=12, batch=1):
+    return Tensor(rng(0).random((batch, 3, size, size)))
+
+
+class TestSRResNet:
+    @pytest.mark.parametrize("scale", [2, 3, 4])
+    def test_output_scales(self, scale):
+        model = SRResNet(scale=scale, n_feats=8, n_blocks=1, head_kernel=3)
+        out = model(_input(8))
+        assert out.shape == (1, 3, 8 * scale, 8 * scale)
+
+    def test_light_tail_params_smaller(self):
+        heavy = SRResNet(scale=4, n_feats=16, n_blocks=1, head_kernel=3)
+        light = SRResNet(scale=4, n_feats=16, n_blocks=1, head_kernel=3,
+                         light_tail=True)
+        assert light.num_parameters() < heavy.num_parameters()
+
+    def test_fp_uses_bn_binary_does_not(self):
+        from repro.nn import BatchNorm2d
+        fp = SRResNet(n_feats=8, n_blocks=1)
+        has_bn = any(isinstance(m, BatchNorm2d) for m in fp.modules())
+        assert has_bn
+        binary = SRResNet(n_feats=8, n_blocks=1,
+                          conv_factory=get_conv_factory("scales"))
+        block_bns = [m for m in binary.body.modules() if isinstance(m, BatchNorm2d)]
+        assert not block_bns
+
+    def test_image_residual_zero_init_gives_bicubic(self):
+        from repro.data.resize import upscale
+        model = SRResNet(scale=2, n_feats=8, n_blocks=1, head_kernel=3,
+                         image_residual=True)
+        x = rng(1).random((1, 3, 8, 8))
+        out = model(Tensor(x)).data[0].transpose(1, 2, 0)
+        expected = upscale(x[0].transpose(1, 2, 0), 2)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_no_image_residual_option(self):
+        model = SRResNet(scale=2, n_feats=8, n_blocks=1, head_kernel=3,
+                         image_residual=False)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+
+class TestEDSR:
+    def test_forward_shape(self):
+        model = EDSR(scale=2, n_feats=8, n_blocks=1)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+    def test_res_scale_applied(self):
+        model = EDSR(scale=2, n_feats=8, n_blocks=1, res_scale=0.1)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+    def test_no_bn_anywhere(self):
+        from repro.nn import BatchNorm2d
+        model = EDSR(n_feats=8, n_blocks=2)
+        assert not any(isinstance(m, BatchNorm2d) for m in model.modules())
+
+
+class TestRDN:
+    def test_forward_shape(self):
+        model = RDN(scale=2, n_feats=8, growth=4, n_blocks=2, n_layers=2)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+    def test_dense_channel_growth(self):
+        from repro.models.rdn import RDB
+        block = RDB(8, growth=4, n_layers=3,
+                    conv_factory=get_conv_factory("fp"))
+        out = block(Tensor(rng(2).normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 8, 6, 6)  # fusion restores width
+
+    def test_binarized_rdn_runs(self):
+        model = build_model("rdn", scale=2, scheme="scales", preset="tiny")
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+
+class TestRCAN:
+    def test_forward_shape(self):
+        model = RCAN(scale=2, n_feats=8, n_groups=1, n_blocks=1)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+    def test_channel_attention_rescales(self):
+        from repro.models.common import CALayer
+        ca = CALayer(8, reduction=2)
+        x = Tensor(rng(3).normal(size=(2, 8, 4, 4)))
+        out = ca(x)
+        ratio = out.data / x.data
+        per_channel = ratio.reshape(2, 8, -1)
+        # Each channel is scaled by one value in (0, 1).
+        assert np.allclose(per_channel.std(axis=2), 0, atol=1e-7)
+        assert np.all((per_channel > 0) & (per_channel < 1))
+
+
+class TestCommonParts:
+    @pytest.mark.parametrize("scale", [1, 2, 3, 4])
+    def test_upsampler_scales(self, scale):
+        up = Upsampler(scale, 8)
+        out = up(Tensor(rng(4).normal(size=(1, 8, 5, 5))))
+        assert out.shape == (1, 8, 5 * scale, 5 * scale)
+
+    def test_upsampler_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            Upsampler(5, 8)
+
+    def test_bicubic_residual_shape(self):
+        x = Tensor(rng(5).random((2, 3, 6, 6)))
+        out = bicubic_residual(x, 3)
+        assert out.shape == (2, 3, 18, 18)
+        assert not out.requires_grad
+
+    def test_binarized_body_keeps_fp_head_tail(self):
+        """The paper's protocol: head and tail are never binarized."""
+        model = build_model("srresnet", scale=2, scheme="scales", preset="tiny")
+        assert not any(isinstance(m, SCALESBinaryConv2d)
+                       for m in model.head.modules())
+        assert not any(isinstance(m, SCALESBinaryConv2d)
+                       for m in model.tail.modules())
+        assert any(isinstance(m, SCALESBinaryConv2d)
+                   for m in model.body.modules())
+
+
+class TestBuildModel:
+    def test_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            build_model("vgg", scheme="fp")
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            build_model("edsr", preset="giant")
+
+    def test_overrides_applied(self):
+        model = build_model("edsr", preset="tiny", n_feats=24)
+        assert model.n_feats == 24
+
+    @pytest.mark.parametrize("arch", ["srresnet", "edsr", "rdn", "rcan"])
+    @pytest.mark.parametrize("scheme", ["fp", "scales", "e2fif"])
+    def test_all_cnn_combinations_forward(self, arch, scheme):
+        model = build_model(arch, scale=2, scheme=scheme, preset="tiny")
+        assert model(_input(8)).shape == (1, 3, 16, 16)

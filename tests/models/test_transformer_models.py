@@ -1,0 +1,115 @@
+"""Tests for the transformer-based SR architectures and classifiers."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.binarize import SCALESBinaryLinear
+from repro.binarize.baselines import BiBERTBinaryLinear
+from repro.models import HAT, SwinIR, SwinViT, build_model, resnet18
+from repro.models.swinir import image_to_tokens, tokens_to_image
+
+from ..helpers import rng
+
+
+def _input(size=8):
+    return Tensor(rng(0).random((1, 3, size, size)))
+
+
+class TestTokenHelpers:
+    def test_roundtrip(self):
+        x = rng(1).normal(size=(2, 5, 4, 6))
+        tokens, hw = image_to_tokens(Tensor(x))
+        assert tokens.shape == (2, 24, 5)
+        assert hw == (4, 6)
+        back = tokens_to_image(tokens, hw)
+        np.testing.assert_allclose(back.data, x)
+
+
+class TestSwinIR:
+    @pytest.mark.parametrize("scale", [2, 4])
+    def test_output_scale(self, scale):
+        model = SwinIR(scale=scale, embed_dim=8, depths=(2,), num_heads=(2,),
+                       window_size=4)
+        out = model(_input(8))
+        assert out.shape == (1, 3, 8 * scale, 8 * scale)
+
+    def test_rejects_non_window_multiple(self):
+        model = SwinIR(embed_dim=8, depths=(2,), num_heads=(2,), window_size=4)
+        with pytest.raises(ValueError):
+            model(_input(6))
+
+    def test_rejects_depth_head_mismatch(self):
+        with pytest.raises(ValueError):
+            SwinIR(depths=(2, 2), num_heads=(2,))
+
+    def test_variable_eval_size(self):
+        """Same weights must run on different (window-multiple) sizes."""
+        model = SwinIR(scale=2, embed_dim=8, depths=(2,), num_heads=(2,),
+                       window_size=4)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+        assert model(_input(12)).shape == (1, 3, 24, 24)
+
+    def test_binarized_variant_has_binary_linears(self):
+        model = build_model("swinir", scale=2, scheme="scales", preset="tiny")
+        assert any(isinstance(m, SCALESBinaryLinear) for m in model.modules())
+
+    def test_bibert_variant(self):
+        model = build_model("swinir", scale=2, scheme="bibert", preset="tiny")
+        assert any(isinstance(m, BiBERTBinaryLinear) for m in model.modules())
+
+    def test_gradients_reach_all_params(self):
+        model = build_model("swinir", scale=2, scheme="scales", preset="tiny")
+        out = model(_input(8))
+        G.mean(out * out).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestHAT:
+    def test_forward_shape(self):
+        model = HAT(scale=2, embed_dim=8, depths=(2,), num_heads=(2,),
+                    window_size=4)
+        assert model(_input(8)).shape == (1, 3, 16, 16)
+
+    def test_cab_branch_exists(self):
+        from repro.models.hat import CAB, HAB
+        model = build_model("hat", scale=2, scheme="fp", preset="tiny")
+        assert any(isinstance(m, CAB) for m in model.modules())
+
+    def test_cab_weight_learnable(self):
+        from repro.models.hat import HAB
+        model = build_model("hat", scale=2, scheme="fp", preset="tiny")
+        habs = [m for m in model.modules() if isinstance(m, HAB)]
+        assert habs and all("cab_weight" in dict(h.named_parameters()) for h in habs)
+
+    def test_binarized_hat_trains(self):
+        model = build_model("hat", scale=2, scheme="scales", preset="tiny")
+        out = model(_input(8))
+        G.mean(out * out).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestClassifiers:
+    def test_resnet_output(self):
+        model = resnet18(num_classes=7, base_width=8)
+        out = model(Tensor(rng(2).random((2, 3, 16, 16))))
+        assert out.shape == (2, 7)
+
+    def test_resnet_stage_downsampling(self):
+        from repro.models.resnet18 import BasicBlock
+        block = BasicBlock(8, 16, stride=2)
+        out = block(Tensor(rng(3).normal(size=(1, 8, 8, 8))))
+        assert out.shape == (1, 16, 4, 4)
+
+    def test_swinvit_output(self):
+        model = SwinViT(num_classes=5, embed_dim=8, depth=2, num_heads=2)
+        out = model(Tensor(rng(4).random((2, 3, 32, 32))))
+        assert out.shape == (2, 5)
+
+    def test_swinvit_rejects_bad_grid(self):
+        model = SwinViT(embed_dim=8, depth=1, num_heads=2,
+                        window_size=4, patch_size=4)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((1, 3, 20, 20))))  # grid 5x5 not /4

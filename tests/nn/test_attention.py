@@ -1,0 +1,114 @@
+"""Tests for window attention and Swin blocks."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.nn import (
+    Mlp,
+    SwinBlock,
+    WindowAttention,
+    relative_position_index,
+    shifted_window_attention_mask,
+    window_partition,
+    window_reverse,
+)
+
+from ..helpers import rng
+
+
+class TestWindowPartition:
+    def test_roundtrip(self):
+        x = rng(0).normal(size=(2, 8, 8, 4))
+        windows = window_partition(Tensor(x), 4)
+        assert windows.shape == (2 * 4, 16, 4)
+        back = window_reverse(windows, 4, 8, 8)
+        np.testing.assert_allclose(back.data, x)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            window_partition(Tensor(np.zeros((1, 6, 8, 2))), 4)
+
+    def test_window_contents(self):
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        windows = window_partition(Tensor(x), 2).data
+        np.testing.assert_allclose(windows[0, :, 0], [0, 1, 4, 5])
+
+
+class TestRelativePositionIndex:
+    def test_shape_and_range(self):
+        idx = relative_position_index(4)
+        assert idx.shape == (16, 16)
+        assert idx.min() >= 0
+        assert idx.max() < (2 * 4 - 1) ** 2
+
+    def test_diagonal_constant(self):
+        idx = relative_position_index(3)
+        assert len(np.unique(np.diag(idx))) == 1
+
+
+class TestAttentionMask:
+    def test_none_for_zero_shift(self):
+        assert shifted_window_attention_mask(8, 8, 4, 0) is None
+
+    def test_mask_shape_and_values(self):
+        mask = shifted_window_attention_mask(8, 8, 4, 2)
+        assert mask.shape == (4, 16, 16)
+        assert set(np.unique(mask)) <= {0.0, -100.0}
+        # The first (interior) window has no cross-region pairs.
+        np.testing.assert_allclose(mask[0], np.zeros((16, 16)))
+
+
+class TestWindowAttention:
+    def test_output_shape(self):
+        attn = WindowAttention(8, window_size=4, num_heads=2)
+        x = Tensor(rng(0).normal(size=(6, 16, 8)))
+        assert attn(x).shape == (6, 16, 8)
+
+    def test_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            WindowAttention(7, 4, 2)
+
+    def test_gradients_flow(self):
+        attn = WindowAttention(8, 4, 2)
+        out = attn(Tensor(rng(1).normal(size=(2, 16, 8))))
+        G.sum(out * out).backward()
+        for name, p in attn.named_parameters():
+            assert p.grad is not None, name
+
+    def test_mask_blocks_cross_region_attention(self):
+        attn = WindowAttention(4, 2, 1)
+        x = Tensor(rng(2).normal(size=(4, 4, 4)))
+        mask = np.full((4, 4, 4), -100.0)
+        for i in range(4):
+            mask[:, i, i] = 0.0  # only self-attention allowed
+        out_masked = attn(x, mask=mask)
+        assert out_masked.shape == (4, 4, 4)
+
+
+class TestSwinBlock:
+    def test_forward_shapes(self):
+        block = SwinBlock(8, num_heads=2, window_size=4)
+        tokens = Tensor(rng(0).normal(size=(2, 64, 8)))
+        assert block(tokens, (8, 8)).shape == (2, 64, 8)
+
+    def test_shifted_block(self):
+        block = SwinBlock(8, num_heads=2, window_size=4, shift_size=2)
+        tokens = Tensor(rng(1).normal(size=(1, 64, 8)))
+        assert block(tokens, (8, 8)).shape == (1, 64, 8)
+
+    def test_mask_cache_per_resolution(self):
+        block = SwinBlock(8, num_heads=2, window_size=4, shift_size=2)
+        block(Tensor(rng(2).normal(size=(1, 64, 8))), (8, 8))
+        block(Tensor(rng(3).normal(size=(1, 144, 8))), (12, 12))
+        assert len(block._mask_cache) == 2
+
+    def test_token_count_mismatch_raises(self):
+        block = SwinBlock(8, num_heads=2, window_size=4)
+        with pytest.raises(ValueError):
+            block(Tensor(np.zeros((1, 60, 8))), (8, 8))
+
+    def test_mlp(self):
+        mlp = Mlp(8, 16)
+        assert mlp(Tensor(rng(4).normal(size=(2, 5, 8)))).shape == (2, 5, 8)

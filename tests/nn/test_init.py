@@ -1,0 +1,62 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_kaiming_conv_std(self):
+        init.seed(0)
+        w = init.kaiming_normal((64, 32, 3, 3))
+        expected_std = np.sqrt(2.0 / (32 * 9))
+        assert w.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_kaiming_linear_std(self):
+        init.seed(0)
+        w = init.kaiming_normal((128, 256))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 256), rel=0.1)
+
+    def test_xavier_symmetric(self):
+        init.seed(0)
+        w = init.xavier_normal((100, 100))
+        assert abs(w.mean()) < 0.01
+
+
+class TestDistributionBounds:
+    def test_trunc_normal_clipped(self):
+        init.seed(0)
+        w = init.trunc_normal((1000,), std=0.02)
+        assert np.abs(w).max() <= 0.04 + 1e-12
+
+    def test_kaiming_uniform_bounded(self):
+        init.seed(0)
+        w = init.kaiming_uniform((10, 10))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 10)
+        assert np.abs(w).max() <= bound
+
+    def test_uniform_range(self):
+        init.seed(0)
+        w = init.uniform((100,), -2.0, 3.0)
+        assert w.min() >= -2.0 and w.max() <= 3.0
+
+    def test_zeros_ones(self):
+        assert init.zeros((3,)).sum() == 0.0
+        assert init.ones((3,)).sum() == 3.0
+
+
+class TestDeterminism:
+    def test_seed_reproducibility(self):
+        init.seed(99)
+        a = init.kaiming_normal((4, 4))
+        init.seed(99)
+        b = init.kaiming_normal((4, 4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        init.seed(1)
+        a = init.kaiming_normal((4, 4))
+        init.seed(2)
+        b = init.kaiming_normal((4, 4))
+        assert not np.allclose(a, b)

@@ -1,0 +1,128 @@
+"""Tests for the core layers."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.nn import (
+    AvgPool2d,
+    Conv1d,
+    Conv2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    PixelShuffle,
+    PReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    ModuleList,
+)
+
+from ..helpers import rng
+
+
+class TestConvLayers:
+    def test_conv2d_same_padding_default(self):
+        conv = Conv2d(3, 8, 3)
+        out = conv(Tensor(rng(0).normal(size=(1, 3, 7, 7))))
+        assert out.shape == (1, 8, 7, 7)
+
+    def test_conv2d_stride(self):
+        conv = Conv2d(3, 8, 3, stride=2)
+        out = conv(Tensor(rng(0).normal(size=(1, 3, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_conv2d_no_bias(self):
+        conv = Conv2d(3, 8, 3, bias=False)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_conv1d_shapes(self):
+        conv = Conv1d(1, 1, 5)
+        out = conv(Tensor(rng(0).normal(size=(2, 1, 16))))
+        assert out.shape == (2, 1, 16)
+
+    def test_conv_backward_populates_grads(self):
+        conv = Conv2d(2, 4, 3)
+        out = conv(Tensor(rng(0).normal(size=(1, 2, 5, 5))))
+        G.sum(out * out).backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestLinear:
+    def test_2d_input(self):
+        fc = Linear(4, 6)
+        assert fc(Tensor(rng(0).normal(size=(3, 4)))).shape == (3, 6)
+
+    def test_3d_input_preserves_leading_dims(self):
+        fc = Linear(4, 6)
+        assert fc(Tensor(rng(0).normal(size=(2, 5, 4)))).shape == (2, 5, 6)
+
+    def test_matches_manual_affine(self):
+        fc = Linear(3, 2)
+        x = rng(1).normal(size=(4, 3))
+        expected = x @ fc.weight.data.T + fc.bias.data
+        np.testing.assert_allclose(fc(Tensor(x)).data, expected, atol=1e-12)
+
+
+class TestActivationsAndMisc:
+    def test_relu_module(self):
+        assert ReLU()(Tensor([-1.0, 1.0])).data.tolist() == [0.0, 1.0]
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1)(Tensor([-10.0]))
+        assert out.data[0] == pytest.approx(-1.0)
+
+    def test_prelu_learnable_slope(self):
+        act = PReLU(0.5)
+        out = act(Tensor([-2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [-1.0, 2.0])
+        G.sum(out).backward()
+        assert act.slope.grad is not None
+
+    def test_sigmoid_gelu_identity(self):
+        x = Tensor([0.0])
+        assert Sigmoid()(x).data[0] == pytest.approx(0.5)
+        assert GELU()(x).data[0] == pytest.approx(0.0)
+        assert Identity()(x) is x
+
+    def test_pixel_shuffle_module(self):
+        out = PixelShuffle(2)(Tensor(rng(0).normal(size=(1, 8, 3, 3))))
+        assert out.shape == (1, 2, 6, 6)
+
+    def test_pools_and_flatten(self):
+        x = Tensor(rng(0).normal(size=(2, 3, 4, 4)))
+        assert GlobalAvgPool2d()(x).shape == (2, 3, 1, 1)
+        assert AvgPool2d(2)(x).shape == (2, 3, 2, 2)
+        assert Flatten()(x).shape == (2, 48)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(2, 3), ReLU(), Linear(3, 1))
+        assert seq(Tensor(rng(0).normal(size=(4, 2)))).shape == (4, 1)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+
+    def test_sequential_append(self):
+        seq = Sequential(Linear(2, 2))
+        seq.append(ReLU())
+        assert len(seq) == 2
+
+    def test_sequential_registers_params(self):
+        seq = Sequential(Linear(2, 3), Linear(3, 4))
+        assert len(seq.parameters()) == 4
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(ml.parameters()) == 6
+        assert isinstance(ml[0], Linear)
+        with pytest.raises(NotImplementedError):
+            ml(Tensor([0.0]))

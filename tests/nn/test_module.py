@@ -1,0 +1,123 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.nn import Conv2d, Linear, Module, Parameter, ReLU, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x))) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        m = Toy()
+        names = dict(m.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+        assert len(m.parameters()) == 5
+
+    def test_modules_iteration(self):
+        m = Toy()
+        types = [type(x).__name__ for x in m.modules()]
+        assert types[0] == "Toy"
+        assert "Linear" in types and "ReLU" in types
+
+    def test_named_modules_paths(self):
+        m = Toy()
+        names = dict(m.named_modules())
+        assert "fc1" in names and "" in names
+
+    def test_children_are_direct_only(self):
+        m = Sequential(Toy(), ReLU())
+        assert len(list(m.children())) == 2
+
+    def test_num_parameters(self):
+        m = Linear(4, 8)
+        assert m.num_parameters() == 4 * 8 + 8
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        m = Toy()
+        m.eval()
+        assert not m.training and not m.fc1.training
+        m.train()
+        assert m.training and m.fc2.training
+
+    def test_zero_grad(self):
+        m = Toy()
+        out = G.sum(m(Tensor(np.ones((2, 4)))))
+        out.backward()
+        assert m.fc1.weight.grad is not None
+        m.zero_grad()
+        assert m.fc1.weight.grad is None
+
+
+class TestHooks:
+    def test_forward_hook_sees_inputs_and_output(self):
+        m = Linear(3, 2)
+        seen = []
+        m.register_forward_hook(lambda mod, ins, out: seen.append((ins[0].shape, out.shape)))
+        m(Tensor(np.zeros((4, 3))))
+        assert seen == [((4, 3), (4, 2))]
+
+    def test_hook_remover(self):
+        m = Linear(3, 2)
+        seen = []
+        remove = m.register_forward_hook(lambda *a: seen.append(1))
+        m(Tensor(np.zeros((1, 3))))
+        remove()
+        m(Tensor(np.zeros((1, 3))))
+        assert len(seen) == 1
+
+    def test_clear_forward_hooks_recursive(self):
+        m = Toy()
+        m.fc1.register_forward_hook(lambda *a: None)
+        m.clear_forward_hooks()
+        assert not m.fc1._forward_hooks
+
+
+class TestState:
+    def test_state_dict_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        m2.fc1.weight.data[:] = 0.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m2.fc1.weight.data, m1.fc1.weight.data)
+
+    def test_strict_load_rejects_missing(self):
+        m = Toy()
+        state = m.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self):
+        m = Toy()
+        state = m.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        m1, m2 = Toy(), Toy()
+        path = str(tmp_path / "weights.npz")
+        m1.save(path)
+        m2.load(path)
+        np.testing.assert_allclose(m2.fc2.weight.data, m1.fc2.weight.data)
+
+    def test_state_dict_is_copy(self):
+        m = Toy()
+        state = m.state_dict()
+        state["scale"][0] = 42.0
+        assert m.scale.data[0] == 1.0

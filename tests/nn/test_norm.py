@@ -1,0 +1,92 @@
+"""Tests for BatchNorm2d and LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.nn import BatchNorm2d, LayerNorm
+
+from ..helpers import check_gradients, rng
+
+
+class TestBatchNorm2d:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm2d(3)
+        x = rng(0).normal(2.0, 4.0, size=(8, 3, 5, 5))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(3), atol=1e-3)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = rng(1).normal(3.0, 1.0, size=(16, 2, 4, 4))
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = rng(2).normal(1.0, 2.0, size=(16, 2, 4, 4))
+        bn(Tensor(x))          # sets running stats to batch stats
+        bn.eval()
+        y = rng(3).normal(1.0, 2.0, size=(4, 2, 4, 4))
+        out = bn(Tensor(y)).data
+        expected = (y - bn.running_mean.reshape(1, 2, 1, 1)) / np.sqrt(
+            bn.running_var.reshape(1, 2, 1, 1) + bn.eps)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_eval_does_not_update_stats(self):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng(4).normal(5.0, 1.0, size=(4, 2, 3, 3))))
+        np.testing.assert_allclose(bn.running_mean, before)
+
+    def test_affine_params_trainable(self):
+        bn = BatchNorm2d(2)
+        out = bn(Tensor(rng(5).normal(size=(4, 2, 3, 3))))
+        G.sum(out * out).backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+    def test_gradients_numeric(self):
+        bn = BatchNorm2d(2)
+
+        def build(ts):
+            bn2 = BatchNorm2d(2)
+            bn2.weight, bn2.bias = ts[1], ts[2]
+            bn2._parameters = {"weight": ts[1], "bias": ts[2]}
+            return G.sum(bn2(ts[0]) ** 2)
+
+        check_gradients(build, [rng(6).normal(size=(2, 2, 3, 3)),
+                                rng(7).random(2) + 0.5,
+                                rng(8).normal(size=2)],
+                        atol=1e-4, rtol=1e-3)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(8)
+        x = rng(0).normal(3.0, 5.0, size=(2, 10, 8))
+        out = ln(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros((2, 10)), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones((2, 10)), atol=1e-2)
+
+    def test_kills_channel_variation(self):
+        """The Sec. III-B observation: LN removes channel-to-channel shift."""
+        ln = LayerNorm(16)
+        x = rng(1).normal(size=(1, 50, 16)) + np.arange(16) * 10.0
+        out = ln(Tensor(x)).data
+        channel_means = out.mean(axis=(0, 1))
+        assert np.var(channel_means) < np.var(x.mean(axis=(0, 1))) * 1e-3
+
+    def test_gradients(self):
+        def build(ts):
+            ln = LayerNorm(4)
+            ln.weight, ln.bias = ts[1], ts[2]
+            ln._parameters = {"weight": ts[1], "bias": ts[2]}
+            return G.sum(ln(ts[0]) ** 2)
+
+        check_gradients(build, [rng(2).normal(size=(2, 3, 4)),
+                                rng(3).random(4) + 0.5,
+                                rng(4).normal(size=4)],
+                        atol=1e-4, rtol=1e-3)

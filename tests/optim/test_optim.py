@@ -1,0 +1,116 @@
+"""Tests for optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.nn import Parameter
+from repro.optim import Adam, SGD, CosineLR, StepLR
+
+
+def quadratic_loss(param):
+    """(p - 3)^2 summed — minimized at p == 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return G.sum(diff * diff)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction the first Adam step is ~lr in magnitude."""
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.5)
+        quadratic_loss(p).backward()
+        opt.step()
+        assert abs(p.data[0] - 10.0) == pytest.approx(0.5, rel=1e-3)
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([p1, p2], lr=0.1)
+        quadratic_loss(p1).backward()
+        opt.step()
+        np.testing.assert_array_equal(p2.data, np.ones(2))
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        for _ in range(50):
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p])
+        p.grad = np.ones(2)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSGD:
+    def test_converges_with_momentum(self):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_plain_step_is_lr_times_grad(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.2)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestSchedules:
+    def test_step_lr_halves(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = StepLR(opt, step_size=10, gamma=0.5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_step_lr_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            StepLR(Adam([Parameter(np.zeros(1))]), step_size=0)
+
+    def test_cosine_decays_to_min(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=100, min_lr=0.1)
+        for _ in range(100):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=50)
+        values = [sched.step() for _ in range(50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))

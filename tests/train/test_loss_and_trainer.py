@@ -1,0 +1,177 @@
+"""Tests for losses, the trainer, and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.grad import Tensor
+from repro.data import benchmark_suite, training_pool
+from repro.models import build_model
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    charbonnier_loss,
+    evaluate,
+    evaluate_bicubic,
+    get_loss,
+    l1_loss,
+    l2_loss,
+    super_resolve,
+)
+
+from ..helpers import rng
+
+
+class TestLosses:
+    def test_l1_value(self):
+        a = Tensor(np.zeros((2, 2)))
+        b = Tensor(np.full((2, 2), 0.5))
+        assert float(l1_loss(a, b).data) == pytest.approx(0.5)
+
+    def test_l2_value(self):
+        a = Tensor(np.zeros(4))
+        b = Tensor(np.full(4, 2.0))
+        assert float(l2_loss(a, b).data) == pytest.approx(4.0)
+
+    def test_charbonnier_close_to_l1_for_large_errors(self):
+        a = Tensor(np.zeros(4))
+        b = Tensor(np.full(4, 1.0))
+        assert float(charbonnier_loss(a, b).data) == pytest.approx(1.0, abs=1e-4)
+
+    def test_losses_differentiable(self):
+        for name in ["l1", "l2", "charbonnier"]:
+            pred = Tensor(rng(0).normal(size=(2, 3)), requires_grad=True)
+            loss = get_loss(name)(pred, Tensor(np.zeros((2, 3))))
+            loss.backward()
+            assert pred.grad is not None
+
+    def test_unknown_loss(self):
+        with pytest.raises(KeyError):
+            get_loss("perceptual")
+
+
+@pytest.fixture(scope="module")
+def tiny_pool():
+    with G.default_dtype("float32"):
+        yield training_pool(scale=2, n_images=3, size=(48, 48))
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return benchmark_suite("set5", scale=2, n_images=2, size=(32, 32))
+
+
+class TestTrainer:
+    def test_step_returns_loss_and_updates(self, tiny_pool):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            tail_conv = model.tail[1]
+            head_before = model.head[0].weight.data.copy()
+            tail_before = tail_conv.weight.data.copy()
+            trainer = Trainer(model, tiny_pool,
+                              TrainConfig(steps=2, batch_size=2, patch_size=8))
+            value = trainer.step()
+            assert np.isfinite(value)
+            # The zero-initialized tail conv blocks upstream gradients on
+            # step 1 (standard residual-branch dynamic): only the tail
+            # moves first, the head follows on step 2.
+            assert not np.allclose(tail_conv.weight.data, tail_before)
+            np.testing.assert_allclose(model.head[0].weight.data, head_before)
+            trainer.step()
+            assert not np.allclose(model.head[0].weight.data, head_before)
+
+    def test_training_reduces_loss(self, tiny_pool):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            trainer = Trainer(model, tiny_pool,
+                              TrainConfig(steps=40, batch_size=4, patch_size=8,
+                                          lr=1e-3))
+            trainer.fit()
+            early = float(np.mean(trainer.history[:5]))
+            late = trainer.smoothed_loss(window=5)
+            assert late < early * 1.05  # allow noise, must not blow up
+
+    def test_binarized_model_trains(self, tiny_pool):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny", n_feats=8, n_blocks=1,
+                                head_kernel=3, light_tail=True)
+            trainer = Trainer(model, tiny_pool,
+                              TrainConfig(steps=10, batch_size=2, patch_size=8))
+            history = trainer.fit()
+            assert len(history) == 10
+            assert all(np.isfinite(v) for v in history)
+
+    def test_border_margin_crops_loss_region(self, tiny_pool):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            t_margin = Trainer(model, tiny_pool,
+                               TrainConfig(steps=1, batch_size=2, patch_size=8,
+                                           border_margin=2, seed=3))
+            v1 = t_margin.step()
+            model2 = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                 n_feats=8, n_blocks=1, head_kernel=3)
+            t_full = Trainer(model2, tiny_pool,
+                             TrainConfig(steps=1, batch_size=2, patch_size=8,
+                                         border_margin=0, seed=3))
+            v2 = t_full.step()
+            assert v1 != v2  # different loss regions
+
+    def test_smoothed_loss_requires_history(self, tiny_pool):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            trainer = Trainer(model, tiny_pool, TrainConfig(steps=1))
+            with pytest.raises(RuntimeError):
+                trainer.smoothed_loss()
+
+    def test_lr_schedule_applied(self, tiny_pool):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            trainer = Trainer(model, tiny_pool,
+                              TrainConfig(steps=4, batch_size=2, patch_size=8,
+                                          lr=1e-3, lr_step=2))
+            trainer.fit()
+            # 4 steps / step_size 2 -> two halvings.
+            assert trainer.optimizer.lr == pytest.approx(2.5e-4)
+
+
+class TestEvaluation:
+    def test_super_resolve_shape(self, tiny_suite):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            sr = super_resolve(model, tiny_suite[0].lr)
+            assert sr.shape == tiny_suite[0].hr.shape
+            assert sr.min() >= 0 and sr.max() <= 1
+
+    def test_super_resolve_restores_training_mode(self, tiny_suite):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            model.train()
+            super_resolve(model, tiny_suite[0].lr)
+            assert model.training
+
+    def test_evaluate_returns_means(self, tiny_suite):
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            result = evaluate(model, tiny_suite)
+            assert len(result.per_image_psnr) == 2
+            assert result.psnr == pytest.approx(np.mean(result.per_image_psnr))
+            assert 0 <= result.ssim <= 1
+
+    def test_zero_init_model_equals_bicubic(self, tiny_suite):
+        """With the zero-initialized tail, an untrained model's metrics
+        equal the bicubic baseline exactly."""
+        with G.default_dtype("float32"):
+            model = build_model("srresnet", scale=2, scheme="fp", preset="tiny",
+                                n_feats=8, n_blocks=1, head_kernel=3)
+            ours = evaluate(model, tiny_suite)
+            bicubic = evaluate_bicubic(tiny_suite)
+            assert ours.psnr == pytest.approx(bicubic.psnr, abs=0.1)

@@ -1,0 +1,105 @@
+"""Tiling and terminal-plot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DistributionSummary
+from repro.viz import (ascii_histogram, distribution_strip, image_grid,
+                       labeled_row, render_summaries, to_uint8)
+
+
+class TestToUint8:
+    def test_plain_scaling(self):
+        out = to_uint8(np.array([[0.0, 1.0]]))
+        np.testing.assert_array_equal(out, [[0, 255]])
+
+    def test_normalization(self):
+        out = to_uint8(np.array([[-2.0, 0.0, 2.0]]), normalize=True)
+        np.testing.assert_array_equal(out, [[0, 128, 255]])
+
+    def test_constant_image_normalizes_to_zero(self):
+        out = to_uint8(np.full((2, 2), 3.7), normalize=True)
+        assert out.max() == 0
+
+
+class TestImageGrid:
+    def test_layout_geometry(self):
+        panels = [np.zeros((4, 6)) for _ in range(5)]
+        grid = image_grid(panels, n_cols=3, margin=2)
+        # 2 rows x 3 cols with 2px margins.
+        assert grid.shape == (2 + 2 * (4 + 2), 2 + 3 * (6 + 2), 3)
+
+    def test_panel_placement(self):
+        a = np.zeros((2, 2))
+        b = np.ones((2, 2))
+        grid = image_grid([a, b], n_cols=2, margin=1, background=0.5)
+        assert grid[1, 1, 0] == 0.0     # first panel pixel
+        assert grid[1, 4, 0] == 1.0     # second panel pixel
+        assert grid[0, 0, 0] == 0.5     # margin
+
+    def test_normalize_each(self):
+        panels = [np.full((2, 2), 10.0), np.full((2, 2), -3.0)]
+        grid = image_grid(panels, n_cols=2, normalize_each=True)
+        assert grid.max() <= 1.0 and grid.min() >= 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            image_grid([], n_cols=1)
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(ValueError):
+            image_grid([np.zeros((2, 2)), np.zeros((3, 3))], n_cols=2)
+
+    def test_rgb_panels_pass_through(self):
+        rgb = np.random.default_rng(0).random((3, 3, 3))
+        grid = image_grid([rgb], n_cols=1, margin=0)
+        np.testing.assert_allclose(grid, np.clip(rgb, 0, 1))
+
+
+class TestLabeledRow:
+    def test_single_row(self, capsys):
+        row = labeled_row([np.zeros((2, 2)), np.ones((2, 2))],
+                          labels=["HR", "SR"])
+        assert row.shape[0] == 2 + 2 * 2  # margin + height + margin
+        assert "HR" in capsys.readouterr().out
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            labeled_row([np.zeros((2, 2))], labels=["a", "b"])
+
+
+class TestAsciiHistogram:
+    def test_contains_counts(self):
+        text = ascii_histogram(np.array([1.0, 1.0, 5.0]), bins=2, title="T")
+        assert text.startswith("T")
+        assert "2" in text and "1" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([]))
+
+
+class TestDistributionStrip:
+    def test_basic_render(self):
+        rows = np.array([[0.0, 1.0, 2.0, 3.0, 4.0],
+                         [-4.0, -2.0, 0.0, 2.0, 4.0]])
+        text = distribution_strip(rows, labels=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 3  # two strips + axis line
+        assert "O" in lines[0] and "=" in lines[0] and "|" in lines[0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            distribution_strip(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            distribution_strip(np.zeros((0, 5)))
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            distribution_strip(np.zeros((2, 5)), labels=["only-one"])
+
+    def test_render_summaries(self):
+        summary = DistributionSummary(
+            label="demo", rows=np.array([[0, 1, 2, 3, 4.0]]))
+        text = render_summaries([summary])
+        assert "demo" in text and "median variance" in text

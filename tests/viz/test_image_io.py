@@ -1,0 +1,157 @@
+"""PNG / PPM codecs: roundtrips, format details and failure modes."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz import read_png, read_ppm, write_png, write_ppm
+
+
+class TestPngRoundtrip:
+    def test_rgb_uint8(self, tmp_path):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, size=(7, 5, 3), dtype=np.uint8)
+        path = tmp_path / "x.png"
+        write_png(path, img)
+        np.testing.assert_array_equal(read_png(path), img)
+
+    def test_grayscale(self, tmp_path):
+        img = np.arange(20, dtype=np.uint8).reshape(4, 5)
+        path = tmp_path / "g.png"
+        write_png(path, img)
+        out = read_png(path)
+        assert out.ndim == 2
+        np.testing.assert_array_equal(out, img)
+
+    def test_float_quantization(self, tmp_path):
+        img = np.array([[0.0, 0.5, 1.0]])
+        path = tmp_path / "f.png"
+        write_png(path, img)
+        np.testing.assert_array_equal(read_png(path), [[0, 128, 255]])
+
+    def test_single_channel_3d(self, tmp_path):
+        img = np.zeros((3, 3, 1), dtype=np.uint8)
+        write_png(tmp_path / "c1.png", img)
+        assert read_png(tmp_path / "c1.png").shape == (3, 3)
+
+    def test_signature(self, tmp_path):
+        path = tmp_path / "sig.png"
+        write_png(path, np.zeros((2, 2), dtype=np.uint8))
+        assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_bad_shape_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "bad.png", np.zeros((2, 2, 4)))
+
+    def test_out_of_range_int_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "bad.png", np.array([[300]]))
+
+    def test_not_png_raises(self, tmp_path):
+        path = tmp_path / "no.png"
+        path.write_bytes(b"definitely not a png")
+        with pytest.raises(ValueError, match="not a PNG"):
+            read_png(path)
+
+    def test_crc_corruption_detected(self, tmp_path):
+        path = tmp_path / "c.png"
+        write_png(path, np.zeros((2, 2), dtype=np.uint8))
+        data = bytearray(path.read_bytes())
+        data[20] ^= 0xFF  # flip a bit inside IHDR payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="CRC"):
+            read_png(path)
+
+    @settings(max_examples=20, deadline=None)
+    @given(h=st.integers(min_value=1, max_value=12),
+           w=st.integers(min_value=1, max_value=12),
+           channels=st.sampled_from([1, 3]), seed=st.integers(0, 2**31))
+    def test_roundtrip_property(self, h, w, channels, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        shape = (h, w) if channels == 1 else (h, w, 3)
+        img = rng.integers(0, 256, size=shape, dtype=np.uint8)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.png"
+            write_png(path, img)
+            np.testing.assert_array_equal(read_png(path), img)
+
+
+class TestPngFilterDecoding:
+    def _manual_png(self, tmp_path, scanlines, width, height, color_type):
+        """Assemble a PNG with explicit filter bytes for decoder coverage."""
+        def chunk(tag, payload):
+            return (struct.pack(">I", len(payload)) + tag + payload
+                    + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF))
+
+        ihdr = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+        blob = (b"\x89PNG\r\n\x1a\n" + chunk(b"IHDR", ihdr)
+                + chunk(b"IDAT", zlib.compress(scanlines))
+                + chunk(b"IEND", b""))
+        path = tmp_path / "manual.png"
+        path.write_bytes(blob)
+        return path
+
+    def test_sub_and_up_filters(self, tmp_path):
+        # Row 0: filter 1 (Sub); row 1: filter 2 (Up).  Gray 3x2.
+        row0 = bytes([1, 10, 5, 5])       # decodes to 10, 15, 20
+        row1 = bytes([2, 1, 1, 1])        # decodes to 11, 16, 21
+        path = self._manual_png(tmp_path, row0 + row1, 3, 2, 0)
+        np.testing.assert_array_equal(read_png(path),
+                                      [[10, 15, 20], [11, 16, 21]])
+
+    def test_average_filter(self, tmp_path):
+        row = bytes([3, 10, 10, 10])      # avg of (left, up=0)
+        path = self._manual_png(tmp_path, row, 3, 1, 0)
+        np.testing.assert_array_equal(read_png(path), [[10, 15, 17]])
+
+    def test_paeth_filter(self, tmp_path):
+        row0 = bytes([0, 10, 20, 30])
+        row1 = bytes([4, 5, 5, 5])
+        path = self._manual_png(tmp_path, row0 + row1, 3, 1 + 1, 0)
+        out = read_png(path)
+        assert out.shape == (2, 3)
+        np.testing.assert_array_equal(out[0], [10, 20, 30])
+
+
+class TestPpm:
+    def test_rgb_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 256, size=(6, 4, 3), dtype=np.uint8)
+        path = tmp_path / "x.ppm"
+        write_ppm(path, img)
+        np.testing.assert_array_equal(read_ppm(path), img)
+
+    def test_gray_roundtrip(self, tmp_path):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = tmp_path / "x.pgm"
+        write_ppm(path, img)
+        np.testing.assert_array_equal(read_ppm(path), img)
+
+    def test_float_input(self, tmp_path):
+        path = tmp_path / "f.pgm"
+        write_ppm(path, np.array([[1.0, 0.0]]))
+        np.testing.assert_array_equal(read_ppm(path), [[255, 0]])
+
+    def test_comment_handling(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 1\n255\n\x07\x09")
+        np.testing.assert_array_equal(read_ppm(path), [[7, 9]])
+
+    def test_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.pbm"
+        path.write_bytes(b"P1\n1 1\n1\n")
+        with pytest.raises(ValueError, match="magic"):
+            read_ppm(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\nxx")
+        with pytest.raises(ValueError, match="truncated"):
+            read_ppm(path)
