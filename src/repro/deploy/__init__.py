@@ -21,18 +21,20 @@ graph (same scales, thresholds, re-scaling branches and skips), which the
 test suite verifies end-to-end.
 """
 
-from .packing import pack_signs, unpack_signs, popcount_u64, packed_words
+from .packing import (pack_signs, unpack_signs, popcount_u64,
+                      popcount_u64_lut, packed_words)
 from .kernels import (binary_gemm, packed_conv2d, packed_linear,
                       pack_weight_conv, pack_weight_linear)
-from .engine import (PackedBinaryConv2d, PackedBinaryLinear, compile_model,
-                     deployable_layers)
+from .engine import (PackedBinaryConv2d, PackedBinaryLinear, TiledInference,
+                     compile_model, deployable_layers)
 from .report import DeploymentReport, deployment_report
 
 __all__ = [
-    "pack_signs", "unpack_signs", "popcount_u64", "packed_words",
+    "pack_signs", "unpack_signs", "popcount_u64", "popcount_u64_lut",
+    "packed_words",
     "binary_gemm", "packed_conv2d", "packed_linear",
     "pack_weight_conv", "pack_weight_linear",
-    "PackedBinaryConv2d", "PackedBinaryLinear", "compile_model",
-    "deployable_layers",
+    "PackedBinaryConv2d", "PackedBinaryLinear", "TiledInference",
+    "compile_model", "deployable_layers",
     "DeploymentReport", "deployment_report",
 ]

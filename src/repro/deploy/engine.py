@@ -29,9 +29,15 @@ import numpy as np
 from ..binarize.baselines import BiBERTBinaryLinear, E2FIFBinaryConv2d
 from ..binarize.scales_layers import SCALESBinaryConv2d, SCALESBinaryLinear
 from ..grad import Tensor
+from ..infer.tiling import _tile_starts
 from ..nn import Module
-from .kernels import (pack_weight_conv, pack_weight_linear, packed_conv2d,
-                      packed_linear)
+from .kernels import (_padding_correction, pack_weight_conv,
+                      pack_weight_linear, packed_conv2d, packed_linear)
+
+#: Padding corrections memoized per input geometry on each packed conv.
+#: SR workloads see a handful of shapes (train patch, eval tile, full
+#: image); a small FIFO keeps the cache bounded even under shape churn.
+_CORRECTION_CACHE_SIZE = 8
 
 _MIN_ALPHA = 1e-3  # must match repro.binarize.ste.lsf_binarize
 
@@ -58,6 +64,12 @@ class PackedBinaryConv2d(Module):
     3. multiply by ``alpha`` (activation scale) and the per-channel weight
        scale; add bias;
     4. FP re-scaling branches / BatchNorm / skip exactly as trained.
+
+    The layer is weight-stationary: ``sign(w)`` is packed once at
+    construction, and the zero-padding border correction — a pure
+    function of (input shape, stride, padding) and the frozen weights —
+    is memoized per input geometry instead of being reconvolved every
+    forward call.
     """
 
     binary = True
@@ -86,6 +98,20 @@ class PackedBinaryConv2d(Module):
         self._has_channel = channel is not None
         self._has_bn = bn is not None
         self.skip = skip
+        self._correction_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def _cached_padding_correction(self, shape: Tuple[int, int]) -> Optional[np.ndarray]:
+        """Border correction for an ``(H, W)`` input, memoized per shape."""
+        if not self.padding:
+            return None
+        correction = self._correction_cache.get(shape)
+        if correction is None:
+            correction = _padding_correction(shape, self.weight_signs,
+                                             self.stride, self.padding)
+            if len(self._correction_cache) >= _CORRECTION_CACHE_SIZE:
+                self._correction_cache.pop(next(iter(self._correction_cache)))
+            self._correction_cache[shape] = correction
+        return correction
 
     @classmethod
     def from_scales(cls, layer: SCALESBinaryConv2d) -> "PackedBinaryConv2d":
@@ -114,8 +140,10 @@ class PackedBinaryConv2d(Module):
         else:
             signs = np.where(data >= 0, 1.0, -1.0)
             act_scale = 1.0
+        correction = self._cached_padding_correction(signs.shape[2:])
         out = packed_conv2d(signs, self.packed_weight, self.weight_signs,
-                            stride=self.stride, padding=self.padding)
+                            stride=self.stride, padding=self.padding,
+                            padding_correction=correction)
         out *= act_scale * self.weight_scale[None, :, None, None]
         if self.conv_bias is not None:
             out += self.conv_bias[None, :, None, None]
@@ -188,6 +216,78 @@ class PackedBinaryLinear(Module):
         return result
 
 
+class TiledInference(Module):
+    """Overlap-and-stitch wrapper bounding a packed model's working set.
+
+    Full-image SR through the packed engine materializes im2col rows and
+    packed activation panels proportional to ``H * W``; on large inputs
+    that dwarfs the model itself.  This wrapper runs the wrapped model on
+    overlapping ``tile x tile`` crops of the NCHW input and stitches the
+    outputs, so peak memory is bounded by the tile size regardless of
+    input size (and every packed layer's geometry cache sees one tile
+    shape instead of one per image size).
+
+    The model's scale factor is inferred from the first tile's output
+    (it must be an integer multiple of the input tile).  Interior tile
+    edges are trimmed by ``overlap // 2`` pixels before placement — tile
+    borders carry the model's halo artifacts — and any remaining
+    overlapped pixels are averaged, mirroring
+    :func:`repro.infer.tiling.tiled_super_resolve`.
+    """
+
+    def __init__(self, model: Module, tile: int = 48, overlap: int = 8):
+        super().__init__()
+        if tile <= 0:
+            raise ValueError(f"tile must be positive, got {tile}")
+        if not 0 <= overlap < tile:
+            raise ValueError(f"overlap {overlap} must be in [0, tile={tile})")
+        self.model = model
+        self.tile = tile
+        self.overlap = overlap
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data)
+        b, c, h, w = data.shape
+        if h <= self.tile and w <= self.tile:
+            return self.model(x)
+        tile_h, tile_w = min(self.tile, h), min(self.tile, w)
+        stride_h = max(tile_h - self.overlap, 1)
+        stride_w = max(tile_w - self.overlap, 1)
+        trim = self.overlap // 2
+
+        out = None
+        weight = None
+        scale = None
+        for y0 in _tile_starts(h, tile_h, stride_h):
+            for x0 in _tile_starts(w, tile_w, stride_w):
+                patch = Tensor(data[:, :, y0:y0 + tile_h, x0:x0 + tile_w])
+                sr = np.asarray(self.model(patch).data)
+                if out is None:
+                    if sr.shape[2] % tile_h or sr.shape[3] % tile_w:
+                        raise ValueError(
+                            f"tiled inference needs an integer scale factor; "
+                            f"tile {(tile_h, tile_w)} produced {sr.shape[2:]}")
+                    scale = sr.shape[2] // tile_h
+                    if sr.shape[3] // tile_w != scale:
+                        raise ValueError(
+                            "tiled inference needs matching H/W scale factors")
+                    out = np.zeros((b, sr.shape[1], h * scale, w * scale),
+                                   dtype=sr.dtype)
+                    weight = np.zeros((1, 1, h * scale, w * scale),
+                                      dtype=np.float64)
+                # Trim interior edges only: image borders keep their pixels.
+                top = trim if y0 > 0 else 0
+                left = trim if x0 > 0 else 0
+                bottom = trim if y0 + tile_h < h else 0
+                right = trim if x0 + tile_w < w else 0
+                sr = sr[:, :, top * scale:sr.shape[2] - bottom * scale,
+                        left * scale:sr.shape[3] - right * scale]
+                ys, xs = (y0 + top) * scale, (x0 + left) * scale
+                out[:, :, ys:ys + sr.shape[2], xs:xs + sr.shape[3]] += sr
+                weight[:, :, ys:ys + sr.shape[2], xs:xs + sr.shape[3]] += 1.0
+        return Tensor((out / np.maximum(weight, 1.0)).astype(data.dtype))
+
+
 _COMPILERS: List[Tuple[type, Callable[[Module], Module]]] = [
     (SCALESBinaryConv2d, PackedBinaryConv2d.from_scales),
     (E2FIFBinaryConv2d, PackedBinaryConv2d.from_e2fif),
@@ -218,11 +318,22 @@ def _compile_in_place(module: Module) -> int:
     return replaced
 
 
-def compile_model(model: Module) -> Module:
+def compile_model(model: Module, tile: Optional[int] = None,
+                  tile_overlap: int = 8) -> Module:
     """Deep-copy ``model`` and swap binary layers for packed twins.
 
     Returns the compiled copy in eval mode; raises if nothing in the model
     is deployable (compiling an FP model is almost certainly a bug).
+
+    Parameters
+    ----------
+    tile:
+        When given, wrap the compiled model in :class:`TiledInference`
+        with this LR tile size, so arbitrarily large inputs run in
+        memory bounded by the tile instead of the full image.
+    tile_overlap:
+        Overlap in input pixels between neighbouring tiles (only used
+        with ``tile``).
     """
     compiled = copy.deepcopy(model)
     replaced = _compile_in_place(compiled)
@@ -231,4 +342,6 @@ def compile_model(model: Module) -> Module:
             "model contains no deployable binary layers; expected at least "
             "one SCALES / E2FIF / BiBERT binary conv or linear")
     compiled.eval()
+    if tile is not None:
+        return TiledInference(compiled, tile=tile, overlap=tile_overlap)
     return compiled

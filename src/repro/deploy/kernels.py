@@ -8,6 +8,14 @@ The arithmetic identity all of this rests on: for two {-1, +1} vectors
 because every agreeing position contributes +1 and every disagreeing
 position -1, and the zero-padding bits agree by construction so they
 never enter the popcount.
+
+``binary_gemm`` is weight-stationary in spirit: it streams the packed
+activations one word-column at a time against the whole packed weight
+panel, accumulating mismatch counts in a single ``(block, N)`` buffer.
+Compared to materializing the full ``(block, N, W)`` XOR tensor and
+reducing it afterwards, the per-word working set stays cache-resident
+and the SWAR popcount runs in place on the XOR scratch with zero
+allocations in the inner loop.
 """
 
 from __future__ import annotations
@@ -16,12 +24,17 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..grad.conv import _gather_patches, conv2d_output_shape
-from .packing import pack_signs, popcount_u64
+from ..grad.conv import _gather_patches, conv2d_output_shape, im2col_rows
+from .packing import _popcount_u64_inplace, pack_signs
+
+__all__ = [
+    "binary_gemm", "packed_conv2d", "packed_linear",
+    "pack_weight_conv", "pack_weight_linear",
+]
 
 
 def binary_gemm(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
-                block: int = 256) -> np.ndarray:
+                block: int = 1024) -> np.ndarray:
     """Binary matrix product ``signs_a @ signs_b.T`` via XNOR + popcount.
 
     Parameters
@@ -33,7 +46,8 @@ def binary_gemm(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
     k:
         The true (unpadded) number of bits per row.
     block:
-        Row-block size bounding the ``(block, N, W)`` XOR workspace.
+        Row-block size bounding the ``(block, N)`` accumulation /
+        XOR-scratch workspace (three such buffers live at once).
 
     Returns
     -------
@@ -46,14 +60,24 @@ def binary_gemm(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
     if packed_a.shape[1] != packed_b.shape[1]:
         raise ValueError(
             f"word-count mismatch: {packed_a.shape[1]} vs {packed_b.shape[1]}")
-    m = packed_a.shape[0]
+    m, n_words = packed_a.shape
     n = packed_b.shape[0]
     out = np.empty((m, n), dtype=np.int32)
+    rows = min(block, m)
+    mismatches = np.empty((rows, n), dtype=np.uint64)
+    xor = np.empty((rows, n), dtype=np.uint64)
+    scratch = np.empty((rows, n), dtype=np.uint64)
+    b_t = np.ascontiguousarray(packed_b.T)  # (W, N): unit stride per word
     for start in range(0, m, block):
         stop = min(start + block, m)
-        xor = packed_a[start:stop, None, :] ^ packed_b[None, :, :]
-        mismatches = popcount_u64(xor).sum(axis=2)
-        out[start:stop] = k - 2 * mismatches.astype(np.int32)
+        r = stop - start
+        acc = mismatches[:r]
+        acc[:] = 0
+        for w in range(n_words):
+            np.bitwise_xor(packed_a[start:stop, w, None], b_t[w, None, :],
+                           out=xor[:r])
+            acc += _popcount_u64_inplace(xor[:r], scratch[:r])
+        out[start:stop] = k - 2 * acc.astype(np.int64)
     return out
 
 
@@ -71,6 +95,11 @@ def _padding_correction(shape: Tuple[int, int], weight_signs: np.ndarray,
     ``out_float = out_packed + conv(pad_mask, sign(w))``
 
     Returns an array ``(C_out, H_out, W_out)`` (zero when ``padding == 0``).
+
+    This depends only on the input geometry and the frozen weights, never
+    on the activation values — :class:`repro.deploy.engine
+    .PackedBinaryConv2d` memoizes it per input shape rather than
+    reconvolving the border mask every forward.
     """
     h, w = shape
     c_out, c_in, kh, kw = weight_signs.shape
@@ -90,7 +119,8 @@ def _padding_correction(shape: Tuple[int, int], weight_signs: np.ndarray,
 
 def packed_conv2d(activation_signs: np.ndarray, packed_weight: np.ndarray,
                   weight_signs: np.ndarray, stride: int = 1,
-                  padding: int = 0) -> np.ndarray:
+                  padding: int = 0,
+                  padding_correction: Optional[np.ndarray] = None) -> np.ndarray:
     """Binary convolution on packed weights, bit-exact vs the float graph.
 
     Parameters
@@ -106,6 +136,11 @@ def packed_conv2d(activation_signs: np.ndarray, packed_weight: np.ndarray,
         zero-padding correction (border arithmetic stays cheap and exact).
     stride, padding:
         Standard convolution geometry.
+    padding_correction:
+        Optional precomputed ``(C_out, H_out, W_out)`` border correction
+        (see :func:`_padding_correction`).  Pass it when the caller caches
+        the correction per input geometry; ``None`` computes it on the
+        fly.
 
     Returns
     -------
@@ -123,15 +158,17 @@ def packed_conv2d(activation_signs: np.ndarray, packed_weight: np.ndarray,
     else:
         padded = activation_signs
     out_h, out_w = conv2d_output_shape(padded.shape[2:], (kh, kw), stride, 0)
-    patches = _gather_patches(padded, kh, kw, stride, stride, out_h, out_w)
     k = c_in * kh * kw
-    cols = patches.reshape(b, k, out_h * out_w).transpose(0, 2, 1)
-    packed_cols = pack_signs(cols.reshape(-1, k))
+    rows = im2col_rows(padded, kh, kw, stride, stride, out_h, out_w)
+    packed_cols = pack_signs(rows)
     dots = binary_gemm(packed_cols, packed_weight, k)
     out = dots.reshape(b, out_h * out_w, c_out).transpose(0, 2, 1)
     out = out.reshape(b, c_out, out_h, out_w).astype(np.float64)
     if padding:
-        out += _padding_correction((h, w), weight_signs, stride, padding)[None]
+        if padding_correction is None:
+            padding_correction = _padding_correction((h, w), weight_signs,
+                                                     stride, padding)
+        out += padding_correction[None]
     return out
 
 

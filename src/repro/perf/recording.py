@@ -1,0 +1,72 @@
+"""Benchmark trajectory recording: ``BENCH_<name>.json`` files.
+
+Each file holds the append-only history of one benchmark family, so
+successive perf PRs leave a measurable trail: every run appends an entry
+with its measurements and a timestamp.  Files live at the repo root by
+default (next to ``ROADMAP.md``); set ``REPRO_BENCH_DIR`` to redirect
+them (e.g. to a scratch directory in CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def bench_dir(directory: Optional[PathLike] = None) -> Path:
+    """Directory holding the ``BENCH_*.json`` trajectory files."""
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return Path(env)
+    # Default to the repo root: the directory holding this package's
+    # ``src/`` tree, falling back to the CWD for installed copies.
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "ROADMAP.md").exists() or (parent / ".git").exists():
+            return parent
+    return Path.cwd()
+
+
+def bench_path(name: str, directory: Optional[PathLike] = None) -> Path:
+    if not name or any(ch in name for ch in "/\\"):
+        raise ValueError(f"invalid benchmark name {name!r}")
+    return bench_dir(directory) / f"BENCH_{name}.json"
+
+
+def record_bench(name: str, entry: Dict[str, Any],
+                 directory: Optional[PathLike] = None) -> Path:
+    """Append ``entry`` to the ``BENCH_<name>.json`` trajectory.
+
+    The entry is stamped with ``unix_time`` if absent.  Returns the path
+    written.
+    """
+    path = bench_path(name, directory)
+    trajectory = load_bench(name, directory)
+    stamped = dict(entry)
+    stamped.setdefault("unix_time", time.time())
+    trajectory.append(stamped)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps({"name": name, "entries": trajectory}, indent=2,
+                              sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_bench(name: str,
+               directory: Optional[PathLike] = None) -> List[Dict[str, Any]]:
+    """Entries recorded so far for ``name`` (empty list if none)."""
+    path = bench_path(name, directory)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{path} is not a benchmark trajectory file")
+    return entries

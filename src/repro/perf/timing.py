@@ -1,0 +1,79 @@
+"""Microbenchmark timing: warmed-up, repeated, summarized.
+
+Nothing here imports the rest of the repo — the perf layer has to stay
+importable from benchmark files that deliberately exercise broken or
+partial builds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass
+class BenchStats:
+    """Summary of repeated timings of one callable (seconds)."""
+
+    label: str
+    times: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times)
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.times)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "repeats": self.repeats,
+            "best_s": self.best,
+            "median_s": self.median,
+            "mean_s": self.mean,
+        }
+
+
+def bench(fn: Callable[[], object], *, label: str = "", warmup: int = 2,
+          repeats: int = 5, min_time: float = 0.05) -> BenchStats:
+    """Time ``fn`` with warmup and repetition.
+
+    Each repeat calls ``fn`` in an inner loop until at least ``min_time``
+    seconds elapse, then records the per-call average — this keeps very
+    fast kernels above the timer resolution.  Speedup comparisons should
+    use :attr:`BenchStats.best`, the repeat least disturbed by the OS.
+    """
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        calls = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            calls += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_time:
+                break
+        times.append(elapsed / calls)
+    return BenchStats(label=label or getattr(fn, "__name__", "fn"), times=times)
+
+
+def speedup(reference: BenchStats, candidate: BenchStats) -> float:
+    """How many times faster ``candidate`` is than ``reference`` (best-of)."""
+    return reference.best / candidate.best

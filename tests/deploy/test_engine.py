@@ -151,3 +151,84 @@ class TestDeploymentReport:
                             light_tail=True, head_kernel=3)
         report = deployment_report(compile_model(model))
         assert report.weight_compression > 28
+
+
+class TestPaddingCorrectionCache:
+    def test_correction_cached_and_reused(self):
+        init.seed(20)
+        layer = SCALESBinaryConv2d(4, 4, 3, use_spatial=False,
+                                   use_channel=False)
+        packed = PackedBinaryConv2d.from_scales(layer)
+        x = np.random.default_rng(20).normal(size=(1, 4, 6, 6)).astype(np.float32)
+        _forward(packed, x)
+        assert (6, 6) in packed._correction_cache
+        cached = packed._correction_cache[(6, 6)]
+        _forward(packed, x)
+        assert packed._correction_cache[(6, 6)] is cached
+
+    def test_cache_bounded_under_shape_churn(self):
+        init.seed(21)
+        layer = SCALESBinaryConv2d(2, 2, 3, use_spatial=False,
+                                   use_channel=False)
+        packed = PackedBinaryConv2d.from_scales(layer)
+        rng = np.random.default_rng(21)
+        for size in range(5, 16):
+            _forward(packed, rng.normal(size=(1, 2, size, size))
+                     .astype(np.float32))
+        assert len(packed._correction_cache) <= 8
+
+    def test_cached_outputs_match_training_layer_across_shapes(self):
+        init.seed(22)
+        layer = SCALESBinaryConv2d(4, 4, 3)
+        packed = PackedBinaryConv2d.from_scales(layer)
+        rng = np.random.default_rng(22)
+        for size in (6, 9, 6):  # revisit 6 to hit the cached entry
+            x = rng.normal(size=(1, 4, size, size)).astype(np.float32)
+            np.testing.assert_allclose(_forward(packed, x),
+                                       _forward(layer, x), rtol=0, atol=1e-5)
+
+
+class TestTiledInference:
+    def _toy_model(self):
+        from repro.nn import Sequential
+        init.seed(23)
+        # Receptive radius 2 (two 3x3 convs) < trim 4, so overlap-and-
+        # stitch reproduces the untiled output except for float noise.
+        return Sequential(E2FIFBinaryConv2d(3, 3, 3),
+                          E2FIFBinaryConv2d(3, 3, 3))
+
+    def test_tiled_matches_untiled(self):
+        model = self._toy_model()
+        compiled = compile_model(model)
+        tiled = compile_model(model, tile=16, tile_overlap=8)
+        x = np.random.default_rng(23).normal(size=(1, 3, 40, 38)).astype(np.float32)
+        np.testing.assert_allclose(_forward(tiled, x), _forward(compiled, x),
+                                   rtol=0, atol=1e-5)
+
+    def test_small_input_bypasses_tiling(self):
+        tiled = compile_model(self._toy_model(), tile=64)
+        x = np.random.default_rng(24).normal(size=(1, 3, 10, 10)).astype(np.float32)
+        assert _forward(tiled, x).shape == (1, 3, 10, 10)
+
+    def test_wraps_in_tiled_inference(self):
+        from repro.deploy import TiledInference
+        tiled = compile_model(self._toy_model(), tile=16)
+        assert isinstance(tiled, TiledInference)
+        assert not isinstance(compile_model(self._toy_model()), TiledInference)
+
+    def test_invalid_geometry_rejected(self):
+        from repro.deploy import TiledInference
+        model = compile_model(self._toy_model())
+        with pytest.raises(ValueError):
+            TiledInference(model, tile=0)
+        with pytest.raises(ValueError):
+            TiledInference(model, tile=8, overlap=8)
+
+    def test_tiled_super_resolution_scale_inference(self):
+        init.seed(25)
+        model = build_model("srresnet", scale=2, scheme="e2fif",
+                            preset="tiny")
+        tiled = compile_model(model, tile=12, tile_overlap=8)
+        x = np.random.default_rng(25).random((1, 3, 20, 20)).astype(np.float32)
+        out = _forward(tiled, x)
+        assert out.shape == (1, 3, 40, 40)

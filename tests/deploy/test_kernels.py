@@ -112,3 +112,34 @@ class TestPackedLinear:
         packed, k = pack_weight_linear(w)
         with pytest.raises(ValueError):
             packed_linear(_random_signs(rng, (2, 9)), packed, k)
+
+
+class TestPackedConv2dStridePadding:
+    """Explicit stride-2 + padding coverage through the packed pipeline."""
+
+    @pytest.mark.parametrize("stride,padding", [(2, 1), (2, 2), (3, 1)])
+    def test_matches_float_conv_strided_padded(self, stride, padding):
+        from repro.deploy import pack_weight_conv, packed_conv2d
+        rng = np.random.default_rng(77)
+        x = _random_signs(rng, (2, 3, 11, 10))
+        w = rng.normal(size=(5, 3, 3, 3))
+        packed_w, w_signs = pack_weight_conv(w)
+        out = packed_conv2d(x, packed_w, w_signs, stride=stride,
+                            padding=padding)
+        expected = G.conv2d(Tensor(np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))),
+            Tensor(w_signs), stride=stride).data
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_precomputed_padding_correction_matches(self):
+        from repro.deploy import pack_weight_conv, packed_conv2d
+        from repro.deploy.kernels import _padding_correction
+        rng = np.random.default_rng(78)
+        x = _random_signs(rng, (1, 4, 9, 9))
+        w = rng.normal(size=(6, 4, 3, 3))
+        packed_w, w_signs = pack_weight_conv(w)
+        correction = _padding_correction((9, 9), w_signs, 1, 1)
+        out_cached = packed_conv2d(x, packed_w, w_signs, stride=1, padding=1,
+                                   padding_correction=correction)
+        out_fresh = packed_conv2d(x, packed_w, w_signs, stride=1, padding=1)
+        np.testing.assert_array_equal(out_cached, out_fresh)

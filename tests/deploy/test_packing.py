@@ -85,3 +85,76 @@ class TestPopcount:
     def test_matches_python_bin(self, value):
         arr = np.array([value], dtype=np.uint64)
         assert popcount_u64(arr)[0] == bin(value).count("1")
+
+
+class TestPackingEdgeCases:
+    """Word-boundary, degenerate-shape and codec-equivalence cases."""
+
+    def test_k_exactly_one_word(self):
+        rng = np.random.default_rng(10)
+        signs = np.where(rng.random((5, WORD_BITS)) > 0.5, 1.0, -1.0)
+        packed = pack_signs(signs)
+        assert packed.shape == (5, 1)
+        np.testing.assert_array_equal(unpack_signs(packed, WORD_BITS), signs)
+
+    @pytest.mark.parametrize("k", [1, 63, 65, 100, 127, 129])
+    def test_k_not_a_word_multiple(self, k):
+        rng = np.random.default_rng(k)
+        signs = np.where(rng.random((4, k)) > 0.5, 1.0, -1.0)
+        packed = pack_signs(signs)
+        assert packed.shape == (4, packed_words(k))
+        np.testing.assert_array_equal(unpack_signs(packed, k), signs)
+
+    def test_single_row(self):
+        signs = np.where(np.random.default_rng(11).random((1, 70)) > 0.5,
+                         1.0, -1.0)
+        packed = pack_signs(signs)
+        assert packed.shape == (1, 2)
+        np.testing.assert_array_equal(unpack_signs(packed, 70), signs)
+
+    def test_empty_batch_roundtrip(self):
+        signs = np.empty((0, 70))
+        packed = pack_signs(signs)
+        assert packed.shape == (0, 2)
+        assert unpack_signs(packed, 70).shape == (0, 70)
+
+    def test_output_dtype_and_padding_bits_zero(self):
+        packed = pack_signs(np.ones((2, 65)))
+        assert packed.dtype == np.uint64
+        # Bits 65..127 must stay zero so both gemm operands pad equally.
+        assert packed[0, 1] == np.uint64(1)
+
+    def test_empty_batch_binary_gemm(self):
+        from repro.deploy import binary_gemm
+        a = pack_signs(np.empty((0, 64)))
+        b = pack_signs(np.where(np.random.default_rng(12).random((3, 64)) > 0.5,
+                                1.0, -1.0))
+        out = binary_gemm(a, b, 64)
+        assert out.shape == (0, 3)
+        out = binary_gemm(b, a, 64)
+        assert out.shape == (3, 0)
+
+    @pytest.mark.parametrize("k", [64, 128])
+    def test_exact_word_multiple_gemm(self, k):
+        from repro.deploy import binary_gemm
+        rng = np.random.default_rng(k)
+        a = np.where(rng.random((5, k)) > 0.5, 1.0, -1.0)
+        b = np.where(rng.random((4, k)) > 0.5, 1.0, -1.0)
+        out = binary_gemm(pack_signs(a), pack_signs(b), k)
+        np.testing.assert_array_equal(out, (a @ b.T).astype(np.int32))
+
+
+class TestSwarPopcountOracle:
+    def test_matches_lut_reference(self):
+        from repro.deploy import popcount_u64_lut
+        rng = np.random.default_rng(13)
+        words = rng.integers(0, 2**64, size=(64, 33), dtype=np.uint64)
+        np.testing.assert_array_equal(popcount_u64(words),
+                                      popcount_u64_lut(words))
+
+    def test_extremes(self):
+        from repro.deploy import popcount_u64_lut
+        words = np.array([0, 2**64 - 1, 0xAAAAAAAAAAAAAAAA,
+                          0x5555555555555555], dtype=np.uint64)
+        np.testing.assert_array_equal(popcount_u64(words), [0, 64, 32, 32])
+        np.testing.assert_array_equal(popcount_u64_lut(words), [0, 64, 32, 32])

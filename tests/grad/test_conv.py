@@ -129,3 +129,96 @@ class TestPooling:
     def test_avg_pool_grad(self):
         check_gradients(lambda ts: G.sum(G.avg_pool2d(ts[0], 2) ** 2),
                         [rng(2).normal(size=(1, 1, 4, 4))])
+
+
+class TestConvBackendSwitch:
+    """The fast (sliding_window_view + BLAS) and reference (loop gather)
+    backends must agree on values and gradients for every geometry."""
+
+    def test_default_is_fast(self):
+        assert G.get_conv_backend() == "fast"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            G.set_conv_backend("blas")
+
+    def test_context_manager_restores(self):
+        with G.conv_backend("reference"):
+            assert G.get_conv_backend() == "reference"
+        assert G.get_conv_backend() == "fast"
+
+    @pytest.mark.parametrize("stride,padding,k", [
+        (1, 0, 3), (1, 1, 3), (2, 1, 3), (2, 0, 3), (1, 0, 1), (3, 2, 5),
+        ((1, 2), (2, 1), 3),
+    ])
+    def test_conv2d_forward_and_grads_agree(self, stride, padding, k):
+        x = rng(20).normal(size=(2, 3, 9, 8))
+        w = rng(21).normal(size=(4, 3, k, k))
+        b = rng(22).normal(size=(4,))
+        results = {}
+        for backend in ("fast", "reference"):
+            with G.conv_backend(backend):
+                xt = Tensor(x.copy(), requires_grad=True)
+                wt = Tensor(w.copy(), requires_grad=True)
+                bt = Tensor(b.copy(), requires_grad=True)
+                out = G.conv2d(xt, wt, bt, stride=stride, padding=padding)
+                G.sum(out * out).backward()
+                results[backend] = (out.data, xt.grad, wt.grad, bt.grad)
+        for fast_arr, ref_arr in zip(results["fast"], results["reference"]):
+            np.testing.assert_allclose(fast_arr, ref_arr, rtol=1e-10,
+                                       atol=1e-10)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 2), (2, 1)])
+    def test_conv1d_agrees(self, stride, padding):
+        x = rng(23).normal(size=(2, 3, 11))
+        w = rng(24).normal(size=(4, 3, 5))
+        results = {}
+        for backend in ("fast", "reference"):
+            with G.conv_backend(backend):
+                xt = Tensor(x.copy(), requires_grad=True)
+                wt = Tensor(w.copy(), requires_grad=True)
+                out = G.conv1d(xt, wt, stride=stride, padding=padding)
+                G.sum(out * out).backward()
+                results[backend] = (out.data, xt.grad, wt.grad)
+        for fast_arr, ref_arr in zip(results["fast"], results["reference"]):
+            np.testing.assert_allclose(fast_arr, ref_arr, rtol=1e-10,
+                                       atol=1e-10)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, None), (3, 1), (2, 2)])
+    def test_avg_pool_agrees(self, kernel, stride):
+        x = rng(25).normal(size=(2, 3, 8, 7))
+        outs = {}
+        for backend in ("fast", "reference"):
+            with G.conv_backend(backend):
+                outs[backend] = G.avg_pool2d(Tensor(x), kernel,
+                                             stride=stride).data
+        np.testing.assert_allclose(outs["fast"], outs["reference"],
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_reference_backend_matches_direct_conv(self):
+        x = rng(26).normal(size=(1, 2, 6, 6))
+        w = rng(27).normal(size=(3, 2, 3, 3))
+        with G.conv_backend("reference"):
+            out = G.conv2d(Tensor(x), Tensor(w), padding=1).data
+        np.testing.assert_allclose(out, reference_conv2d(x, w, padding=1),
+                                   atol=1e-10)
+
+
+class TestIm2colRows:
+    def test_rows_layout_matches_loop_gather(self):
+        from repro.grad.conv import _gather_patches, im2col_rows
+        x = rng(28).normal(size=(2, 3, 7, 6))
+        kh = kw = 3
+        oh, ow = 5, 4
+        rows = im2col_rows(x, kh, kw, 1, 1, oh, ow)
+        patches = _gather_patches(x, kh, kw, 1, 1, oh, ow)
+        expected = patches.reshape(2, 3 * kh * kw, oh * ow)
+        expected = expected.transpose(0, 2, 1).reshape(-1, 3 * kh * kw)
+        np.testing.assert_array_equal(rows, expected)
+
+    def test_strided(self):
+        from repro.grad.conv import im2col_rows
+        x = rng(29).normal(size=(1, 2, 8, 8))
+        rows = im2col_rows(x, 3, 3, 2, 2, 3, 3)
+        assert rows.shape == (9, 18)
+        np.testing.assert_array_equal(rows[0], x[0, :, 0:3, 0:3].reshape(-1))

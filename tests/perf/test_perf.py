@@ -1,0 +1,62 @@
+"""Tests for the perf timing/recording scaffolding."""
+
+import json
+
+import pytest
+
+from repro.perf import (BenchStats, bench, bench_path, load_bench,
+                        record_bench, speedup)
+
+
+class TestBench:
+    def test_bench_counts_and_positive_times(self):
+        calls = []
+        stats = bench(lambda: calls.append(1), warmup=1, repeats=3,
+                      min_time=0.0, label="noop")
+        assert stats.repeats == 3
+        assert stats.label == "noop"
+        assert all(t >= 0.0 for t in stats.times)
+        assert len(calls) >= 4  # 1 warmup + >= 1 call per repeat
+
+    def test_stats_summaries(self):
+        stats = BenchStats(label="x", times=[3.0, 1.0, 2.0])
+        assert stats.best == 1.0
+        assert stats.median == 2.0
+        assert stats.mean == 2.0
+        assert stats.to_dict()["best_s"] == 1.0
+
+    def test_median_even_count(self):
+        assert BenchStats(label="x", times=[1.0, 2.0, 3.0, 4.0]).median == 2.5
+
+    def test_speedup(self):
+        ref = BenchStats(label="ref", times=[4.0])
+        fast = BenchStats(label="fast", times=[1.0])
+        assert speedup(ref, fast) == 4.0
+
+
+class TestRecording:
+    def test_record_appends_trajectory(self, tmp_path):
+        record_bench("demo", {"speedup": 2.0}, directory=tmp_path)
+        record_bench("demo", {"speedup": 3.0}, directory=tmp_path)
+        entries = load_bench("demo", directory=tmp_path)
+        assert [e["speedup"] for e in entries] == [2.0, 3.0]
+        assert all("unix_time" in e for e in entries)
+
+    def test_file_layout(self, tmp_path):
+        path = record_bench("layout", {"v": 1}, directory=tmp_path)
+        assert path == bench_path("layout", directory=tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "layout"
+        assert isinstance(payload["entries"], list)
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert load_bench("nothing", directory=tmp_path) == []
+
+    def test_invalid_name_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            bench_path("../escape", directory=tmp_path)
+
+    def test_non_trajectory_file_raises(self, tmp_path):
+        bench_path("bad", directory=tmp_path).write_text('{"entries": 5}')
+        with pytest.raises(ValueError):
+            load_bench("bad", directory=tmp_path)
