@@ -62,11 +62,14 @@ def main() -> None:
         print(f"\nPacked-path mean PSNR over the suite: {result.psnr:.2f} dB")
 
         print("\nTiled inference (bounded memory on large inputs)...")
-        tiled = compile_model(model, tile=32, tile_overlap=8)
+        tiled = compile_model(model, tile=32, tile_overlap=8,
+                              tile_batch_size=16)
         big = np.random.default_rng(0).random((96, 128, 3)).astype(np.float32)
         sr_tiled = super_resolve(tiled, big)
         print(f"  {big.shape[1]}x{big.shape[0]} LR -> "
-              f"{sr_tiled.shape[1]}x{sr_tiled.shape[0]} SR via 32x32 tiles")
+              f"{sr_tiled.shape[1]}x{sr_tiled.shape[0]} SR via batched "
+              f"32x32 tiles (see examples/pipeline_serving.py for the "
+              f"serving pipeline)")
 
 
 if __name__ == "__main__":

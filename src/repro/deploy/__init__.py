@@ -7,12 +7,18 @@ This subpackage is the equivalent substrate for this repo: it compiles a
 linears really do run on ``uint64`` words —
 
 * :mod:`repro.deploy.packing`  — {-1,+1} <-> packed ``uint64`` codecs and
-  a vectorized popcount;
-* :mod:`repro.deploy.kernels`  — XNOR-popcount GEMM, packed binary conv2d
-  (bit-exact against the float graph, including zero-padding correction)
-  and packed binary linear;
+  vectorized popcounts (hardware ``np.bitwise_count`` when available,
+  SWAR fallback);
+* :mod:`repro.deploy.kernels`  — XNOR-popcount GEMM, the bit-domain
+  conv/linear fast path (bitplane or patch activation layouts), and the
+  retained reference kernels (bit-exact against the float graph,
+  including zero-padding correction);
+* :mod:`repro.deploy.workspace` — per-thread scratch-buffer arena so
+  repeated same-shape calls (tiles, batches) allocate nothing;
 * :mod:`repro.deploy.engine`   — ``compile_model``: walks a trained model
-  and swaps every supported binary layer for its packed twin;
+  and swaps every supported binary layer for its packed twin; batched
+  thread-parallel :class:`TiledInference` for bounded-memory full-image
+  SR;
 * :mod:`repro.deploy.report`   — memory/operation accounting of a
   deployed model (the 32x weight-compression story of Table VI).
 
@@ -22,19 +28,27 @@ test suite verifies end-to-end.
 """
 
 from .packing import (pack_signs, unpack_signs, popcount_u64,
-                      popcount_u64_lut, packed_words)
-from .kernels import (binary_gemm, packed_conv2d, packed_linear,
-                      pack_weight_conv, pack_weight_linear)
+                      popcount_u64_lut, packed_words, HAS_HW_POPCOUNT)
+from .kernels import (binary_gemm, binary_gemm_reference, packed_conv2d,
+                      packed_linear, pack_weight_conv, pack_weight_linear,
+                      FastConvWeight, FastLinearWeight, packed_conv2d_bits,
+                      packed_linear_bits, conv_fast_layout)
+from .workspace import Workspace, workspace, clear_workspace
 from .engine import (PackedBinaryConv2d, PackedBinaryLinear, TiledInference,
-                     compile_model, deployable_layers)
+                     compile_model, deployable_layers, get_packed_backend,
+                     packed_backend, set_packed_backend)
 from .report import DeploymentReport, deployment_report
 
 __all__ = [
     "pack_signs", "unpack_signs", "popcount_u64", "popcount_u64_lut",
-    "packed_words",
-    "binary_gemm", "packed_conv2d", "packed_linear",
+    "packed_words", "HAS_HW_POPCOUNT",
+    "binary_gemm", "binary_gemm_reference", "packed_conv2d", "packed_linear",
     "pack_weight_conv", "pack_weight_linear",
+    "FastConvWeight", "FastLinearWeight", "packed_conv2d_bits",
+    "packed_linear_bits", "conv_fast_layout",
+    "Workspace", "workspace", "clear_workspace",
     "PackedBinaryConv2d", "PackedBinaryLinear", "TiledInference",
     "compile_model", "deployable_layers",
+    "get_packed_backend", "packed_backend", "set_packed_backend",
     "DeploymentReport", "deployment_report",
 ]

@@ -17,22 +17,45 @@ training layer                         packed twin
 ``SCALESBinaryLinear``                 :class:`PackedBinaryLinear`
 ``BiBERTBinaryLinear``                 :class:`PackedBinaryLinear`
 =====================================  =========================
+
+Each packed layer carries two interchangeable forward implementations:
+
+``fast`` (default)
+    Thresholds activations straight into a padded NHWC bit image
+    (compare against ``beta`` — no ``(x - beta) / alpha`` float pass,
+    no float64 conversion), gathers/packs in the bit domain
+    (:func:`repro.deploy.kernels.packed_conv2d_bits`), and folds the
+    integer dots, scales, padding correction and bias in two fused
+    passes.  All staging comes from the per-thread workspace arena.
+
+``reference``
+    The seed path — float sign planes through
+    :func:`repro.deploy.kernels.packed_conv2d` — retained as the
+    bit-exactness oracle and the baseline the end-to-end benchmarks
+    measure against.  Switch with :func:`set_packed_backend`, the
+    :func:`packed_backend` context manager, or ``REPRO_PACKED_IMPL``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import copy
-from typing import Callable, Dict, List, Optional, Tuple
+import os
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..binarize.baselines import BiBERTBinaryLinear, E2FIFBinaryConv2d
 from ..binarize.scales_layers import SCALESBinaryConv2d, SCALESBinaryLinear
 from ..grad import Tensor
-from ..infer.tiling import _tile_starts
+from ..grad.conv import conv2d_output_shape
+from ..grad.tensor import get_default_dtype
+from ..infer.tiling import TileStitcher, iter_tile_batches, plan_tiles
 from ..nn import Module
-from .kernels import (_padding_correction, pack_weight_conv,
-                      pack_weight_linear, packed_conv2d, packed_linear)
+from .kernels import (FastConvWeight, FastLinearWeight, _padding_correction,
+                      pack_weight_conv, pack_weight_linear, packed_conv2d,
+                      packed_conv2d_bits, packed_linear, packed_linear_bits)
+from .workspace import workspace
 
 #: Padding corrections memoized per input geometry on each packed conv.
 #: SR workloads see a handful of shapes (train patch, eval tile, full
@@ -40,6 +63,37 @@ from .kernels import (_padding_correction, pack_weight_conv,
 _CORRECTION_CACHE_SIZE = 8
 
 _MIN_ALPHA = 1e-3  # must match repro.binarize.ste.lsf_binarize
+
+_BACKENDS = ("fast", "reference")
+_packed_backend = os.environ.get("REPRO_PACKED_IMPL", "fast")
+if _packed_backend not in _BACKENDS:
+    raise ValueError(
+        f"REPRO_PACKED_IMPL must be one of {_BACKENDS}, got {_packed_backend!r}")
+
+
+def set_packed_backend(name: str) -> None:
+    """Select the packed-layer forward: ``"fast"`` or ``"reference"``."""
+    global _packed_backend
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown packed backend {name!r}; expected one of {_BACKENDS}")
+    _packed_backend = name
+
+
+def get_packed_backend() -> str:
+    """Name of the active packed-layer forward implementation."""
+    return _packed_backend
+
+
+@contextlib.contextmanager
+def packed_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the packed-layer forward (restores on exit)."""
+    previous = _packed_backend
+    set_packed_backend(name)
+    try:
+        yield
+    finally:
+        set_packed_backend(previous)
 
 
 def _safe_alpha(alpha: np.ndarray) -> np.ndarray:
@@ -51,6 +105,47 @@ def _weight_scale(weight: np.ndarray) -> np.ndarray:
     """Per-output-channel l1 scale, identical to ``binarize_weight``."""
     reduce_axes = tuple(range(1, weight.ndim))
     return np.abs(weight).mean(axis=reduce_axes)
+
+
+def _fifo_insert(cache: Dict, key, value, limit: int = _CORRECTION_CACHE_SIZE):
+    """Bounded FIFO insert, tolerant of racing evictions from worker threads."""
+    if len(cache) >= limit:
+        try:
+            cache.pop(next(iter(cache)))
+        except (KeyError, RuntimeError, StopIteration):  # pragma: no cover
+            pass
+    cache[key] = value
+
+
+def _threshold_bits(data: np.ndarray, dest: np.ndarray,
+                    alpha: Optional[np.ndarray],
+                    beta: Optional[np.ndarray]) -> float:
+    """Write activation sign bits of NHWC-viewed ``data`` into ``dest``.
+
+    ``dest`` is the NHWC interior view of the padded bit image; returns
+    the activation scale.  ``sign((x - beta) / alpha)`` reduces to a
+    single fused compare against ``beta`` whenever ``alpha`` has one
+    sign (it always does — ``alpha`` is the paper's layer-wise scalar);
+    a general fallback covers mixed-sign per-element alphas.
+    """
+    src = np.moveaxis(data, 1, -1) if data.ndim == 4 else data
+    if alpha is None:
+        np.greater_equal(src, 0.0, out=dest)
+        return 1.0
+    act_scale = float(alpha.reshape(-1)[0])
+    thr = np.asarray(beta).reshape(-1)
+    if thr.size not in (1, src.shape[-1]):  # pragma: no cover - defensive
+        thr = np.moveaxis(np.broadcast_to(beta, data.shape), 1, -1) \
+            if data.ndim == 4 else np.broadcast_to(beta, data.shape)
+    if np.all(alpha > 0):
+        np.greater_equal(src, thr, out=dest)
+    elif np.all(alpha < 0):
+        np.less_equal(src, thr, out=dest)
+    else:  # pragma: no cover - mixed-sign alpha never trained in practice
+        u = (data - beta) / alpha
+        np.greater_equal(np.moveaxis(u, 1, -1) if u.ndim == 4 else u,
+                         0.0, out=dest)
+    return act_scale
 
 
 class PackedBinaryConv2d(Module):
@@ -66,10 +161,11 @@ class PackedBinaryConv2d(Module):
     4. FP re-scaling branches / BatchNorm / skip exactly as trained.
 
     The layer is weight-stationary: ``sign(w)`` is packed once at
-    construction, and the zero-padding border correction — a pure
-    function of (input shape, stride, padding) and the frozen weights —
-    is memoized per input geometry instead of being reconvolved every
-    forward call.
+    construction (in both the reference patch layout and the fast
+    layout, transposed GEMM panel included), and the zero-padding border
+    correction — a pure function of (input shape, stride, padding) and
+    the frozen weights — is memoized per input geometry, pre-folded with
+    the scales and bias for the fast path.
     """
 
     binary = True
@@ -86,6 +182,7 @@ class PackedBinaryConv2d(Module):
         self.alpha = None if alpha is None else _safe_alpha(np.asarray(alpha))
         self.beta = None if beta is None else np.asarray(beta)
         self.packed_weight, self.weight_signs = pack_weight_conv(weight)
+        self.fast_weight = FastConvWeight(weight)
         self.weight_scale = _weight_scale(weight)
         self.conv_bias = None if bias is None else np.asarray(bias)
         if spatial is not None:
@@ -99,6 +196,7 @@ class PackedBinaryConv2d(Module):
         self._has_bn = bn is not None
         self.skip = skip
         self._correction_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._offset_cache: Dict[Tuple[int, int], Optional[np.ndarray]] = {}
 
     def _cached_padding_correction(self, shape: Tuple[int, int]) -> Optional[np.ndarray]:
         """Border correction for an ``(H, W)`` input, memoized per shape."""
@@ -108,10 +206,27 @@ class PackedBinaryConv2d(Module):
         if correction is None:
             correction = _padding_correction(shape, self.weight_signs,
                                              self.stride, self.padding)
-            if len(self._correction_cache) >= _CORRECTION_CACHE_SIZE:
-                self._correction_cache.pop(next(iter(self._correction_cache)))
-            self._correction_cache[shape] = correction
+            _fifo_insert(self._correction_cache, shape, correction)
         return correction
+
+    def _cached_correction_int(self, shape: Tuple[int, int]) -> np.ndarray:
+        """Padding correction as int32 ``(H_out*W_out, C_out)``.
+
+        The border correction is integer-valued (a convolution of a 0/1
+        mask with ±1 weight signs), so the fast path adds it to the raw
+        int32 dots *before* scaling — one int pass instead of a float64
+        plane add, and the exact ``(dots + corr) * s`` association of
+        the reference path.  Stored position-major to match the GEMM's
+        ``(B*H_out*W_out, C_out)`` dot layout (contiguous adds).
+        """
+        cached = self._offset_cache.get(shape)
+        if cached is None:
+            correction = self._cached_padding_correction(shape)
+            cached = np.ascontiguousarray(
+                correction.reshape(correction.shape[0], -1)
+                .T.astype(np.int32))
+            _fifo_insert(self._offset_cache, shape, cached)
+        return cached
 
     @classmethod
     def from_scales(cls, layer: SCALESBinaryConv2d) -> "PackedBinaryConv2d":
@@ -131,7 +246,8 @@ class PackedBinaryConv2d(Module):
                    layer.stride, layer.padding, alpha=None, beta=None,
                    bn=layer.bn, skip=layer.skip)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def _forward_reference(self, x: Tensor) -> Tensor:
+        """Seed forward: float sign planes + float64 im2col (oracle)."""
         data = np.asarray(x.data, dtype=np.float64)
         if self.alpha is not None:
             u = (data - self.beta) / self.alpha
@@ -147,7 +263,58 @@ class PackedBinaryConv2d(Module):
         out *= act_scale * self.weight_scale[None, :, None, None]
         if self.conv_bias is not None:
             out += self.conv_bias[None, :, None, None]
-        result = Tensor(out.astype(data.dtype))
+        return Tensor(out.astype(data.dtype))
+
+    def _forward_fast(self, x: Tensor) -> Tensor:
+        """Bit-domain forward: threshold -> pack -> GEMM -> fused fold."""
+        data = np.asarray(x.data)
+        b, c, h, w = data.shape
+        p, fw = self.padding, self.fast_weight
+        ws = workspace()
+        # The tag carries the true channel count and padding width: the
+        # channels beyond c and the p-pixel border are zeroed once at
+        # creation and never rewritten, so layers whose padded extents
+        # coincide but whose written interiors differ (c_in 96 vs 128
+        # both pad to 128 bitplane channels; equal H+2p from different
+        # H, p) must not share a buffer — stale 1-bits would enter the
+        # XOR-popcount.
+        bits = ws.take(f"actbits{fw.c_pad}c{c}p{p}",
+                       (b, h + 2 * p, w + 2 * p, fw.c_pad), np.uint8,
+                       zero_on_create=True)
+        interior = bits[:, p:p + h, p:p + w, :c]
+        act_scale = _threshold_bits(data, interior, self.alpha, self.beta)
+        out_h, out_w = conv2d_output_shape((h + 2 * p, w + 2 * p),
+                                           (fw.kh, fw.kw), self.stride, 0)
+        dots = ws.take("conv_dots", (b * out_h * out_w, fw.c_out), np.int32)
+        packed_conv2d_bits(bits, fw, stride=self.stride, out=dots, ws=ws)
+        if p:
+            d3 = dots.reshape(b, out_h * out_w, fw.c_out)
+            d3 += self._cached_correction_int((h, w))[None]
+        dview = dots.reshape(b, out_h * out_w, fw.c_out).transpose(0, 2, 1)
+        scale = act_scale * self.weight_scale
+        if self.conv_bias is None:
+            # Scale straight into the Tensor's dtype: the ufunc computes
+            # in float64 (int32 x float64 loop) and casts on store —
+            # bit-identical to the reference's float64 result after its
+            # Tensor cast, without materializing the float64 plane.
+            out = np.empty((b, fw.c_out, out_h, out_w),
+                           dtype=get_default_dtype())
+            np.multiply(dview, scale[None, :, None],
+                        out=out.reshape(b, fw.c_out, -1), casting="unsafe")
+        else:
+            # The reference adds the bias in float64 before the single
+            # round-off; match its association exactly.
+            out = np.empty((b, fw.c_out, out_h, out_w), dtype=np.float64)
+            np.multiply(dview, scale[None, :, None],
+                        out=out.reshape(b, fw.c_out, -1))
+            out += self.conv_bias[None, :, None, None]
+        return Tensor(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if _packed_backend == "fast":
+            result = self._forward_fast(x)
+        else:
+            result = self._forward_reference(x)
         if self._has_spatial:
             result = result * self.spatial(x)
         if self._has_channel:
@@ -171,6 +338,7 @@ class PackedBinaryLinear(Module):
         self.alpha = None if alpha is None else _safe_alpha(np.asarray(alpha))
         self.beta = None if beta is None else np.asarray(beta)
         self.packed_weight, self.in_features = pack_weight_linear(weight)
+        self.fast_weight = FastLinearWeight(weight)
         self.out_features = weight.shape[0]
         self.weight_scale = _weight_scale(weight)
         self.lin_bias = None if bias is None else np.asarray(bias)
@@ -195,7 +363,7 @@ class PackedBinaryLinear(Module):
                    None if layer.bias is None else layer.bias.data,
                    alpha=None, beta=None)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def _forward_reference(self, x: Tensor) -> Tensor:
         data = np.asarray(x.data, dtype=np.float64)
         if self.alpha is not None:
             u = (data - self.beta) / self.alpha
@@ -208,7 +376,32 @@ class PackedBinaryLinear(Module):
         out *= act_scale * self.weight_scale
         if self.lin_bias is not None:
             out += self.lin_bias
-        result = Tensor(out.astype(data.dtype))
+        return Tensor(out.astype(data.dtype))
+
+    def _forward_fast(self, x: Tensor) -> Tensor:
+        data = np.asarray(x.data)
+        *lead, k = data.shape
+        fw = self.fast_weight
+        m = int(np.prod(lead, dtype=np.int64)) if lead else 1
+        ws = workspace()
+        bits = ws.take(f"linbits{k}", (m, fw.words * 64), np.uint8,
+                       zero_on_create=True)
+        act_scale = _threshold_bits(data.reshape(m, k), bits[:, :k],
+                                    self.alpha, self.beta)
+        dots = ws.take("lin_dots", (m, fw.out_features), np.int32)
+        packed_linear_bits(bits, fw, out=dots, ws=ws)
+        out = np.empty((m, fw.out_features), dtype=np.float64)
+        np.multiply(dots, (act_scale * self.weight_scale)[None, :], out=out)
+        if self.lin_bias is not None:
+            out += self.lin_bias
+        # float64 out, matching the reference path's output dtype.
+        return Tensor(out.reshape(*lead, -1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if _packed_backend == "fast":
+            result = self._forward_fast(x)
+        else:
+            result = self._forward_reference(x)
         if self._has_spatial:
             result = result * self.spatial(x)
         if self.skip:
@@ -217,15 +410,23 @@ class PackedBinaryLinear(Module):
 
 
 class TiledInference(Module):
-    """Overlap-and-stitch wrapper bounding a packed model's working set.
+    """Batched overlap-and-stitch wrapper bounding a model's working set.
 
-    Full-image SR through the packed engine materializes im2col rows and
+    Full-image SR through the packed engine materializes patch rows and
     packed activation panels proportional to ``H * W``; on large inputs
-    that dwarfs the model itself.  This wrapper runs the wrapped model on
-    overlapping ``tile x tile`` crops of the NCHW input and stitches the
-    outputs, so peak memory is bounded by the tile size regardless of
-    input size (and every packed layer's geometry cache sees one tile
-    shape instead of one per image size).
+    that dwarfs the model itself.  This wrapper cuts the NCHW input into
+    overlapping ``tile x tile`` crops (:func:`repro.infer.tiling
+    .plan_tiles`) and runs the wrapped model in chunks of ``batch_size``
+    tiles, streamed one thread-pool wave at a time and stitched as each
+    wave completes.  Peak memory is bounded by one wave (``batch_size *
+    n_threads`` tiles) plus the output canvas regardless of input size,
+    every packed layer's geometry caches see a single tile shape, and
+    the conv/GEMM kernels see a few large-M operands instead of one
+    tiny call per tile.
+
+    ``batched=False`` retains the sequential per-tile loop (the seed
+    execution strategy) — the oracle for equivalence tests and the
+    baseline for the end-to-end benchmarks.
 
     The model's scale factor is inferred from the first tile's output
     (it must be an integer multiple of the input tile).  Interior tile
@@ -235,57 +436,60 @@ class TiledInference(Module):
     :func:`repro.infer.tiling.tiled_super_resolve`.
     """
 
-    def __init__(self, model: Module, tile: int = 48, overlap: int = 8):
+    def __init__(self, model: Module, tile: int = 48, overlap: int = 8,
+                 batch_size: int = 16, n_threads: Optional[int] = None,
+                 batched: bool = True):
         super().__init__()
         if tile <= 0:
             raise ValueError(f"tile must be positive, got {tile}")
         if not 0 <= overlap < tile:
             raise ValueError(f"overlap {overlap} must be in [0, tile={tile})")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.model = model
         self.tile = tile
         self.overlap = overlap
+        self.batch_size = batch_size
+        self.n_threads = n_threads
+        self.batched = batched
+
+    def _scale_of(self, plan, out_shape: Tuple[int, ...]) -> int:
+        tile_h, tile_w = plan.tile_h, plan.tile_w
+        if out_shape[2] % tile_h or out_shape[3] % tile_w:
+            raise ValueError(
+                f"tiled inference needs an integer scale factor; "
+                f"tile {(tile_h, tile_w)} produced {tuple(out_shape[2:])}")
+        scale = out_shape[2] // tile_h
+        if out_shape[3] // tile_w != scale:
+            raise ValueError("tiled inference needs matching H/W scale factors")
+        return scale
 
     def forward(self, x: Tensor) -> Tensor:
         data = np.asarray(x.data)
         b, c, h, w = data.shape
         if h <= self.tile and w <= self.tile:
             return self.model(x)
-        tile_h, tile_w = min(self.tile, h), min(self.tile, w)
-        stride_h = max(tile_h - self.overlap, 1)
-        stride_w = max(tile_w - self.overlap, 1)
-        trim = self.overlap // 2
-
-        out = None
-        weight = None
-        scale = None
-        for y0 in _tile_starts(h, tile_h, stride_h):
-            for x0 in _tile_starts(w, tile_w, stride_w):
-                patch = Tensor(data[:, :, y0:y0 + tile_h, x0:x0 + tile_w])
-                sr = np.asarray(self.model(patch).data)
-                if out is None:
-                    if sr.shape[2] % tile_h or sr.shape[3] % tile_w:
-                        raise ValueError(
-                            f"tiled inference needs an integer scale factor; "
-                            f"tile {(tile_h, tile_w)} produced {sr.shape[2:]}")
-                    scale = sr.shape[2] // tile_h
-                    if sr.shape[3] // tile_w != scale:
-                        raise ValueError(
-                            "tiled inference needs matching H/W scale factors")
-                    out = np.zeros((b, sr.shape[1], h * scale, w * scale),
-                                   dtype=sr.dtype)
-                    weight = np.zeros((1, 1, h * scale, w * scale),
-                                      dtype=np.float64)
-                # Trim interior edges only: image borders keep their pixels.
-                top = trim if y0 > 0 else 0
-                left = trim if x0 > 0 else 0
-                bottom = trim if y0 + tile_h < h else 0
-                right = trim if x0 + tile_w < w else 0
-                sr = sr[:, :, top * scale:sr.shape[2] - bottom * scale,
-                        left * scale:sr.shape[3] - right * scale]
-                ys, xs = (y0 + top) * scale, (x0 + left) * scale
-                out[:, :, ys:ys + sr.shape[2], xs:xs + sr.shape[3]] += sr
-                weight[:, :, ys:ys + sr.shape[2], xs:xs + sr.shape[3]] += 1.0
-        return Tensor((out / np.maximum(weight, 1.0)).astype(data.dtype))
+        plan = plan_tiles(h, w, self.tile, self.overlap)
+        if self.batched:
+            batches = iter_tile_batches(self.model, data, plan,
+                                        self.batch_size, self.n_threads)
+        else:
+            # The seed execution strategy: one tile per forward.
+            batches = (
+                ([t], np.asarray(self.model(Tensor(
+                    data[:, :, s.y0:s.y0 + plan.tile_h,
+                         s.x0:s.x0 + plan.tile_w])).data))
+                for t, s in enumerate(plan.tiles))
+        stitcher = None
+        for indices, out in batches:
+            if stitcher is None:
+                scale = self._scale_of(plan, out.shape)
+                stitcher = TileStitcher(plan, scale, batch=b,
+                                        c_out=out.shape[1])
+            out = np.asarray(out, dtype=np.float64)
+            for j, t in enumerate(indices):
+                stitcher.add(t, out[j * b:(j + 1) * b])
+        return Tensor(stitcher.finish().astype(data.dtype))
 
 
 _COMPILERS: List[Tuple[type, Callable[[Module], Module]]] = [
@@ -319,7 +523,8 @@ def _compile_in_place(module: Module) -> int:
 
 
 def compile_model(model: Module, tile: Optional[int] = None,
-                  tile_overlap: int = 8) -> Module:
+                  tile_overlap: int = 8, tile_batch_size: int = 16,
+                  tile_threads: Optional[int] = None) -> Module:
     """Deep-copy ``model`` and swap binary layers for packed twins.
 
     Returns the compiled copy in eval mode; raises if nothing in the model
@@ -334,6 +539,11 @@ def compile_model(model: Module, tile: Optional[int] = None,
     tile_overlap:
         Overlap in input pixels between neighbouring tiles (only used
         with ``tile``).
+    tile_batch_size:
+        Tiles per batched forward inside :class:`TiledInference`.
+    tile_threads:
+        Worker threads for tile batches (default: the global inference
+        thread count, see :func:`repro.infer.parallel.get_num_threads`).
     """
     compiled = copy.deepcopy(model)
     replaced = _compile_in_place(compiled)
@@ -343,5 +553,7 @@ def compile_model(model: Module, tile: Optional[int] = None,
             "one SCALES / E2FIF / BiBERT binary conv or linear")
     compiled.eval()
     if tile is not None:
-        return TiledInference(compiled, tile=tile, overlap=tile_overlap)
+        return TiledInference(compiled, tile=tile, overlap=tile_overlap,
+                              batch_size=tile_batch_size,
+                              n_threads=tile_threads)
     return compiled

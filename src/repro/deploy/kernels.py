@@ -12,10 +12,33 @@ never enter the popcount.
 ``binary_gemm`` is weight-stationary in spirit: it streams the packed
 activations one word-column at a time against the whole packed weight
 panel, accumulating mismatch counts in a single ``(block, N)`` buffer.
-Compared to materializing the full ``(block, N, W)`` XOR tensor and
-reducing it afterwards, the per-word working set stays cache-resident
-and the SWAR popcount runs in place on the XOR scratch with zero
-allocations in the inner loop.
+The popcount runs through ``np.bitwise_count`` (hardware POPCNT) when
+this NumPy has it, falling back to the SWAR reduction otherwise, and the
+per-word counts accumulate in ``uint16`` — a quarter of the traffic of
+an ``int64`` accumulator on a loop that is purely memory-bound.
+
+Two activation-side layouts feed the GEMM (``conv_fast_layout`` picks
+per weight geometry):
+
+``patch``
+    Bits of one im2col row ordered ``(kh, kw, C_in)`` and packed
+    tightly; fewest words per row, but building rows costs a byte-wise
+    gather over the full ``K``-column patch matrix plus a ``packbits``.
+
+``bitplane``
+    Channels packed into words once per image (NHWC, ``ceil(C/64)``
+    words per pixel); im2col then gathers whole ``uint64`` words — ~64x
+    fewer elements moved — at the cost of padded channel words when
+    ``C`` is not a multiple of 64.  Wins whenever the word overhead is
+    moderate (wide layers), loses for very narrow inputs.
+
+Scratch panels (XOR, counts, accumulators, staging rows, padded bit
+images) come from the per-thread :mod:`repro.deploy.workspace` arena,
+so repeated same-shape calls — every tile of a batched tiled forward —
+reuse them.  The packed operands themselves (``np.packbits`` outputs)
+are still fresh per call: ``packbits`` has no ``out=`` parameter, and
+copying its result into an arena buffer would cost the same pass it
+saves.
 """
 
 from __future__ import annotations
@@ -23,18 +46,31 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..grad.conv import _gather_patches, conv2d_output_shape, im2col_rows
-from .packing import _popcount_u64_inplace, pack_signs
+from .packing import (HAS_HW_POPCOUNT, WORD_BITS, packed_words, pack_signs,
+                      popcount_into)
+from .workspace import Workspace, workspace
 
 __all__ = [
-    "binary_gemm", "packed_conv2d", "packed_linear",
+    "binary_gemm", "binary_gemm_reference", "packed_conv2d", "packed_linear",
     "pack_weight_conv", "pack_weight_linear",
+    "FastConvWeight", "packed_conv2d_bits",
+    "FastLinearWeight", "packed_linear_bits",
+    "conv_fast_layout",
 ]
+
+#: Row-block size for the GEMM working set; (block, N) uint64 panels
+#: should stay L2-resident.
+_GEMM_BLOCK = 2048
 
 
 def binary_gemm(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
-                block: int = 1024) -> np.ndarray:
+                block: int = _GEMM_BLOCK,
+                b_t: Optional[np.ndarray] = None,
+                out: Optional[np.ndarray] = None,
+                ws: Optional[Workspace] = None) -> np.ndarray:
     """Binary matrix product ``signs_a @ signs_b.T`` via XNOR + popcount.
 
     Parameters
@@ -47,12 +83,80 @@ def binary_gemm(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
         The true (unpadded) number of bits per row.
     block:
         Row-block size bounding the ``(block, N)`` accumulation /
-        XOR-scratch workspace (three such buffers live at once).
+        XOR-scratch workspace.
+    b_t:
+        Optional precomputed contiguous transpose ``(W, N)`` of
+        ``packed_b``.  Weight-stationary callers pass it so the panel is
+        transposed once per layer instead of once per call.
+    out:
+        Optional ``(M, N) int32`` destination (e.g. an arena buffer when
+        the caller immediately folds the dots into its own output).
+    ws:
+        Scratch arena; defaults to the calling thread's workspace.
 
     Returns
     -------
     ``int32`` array ``(M, N)`` of exact {-1,+1} dot products.
     """
+    packed_a = np.asarray(packed_a, dtype=np.uint64)
+    packed_b = np.asarray(packed_b, dtype=np.uint64)
+    if packed_a.ndim != 2 or packed_b.ndim != 2:
+        raise ValueError("binary_gemm expects 2-D packed operands")
+    if packed_a.shape[1] != packed_b.shape[1]:
+        raise ValueError(
+            f"word-count mismatch: {packed_a.shape[1]} vs {packed_b.shape[1]}")
+    m, n_words = packed_a.shape
+    n = packed_b.shape[0]
+    if ws is None:
+        ws = workspace()
+    if out is None:
+        out = np.empty((m, n), dtype=np.int32)
+    rows = min(block, m) if m else 0
+    xor = ws.take("gemm_xor", (rows, n), np.uint64)
+    cnt = ws.take("gemm_cnt", (rows, n), np.uint8)
+    # Mismatch counts fit uint16 whenever every row has < 2**16 bits;
+    # fall back to int64 for (pathological) wider operands.
+    acc_dtype = np.uint16 if n_words * WORD_BITS < (1 << 16) else np.int64
+    acc = ws.take("gemm_acc", (rows, n), acc_dtype)
+    swar = (None if HAS_HW_POPCOUNT
+            else ws.take("gemm_swar", (rows, n), np.uint64))
+    if b_t is None:
+        b_t = ws.take("gemm_bt", (n_words, n), np.uint64)
+        np.copyto(b_t, packed_b.T)
+    for start in range(0, m, block):
+        stop = min(start + block, m)
+        r = stop - start
+        a_blk = acc[:r]
+        a_blk[:] = 0
+        for w in range(n_words):
+            np.bitwise_xor(packed_a[start:stop, w, None], b_t[w, None, :],
+                           out=xor[:r])
+            popcount_into(xor[:r], cnt[:r],
+                          swar[:r] if swar is not None else None)
+            a_blk += cnt[:r]
+        # out = k - 2 * acc, computed as 2 * (k - acc) - k to stay in
+        # int32 without a widening temporary.
+        blk = out[start:stop]
+        np.subtract(np.int32(k), a_blk, out=blk, casting="unsafe")
+        blk <<= 1
+        blk -= np.int32(k)
+    return out
+
+
+def binary_gemm_reference(packed_a: np.ndarray, packed_b: np.ndarray, k: int,
+                          block: int = 1024) -> np.ndarray:
+    """The seed XNOR-GEMM, frozen as the reference oracle.
+
+    Word-streaming SWAR-popcount loop with per-call buffers — exactly
+    the implementation this repo shipped before the batched pipeline.
+    The reference engine backend (``REPRO_PACKED_IMPL=reference``) runs
+    on it, so end-to-end benchmarks measure the full new path (hardware
+    popcount, uint16 accumulation, workspace reuse, bit-domain im2col)
+    against the true seed, the same way ``repro.grad.conv`` retains its
+    loop-gather reference backend.
+    """
+    from .packing import _popcount_u64_inplace
+
     packed_a = np.asarray(packed_a, dtype=np.uint64)
     packed_b = np.asarray(packed_b, dtype=np.uint64)
     if packed_a.ndim != 2 or packed_b.ndim != 2:
@@ -123,6 +227,11 @@ def packed_conv2d(activation_signs: np.ndarray, packed_weight: np.ndarray,
                   padding_correction: Optional[np.ndarray] = None) -> np.ndarray:
     """Binary convolution on packed weights, bit-exact vs the float graph.
 
+    This is the retained *reference* kernel (float sign planes in,
+    float64 im2col, per-call packing); the batched engine runs
+    :func:`packed_conv2d_bits` instead.  Kept as the seed-path oracle the
+    perf benchmarks measure end-to-end speedups against.
+
     Parameters
     ----------
     activation_signs:
@@ -161,14 +270,14 @@ def packed_conv2d(activation_signs: np.ndarray, packed_weight: np.ndarray,
     k = c_in * kh * kw
     rows = im2col_rows(padded, kh, kw, stride, stride, out_h, out_w)
     packed_cols = pack_signs(rows)
-    dots = binary_gemm(packed_cols, packed_weight, k)
+    dots = binary_gemm_reference(packed_cols, packed_weight, k)
     out = dots.reshape(b, out_h * out_w, c_out).transpose(0, 2, 1)
     out = out.reshape(b, c_out, out_h, out_w).astype(np.float64)
     if padding:
         if padding_correction is None:
             padding_correction = _padding_correction((h, w), weight_signs,
                                                      stride, padding)
-        out += padding_correction[None]
+        out += padding_correction
     return out
 
 
@@ -178,13 +287,15 @@ def packed_linear(activation_signs: np.ndarray,
 
     ``activation_signs`` is ``(..., K)`` in {-1, +1}; ``packed_weight`` is
     ``(out_features, words)``.  Returns ``(..., out_features)`` float64.
+    (Reference kernel — the engine's fast path is
+    :func:`packed_linear_bits`.)
     """
     signs = np.asarray(activation_signs)
     *lead, k_in = signs.shape
     if k_in != k:
         raise ValueError(f"activation feature size {k_in} != weight bits {k}")
     packed_rows = pack_signs(signs.reshape(-1, k))
-    dots = binary_gemm(packed_rows, packed_weight, k)
+    dots = binary_gemm_reference(packed_rows, packed_weight, k)
     return dots.astype(np.float64).reshape(*lead, -1)
 
 
@@ -210,3 +321,165 @@ def pack_weight_linear(weight: np.ndarray) -> Tuple[np.ndarray, int]:
     weight = np.asarray(weight)
     signs = np.where(weight >= 0, 1.0, -1.0)
     return pack_signs(signs), weight.shape[1]
+
+
+# ----------------------------------------------------------------------
+# Fast bit-domain conv/linear path (the batched engine's kernels)
+# ----------------------------------------------------------------------
+
+def conv_fast_layout(c_in: int, kh: int, kw: int) -> str:
+    """Pick the activation layout for a conv geometry.
+
+    ``bitplane`` moves ~64x fewer elements per im2col gather but pads
+    each kernel tap to whole words; take it unless the word overhead
+    over tight ``patch`` packing exceeds 3x (narrow inputs, e.g. the
+    3-channel image head), where the smaller GEMM wins back the gather.
+    """
+    bitplane_w = kh * kw * packed_words(c_in)
+    patch_w = packed_words(c_in * kh * kw)
+    return "bitplane" if bitplane_w <= 3 * patch_w else "patch"
+
+
+class FastConvWeight:
+    """Frozen conv weights packed for :func:`packed_conv2d_bits`.
+
+    Attributes
+    ----------
+    layout:
+        ``"bitplane"`` or ``"patch"`` (see :func:`conv_fast_layout`).
+    packed / packed_t:
+        ``(C_out, words)`` packed rows and the contiguous ``(words,
+        C_out)`` transpose handed to :func:`binary_gemm` (transposed once
+        here — weight-stationary).
+    c_pad:
+        Channel count of the activation-bit image this weight expects:
+        ``C_in`` for ``patch``, ``ceil(C_in/64)*64`` for ``bitplane``
+        (the padded channels must hold 0-bits; both operands pad
+        identically so the GEMM identity is preserved).
+    """
+
+    __slots__ = ("layout", "packed", "packed_t", "k", "words",
+                 "c_in", "c_out", "kh", "kw", "c_pad")
+
+    def __init__(self, weight: np.ndarray, layout: Optional[str] = None):
+        weight = np.asarray(weight)
+        c_out, c_in, kh, kw = weight.shape
+        self.c_out, self.c_in, self.kh, self.kw = c_out, c_in, kh, kw
+        self.k = c_in * kh * kw
+        self.layout = layout or conv_fast_layout(c_in, kh, kw)
+        bits_hwc = (weight >= 0).transpose(0, 2, 3, 1)  # (C_out, kh, kw, C)
+        if self.layout == "bitplane":
+            self.c_pad = packed_words(c_in) * WORD_BITS
+            self.words = kh * kw * packed_words(c_in)
+        elif self.layout == "patch":
+            self.c_pad = c_in
+            self.words = packed_words(self.k)
+        else:
+            raise ValueError(f"unknown fast conv layout {self.layout!r}")
+        staged = np.zeros((c_out, kh, kw, self.c_pad), dtype=np.uint8)
+        staged[..., :c_in] = bits_hwc
+        flat = staged.reshape(c_out, kh * kw * self.c_pad)
+        if flat.shape[1] % WORD_BITS:
+            padded = np.zeros((c_out, self.words * WORD_BITS), dtype=np.uint8)
+            padded[:, :flat.shape[1]] = flat
+            flat = padded
+        self.packed = np.packbits(flat, axis=1, bitorder="little").view("<u8")
+        self.packed_t = np.ascontiguousarray(self.packed.T)
+
+
+def packed_conv2d_bits(bits: np.ndarray, fw: FastConvWeight, stride: int = 1,
+                       out: Optional[np.ndarray] = None,
+                       ws: Optional[Workspace] = None) -> np.ndarray:
+    """Binary conv on an NHWC activation-bit image (fast path).
+
+    Parameters
+    ----------
+    bits:
+        ``(B, Hp, Wp, fw.c_pad)`` ``uint8`` 0/1 image, *already padded*:
+        spatial border and channels beyond ``fw.c_in`` must hold 0-bits
+        (the caller adds the cached zero-padding correction — a 0-bit
+        border is a -1 border to the packed kernel).
+    fw:
+        Packed weights from :class:`FastConvWeight`.
+    out:
+        Optional ``(B*H_out*W_out, C_out) int32`` destination for the
+        raw dots.
+
+    Returns
+    -------
+    ``(B*H_out*W_out, C_out) int32`` dot products; row ``b*(H_out*W_out)
+    + y*W_out + x`` is output position (y, x) of batch item b — the
+    caller scales/reshapes (see ``PackedBinaryConv2d.forward``).
+    """
+    if ws is None:
+        ws = workspace()
+    b, hp, wp, c_pad = bits.shape
+    if c_pad != fw.c_pad:
+        raise ValueError(f"bit image has {c_pad} channels, expected {fw.c_pad}")
+    kh, kw = fw.kh, fw.kw
+    out_h, out_w = conv2d_output_shape((hp, wp), (kh, kw), stride, 0)
+    m = b * out_h * out_w
+    if fw.layout == "bitplane":
+        wc = c_pad // WORD_BITS
+        planes = np.packbits(bits.reshape(b, hp, wp * c_pad), axis=2,
+                             bitorder="little").view("<u8")  # (B, Hp, Wp*wc)
+        planes = planes.reshape(b, hp, wp, wc)
+        view = sliding_window_view(planes, (kh, kw), axis=(1, 2))
+        if stride != 1:
+            view = view[:, ::stride, ::stride]
+        # view: (B, out_h, out_w, wc, kh, kw) -> rows (M, kh*kw*wc)
+        rows = ws.take(f"convrows_bp{fw.words}", (m, fw.words), np.uint64)
+        np.copyto(rows.reshape(b, out_h, out_w, kh, kw, wc),
+                  view.transpose(0, 1, 2, 4, 5, 3))
+        packed_rows = rows
+    else:
+        view = sliding_window_view(bits, (kh, kw), axis=(1, 2))
+        if stride != 1:
+            view = view[:, ::stride, ::stride]
+        # view: (B, out_h, out_w, C, kh, kw) -> byte rows (M, k), zero tail
+        # to the word boundary.  The tag carries k so two geometries with
+        # equal padded widths but different true k never share a buffer
+        # (the longer row's tail bits would leak into the shorter's).
+        k = fw.k
+        row_bytes = fw.words * WORD_BITS
+        staged = ws.take(f"convrows_u8_{k}", (m, row_bytes),
+                         np.uint8, zero_on_create=True)
+        # Writable 6-D window onto the leading k columns of each staged
+        # row (staged[:, :k].reshape(...) would silently copy).
+        target = np.lib.stride_tricks.as_strided(
+            staged, shape=(b, out_h, out_w, kh, kw, fw.c_pad),
+            strides=(out_h * out_w * row_bytes, out_w * row_bytes, row_bytes,
+                     kw * fw.c_pad, fw.c_pad, 1))
+        np.copyto(target, view.transpose(0, 1, 2, 4, 5, 3))
+        packed_rows = np.packbits(staged, axis=1, bitorder="little").view("<u8")
+    return binary_gemm(packed_rows, fw.packed, fw.k, b_t=fw.packed_t,
+                       out=out, ws=ws)
+
+
+class FastLinearWeight:
+    """Frozen linear weights packed for :func:`packed_linear_bits`."""
+
+    __slots__ = ("packed", "packed_t", "k", "words", "out_features")
+
+    def __init__(self, weight: np.ndarray):
+        weight = np.asarray(weight)
+        self.out_features, self.k = weight.shape
+        self.words = packed_words(self.k)
+        self.packed = pack_signs(np.where(weight >= 0, 1.0, -1.0))
+        self.packed_t = np.ascontiguousarray(self.packed.T)
+
+
+def packed_linear_bits(bits: np.ndarray, fw: FastLinearWeight,
+                       out: Optional[np.ndarray] = None,
+                       ws: Optional[Workspace] = None) -> np.ndarray:
+    """Binary linear on a ``(M, words*64)`` uint8 activation-bit panel.
+
+    ``bits`` columns beyond ``fw.k`` must be 0 (the staging buffer is
+    zero-created by the arena and only the true features are written).
+    Returns ``(M, out_features) int32`` raw dots.
+    """
+    if ws is None:
+        ws = workspace()
+    packed_rows = np.packbits(bits, axis=1, bitorder="little").view("<u8")
+    return binary_gemm(packed_rows, fw.packed, fw.k, b_t=fw.packed_t,
+                       out=out, ws=ws)

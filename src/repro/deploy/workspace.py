@@ -1,0 +1,103 @@
+"""Per-thread scratch-buffer arena for the packed inference engine.
+
+Every packed forward pass needs the same family of temporaries — the
+padded activation-bit image, the gathered patch rows, the XOR / popcount
+/ accumulator panels inside :func:`repro.deploy.kernels.binary_gemm` —
+and their shapes repeat across tiles, batches and layers.  Allocating
+(and for bit buffers, zeroing) them on every call costs a measurable
+slice of small-tile inference, so the engine instead *takes* them from a
+workspace keyed by ``(tag, shape, dtype)`` and reuses the same memory on
+the next identically-shaped call, mirroring the per-shape padding
+-correction memo on :class:`repro.deploy.engine.PackedBinaryConv2d`.
+
+Two rules keep this safe:
+
+* Workspaces are **thread-local** (:func:`workspace` returns this
+  thread's arena), so the thread-parallel tile scheduler in
+  :mod:`repro.infer.parallel` never hands two in-flight forwards the
+  same buffer.
+* Only buffers that **never escape** a kernel live here (scratch panels,
+  staging rows).  Anything returned to the caller is freshly allocated.
+
+The arena is bounded: least-recently-inserted buffers are dropped once
+``max_entries`` distinct keys accumulate, so shape churn cannot grow
+memory without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Workspace", "workspace", "clear_workspace"]
+
+#: Default bound on distinct (tag, shape, dtype) buffers per thread.
+_MAX_ENTRIES = 64
+
+_Key = Tuple[str, Tuple[int, ...], str]
+
+
+class Workspace:
+    """A keyed arena of reusable scratch arrays (single-thread use)."""
+
+    def __init__(self, max_entries: int = _MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._buffers: Dict[_Key, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, tag: str, shape: Tuple[int, ...], dtype,
+             zero_on_create: bool = False) -> np.ndarray:
+        """Return a reusable array for ``(tag, shape, dtype)``.
+
+        The contents are whatever the previous user of the key left
+        behind (callers overwrite what they read).  With
+        ``zero_on_create`` the buffer is zero-filled only when first
+        allocated — the pattern for bit images whose padded border must
+        be 0 but is never written afterwards.
+        """
+        dt = np.dtype(dtype)
+        key = (tag, tuple(int(s) for s in shape), dt.str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            self.misses += 1
+            if len(self._buffers) >= self.max_entries:
+                self._buffers.pop(next(iter(self._buffers)))
+            buf = (np.zeros if zero_on_create else np.empty)(key[1], dtype=dt)
+            self._buffers[key] = buf
+        else:
+            self.hits += 1
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+_local = threading.local()
+
+
+def workspace() -> Workspace:
+    """The calling thread's arena (created on first use)."""
+    ws = getattr(_local, "ws", None)
+    if ws is None:
+        ws = _local.ws = Workspace()
+    return ws
+
+
+def clear_workspace() -> None:
+    """Drop every buffer held by the calling thread's arena."""
+    ws = getattr(_local, "ws", None)
+    if ws is not None:
+        ws.clear()

@@ -11,9 +11,23 @@ provides:
 * :func:`tiled_super_resolve` — chop the LR image into overlapping tiles,
   super-resolve each and blend, bounding peak memory so full-resolution
   images fit through NumPy inference.
+
+Both now execute batched: tiles / transform variants are stacked into
+NCHW batches and fanned out over a thread pool (:func:`set_num_threads`
+/ ``REPRO_NUM_THREADS`` control the width; NumPy kernels release the
+GIL).  :class:`InferencePipeline` is the serving-layer entry point —
+submit images, run them as micro-batches, read results.
 """
 
+from .parallel import (get_num_threads, num_threads, parallel_map,
+                       set_num_threads)
+from .pipeline import InferencePipeline, PendingResult
+from .tiling import TilePlan, TileSpec, plan_tiles, tiled_super_resolve
 from .tta import DIHEDRAL_TRANSFORMS, self_ensemble
-from .tiling import tiled_super_resolve
 
-__all__ = ["DIHEDRAL_TRANSFORMS", "self_ensemble", "tiled_super_resolve"]
+__all__ = [
+    "DIHEDRAL_TRANSFORMS", "self_ensemble", "tiled_super_resolve",
+    "TilePlan", "TileSpec", "plan_tiles",
+    "InferencePipeline", "PendingResult",
+    "get_num_threads", "set_num_threads", "num_threads", "parallel_map",
+]

@@ -1,0 +1,128 @@
+"""Thread-pool plumbing for batched inference.
+
+NumPy ufuncs and BLAS kernels release the GIL on their inner loops, so a
+plain :class:`~concurrent.futures.ThreadPoolExecutor` gives real
+parallel speedups on multi-core hosts without any pickling or shared
+-memory machinery — the packed engine's per-thread workspace arena
+(:mod:`repro.deploy.workspace`) keeps the scratch buffers disjoint.
+
+The thread count resolves, in order: an explicit argument, the value set
+via :func:`set_num_threads` (or the :func:`num_threads` context
+manager), the ``REPRO_NUM_THREADS`` environment variable, and finally
+``os.cpu_count()``.  ``1`` disables the pool entirely (callers run
+inline on the calling thread), which is also the deterministic-latency
+choice for benchmarking single-core behaviour.
+
+Results are always returned in submission order, and callers stitch /
+reduce them on the calling thread afterwards, so outputs are identical
+for every thread count.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
+
+__all__ = ["get_num_threads", "set_num_threads", "num_threads",
+           "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_num_threads: Optional[int] = None
+
+# One long-lived pool, grown on demand: worker threads survive across
+# calls, so their thread-local workspace arenas (repro.deploy.workspace)
+# stay warm instead of being re-allocated on every flush/forward.
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_width = 0
+_pool_lock = threading.Lock()
+_in_worker = threading.local()
+
+
+def _executor(workers: int) -> ThreadPoolExecutor:
+    global _pool, _pool_width
+    with _pool_lock:
+        if _pool is None or _pool_width < workers:
+            # The old pool (if any) finishes its in-flight work and its
+            # threads wind down; new submissions go to the wider pool.
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-infer")
+            _pool_width = workers
+        return _pool
+
+
+def _validated(n: int) -> int:
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"thread count must be >= 1, got {n}")
+    return n
+
+
+def set_num_threads(n: Optional[int]) -> None:
+    """Set the global inference thread count (``None`` -> re-read env)."""
+    global _num_threads
+    _num_threads = None if n is None else _validated(n)
+
+
+def get_num_threads() -> int:
+    """The effective thread count (see module docstring for precedence)."""
+    if _num_threads is not None:
+        return _num_threads
+    env = os.environ.get("REPRO_NUM_THREADS")
+    if env:
+        return _validated(env)
+    return os.cpu_count() or 1
+
+
+@contextlib.contextmanager
+def num_threads(n: int) -> Iterator[None]:
+    """Temporarily pin the inference thread count."""
+    global _num_threads
+    previous = _num_threads
+    _num_threads = _validated(n)
+    try:
+        yield
+    finally:
+        _num_threads = previous
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 n_threads: Optional[int] = None) -> List[R]:
+    """``[fn(item) for item in items]``, fanned out over worker threads.
+
+    Results come back in input order.  With one item, one thread, or an
+    empty sequence the call runs inline — no pool, no overhead.  Calls
+    issued *from inside a pool worker* (a thread-parallel model nested
+    in a thread-parallel pipeline) also run inline: handing them to the
+    shared pool while every worker waits on them would deadlock.  A
+    worker exception propagates to the caller (remaining work is not
+    cancelled, matching executor semantics).
+    """
+    items = list(items)
+    resolved = get_num_threads() if n_threads is None else _validated(n_threads)
+    workers = min(resolved, len(items))
+    if workers <= 1 or getattr(_in_worker, "active", False):
+        return [fn(item) for item in items]
+
+    def guarded(item: T) -> R:
+        _in_worker.active = True
+        try:
+            return fn(item)
+        finally:
+            _in_worker.active = False
+
+    # Submit in waves of `workers` items: the shared pool only grows, so
+    # the pool width cannot be trusted to bound concurrency when the
+    # requested thread count is lower than a previous call's.
+    pool = _executor(workers)
+    results: List[R] = []
+    for i in range(0, len(items), workers):
+        results.extend(pool.map(guarded, items[i:i + workers]))
+    return results

@@ -1,11 +1,34 @@
-"""Tiled ("chopped") inference for memory-bounded full-image SR."""
+"""Tiled ("chopped") inference for memory-bounded full-image SR.
+
+One shared geometry — :func:`plan_tiles` — drives every tiled path in
+the repo (this module's :func:`tiled_super_resolve` and the packed
+engine's :class:`repro.deploy.engine.TiledInference`): overlapping tiles
+with a flush-right final tile, interior edges trimmed by ``trim`` pixels
+before placement, remaining overlap averaged.
+
+The execution strategy is batched and streaming: tiles run through the
+model in NCHW chunks of ``batch_size`` tiles, so the conv/GEMM kernels
+see a few large-M operands instead of dozens of tiny ones; chunks fan
+out over :func:`repro.infer.parallel.parallel_map` worker threads one
+wave at a time and are stitched (then freed) as each wave completes,
+keeping peak memory bounded by a wave rather than the input.  Stitching
+happens on the calling thread in plan order, so results are identical
+for every (batch size, thread count) combination.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
 import numpy as np
 
+from ..grad import Tensor, no_grad
 from ..nn import Module
-from ..train import super_resolve
+from .parallel import get_num_threads, parallel_map
+
+__all__ = ["TileSpec", "TilePlan", "plan_tiles", "tiled_super_resolve",
+           "iter_tile_batches", "TileStitcher"]
 
 
 def _tile_starts(full: int, tile: int, stride: int) -> list:
@@ -17,11 +40,156 @@ def _tile_starts(full: int, tile: int, stride: int) -> list:
     return starts
 
 
+@dataclass(frozen=True)
+class TileSpec:
+    """One tile of a :class:`TilePlan`: origin plus per-edge trims.
+
+    ``y0/x0`` index the tile's top-left corner in the input; ``top/left/
+    bottom/right`` are the input pixels discarded from the corresponding
+    tile edge before placing the output (non-zero only on interior
+    edges — image borders keep their pixels).
+    """
+
+    y0: int
+    x0: int
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Tile geometry for one (H, W) input."""
+
+    height: int
+    width: int
+    tile_h: int
+    tile_w: int
+    overlap: int
+    trim: int
+    tiles: Tuple[TileSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+
+def plan_tiles(height: int, width: int, tile: int, overlap: int = 8,
+               trim: Optional[int] = None) -> TilePlan:
+    """Plan overlapping tiles covering an ``(height, width)`` input.
+
+    ``tile`` is clamped to the input on each axis; tiles step by ``tile
+    - overlap`` with a final flush-right tile, so inputs that are not a
+    multiple of the stride are still covered exactly.  ``trim`` (default
+    ``overlap // 2``) input pixels are marked for discard on interior
+    tile edges; ``2 * trim <= overlap`` keeps trimmed tiles covering the
+    canvas with no gaps.
+    """
+    if tile <= 0:
+        raise ValueError(f"tile must be positive, got {tile}")
+    if not 0 <= overlap < tile:
+        raise ValueError(f"overlap {overlap} must be in [0, tile={tile})")
+    trim = overlap // 2 if trim is None else trim
+    if trim < 0 or 2 * trim > overlap:
+        raise ValueError(f"trim {trim} needs 0 <= 2*trim <= overlap={overlap}")
+    tile_h, tile_w = min(tile, height), min(tile, width)
+    stride_h = max(tile_h - overlap, 1)
+    stride_w = max(tile_w - overlap, 1)
+    specs = []
+    for y0 in _tile_starts(height, tile_h, stride_h):
+        for x0 in _tile_starts(width, tile_w, stride_w):
+            specs.append(TileSpec(
+                y0=y0, x0=x0,
+                top=trim if y0 > 0 else 0,
+                left=trim if x0 > 0 else 0,
+                bottom=trim if y0 + tile_h < height else 0,
+                right=trim if x0 + tile_w < width else 0))
+    return TilePlan(height=height, width=width, tile_h=tile_h, tile_w=tile_w,
+                    overlap=overlap, trim=trim, tiles=tuple(specs))
+
+
+def iter_tile_batches(model, data: np.ndarray, plan: TilePlan,
+                      batch_size: int, n_threads: Optional[int] = None):
+    """Yield ``(tile_indices, outputs)`` for a ``(B, C, H, W)`` input.
+
+    Tiles run through ``model`` in chunks of ``batch_size`` tiles (each
+    chunk is one NCHW forward of ``len(indices) * B`` rows, tile-major),
+    dispatched over the thread pool one *wave* of ``n_threads`` chunks
+    at a time.  Chunks are gathered from ``data`` only when their wave
+    runs and outputs are yielded (and can be stitched and dropped) as
+    each wave completes, so peak memory is bounded by one wave — not by
+    the input size.  Yield order is plan order for every thread count.
+
+    The caller manages eval mode and ``no_grad``.
+    """
+    b, c = data.shape[:2]
+    th, tw = plan.tile_h, plan.tile_w
+    batch_size = max(1, batch_size)
+    chunks = [list(range(i, min(i + batch_size, len(plan))))
+              for i in range(0, len(plan), batch_size)]
+
+    def run(indices):
+        tiles = np.empty((len(indices) * b, c, th, tw), dtype=data.dtype)
+        for j, t in enumerate(indices):
+            s = plan.tiles[t]
+            tiles[j * b:(j + 1) * b] = data[:, :, s.y0:s.y0 + th,
+                                            s.x0:s.x0 + tw]
+        return np.asarray(model(Tensor(tiles)).data)
+
+    wave = max(1, get_num_threads() if n_threads is None else int(n_threads))
+    for i in range(0, len(chunks), wave):
+        group = chunks[i:i + wave]
+        for indices, out in zip(group, parallel_map(run, group, n_threads)):
+            yield indices, out
+
+
+class TileStitcher:
+    """Accumulate trimmed tile outputs onto an averaged canvas.
+
+    Consumes tiles incrementally (pair with :func:`iter_tile_batches`),
+    so only the canvas and one wave of outputs are ever resident.
+    """
+
+    def __init__(self, plan: TilePlan, scale: int, batch: int, c_out: int):
+        self.plan = plan
+        self.scale = scale
+        self.canvas = np.zeros(
+            (batch, c_out, plan.height * scale, plan.width * scale),
+            dtype=np.float64)
+        self.weight = np.zeros(
+            (1, 1, plan.height * scale, plan.width * scale), dtype=np.float64)
+
+    def add(self, tile_index: int, sr: np.ndarray) -> None:
+        """Place one tile's ``(B, C_out, th*s, tw*s)`` output."""
+        s = self.plan.tiles[tile_index]
+        scale = self.scale
+        th, tw = self.plan.tile_h, self.plan.tile_w
+        sr = sr[:, :, s.top * scale:(th - s.bottom) * scale,
+                s.left * scale:(tw - s.right) * scale]
+        ys = (s.y0 + s.top) * scale
+        xs = (s.x0 + s.left) * scale
+        self.canvas[:, :, ys:ys + sr.shape[2], xs:xs + sr.shape[3]] += sr
+        self.weight[:, :, ys:ys + sr.shape[2], xs:xs + sr.shape[3]] += 1.0
+
+    def finish(self) -> np.ndarray:
+        """The averaged ``(B, C_out, H*s, W*s)`` float64 canvas."""
+        self.canvas /= np.maximum(self.weight, 1.0)
+        return self.canvas
+
+
 def tiled_super_resolve(model: Module, lr_image: np.ndarray, scale: int,
                         tile: int = 48, overlap: int = 8,
                         lr_multiple: int = 1,
-                        trim: int = None) -> np.ndarray:
+                        trim: int = None,
+                        batch_size: int = 16,
+                        n_threads: Optional[int] = None) -> np.ndarray:
     """Super-resolve ``lr_image`` tile by tile ("chop forward").
+
+    Tiles run as NCHW batches of ``batch_size`` (in parallel over
+    ``n_threads`` worker threads), stitched as each wave of batches
+    completes — identical outputs to the sequential per-tile loop at a
+    fraction of the per-call overhead, with peak memory bounded by one
+    wave plus the output canvas.
 
     Parameters
     ----------
@@ -43,34 +211,41 @@ def tiled_super_resolve(model: Module, lr_image: np.ndarray, scale: int,
         full image).  Defaults to ``overlap // 2``; must satisfy
         ``2 * trim <= overlap`` so trimmed tiles still cover the canvas.
         Remaining overlapped pixels are averaged.
+    batch_size:
+        Tiles per model forward — bounds peak memory exactly like the
+        original per-tile loop did, just ``batch_size`` tiles at a time.
+    n_threads:
+        Worker threads for tile batches (default: the global setting,
+        see :func:`repro.infer.parallel.get_num_threads`).
     """
     h, w = lr_image.shape[:2]
     if tile % max(lr_multiple, 1):
         raise ValueError(f"tile {tile} must be a multiple of {lr_multiple}")
-    if overlap >= tile:
-        raise ValueError(f"overlap {overlap} must be smaller than tile {tile}")
-    trim = overlap // 2 if trim is None else trim
-    if 2 * trim > overlap:
-        raise ValueError(f"trim {trim} needs overlap >= {2 * trim}")
-    tile_h = min(tile, h)
-    tile_w = min(tile, w)
-    stride_h = max(tile_h - overlap, 1)
-    stride_w = max(tile_w - overlap, 1)
+    plan = plan_tiles(h, w, tile, overlap, trim)
+    data = np.ascontiguousarray(lr_image.transpose(2, 0, 1))[None]
+    expect = (plan.tile_h * scale, plan.tile_w * scale)
 
-    out = np.zeros((h * scale, w * scale, 3), dtype=np.float64)
-    weight = np.zeros((h * scale, w * scale, 1), dtype=np.float64)
-    for y0 in _tile_starts(h, tile_h, stride_h):
-        for x0 in _tile_starts(w, tile_w, stride_w):
-            patch = lr_image[y0:y0 + tile_h, x0:x0 + tile_w]
-            sr = super_resolve(model, patch)
-            # Trim interior edges only: image borders keep their pixels.
-            top = trim if y0 > 0 else 0
-            left = trim if x0 > 0 else 0
-            bottom = trim if y0 + tile_h < h else 0
-            right = trim if x0 + tile_w < w else 0
-            sr = sr[top * scale:sr.shape[0] - bottom * scale,
-                    left * scale:sr.shape[1] - right * scale]
-            ys, xs = (y0 + top) * scale, (x0 + left) * scale
-            out[ys:ys + sr.shape[0], xs:xs + sr.shape[1]] += sr
-            weight[ys:ys + sr.shape[0], xs:xs + sr.shape[1]] += 1.0
-    return np.clip(out / np.maximum(weight, 1e-12), 0.0, 1.0)
+    stitcher = None
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for indices, out in iter_tile_batches(model, data, plan,
+                                                  batch_size, n_threads):
+                if out.shape[2:] != expect:
+                    raise ValueError(
+                        f"model produced {tuple(out.shape[2:])} for a "
+                        f"{(plan.tile_h, plan.tile_w)} tile; expected "
+                        f"{expect} at scale {scale}")
+                if stitcher is None:
+                    stitcher = TileStitcher(plan, scale, batch=1,
+                                            c_out=out.shape[1])
+                # Per-tile clip before blending, exactly like the
+                # per-tile loop (which stitched ``super_resolve``
+                # outputs, already clipped).
+                out = np.clip(np.asarray(out, dtype=np.float64), 0.0, 1.0)
+                for j, t in enumerate(indices):
+                    stitcher.add(t, out[j:j + 1])
+    finally:
+        model.train(was_training)
+    return np.clip(stitcher.finish()[0].transpose(1, 2, 0), 0.0, 1.0)

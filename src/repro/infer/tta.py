@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..grad import Tensor, no_grad
 from ..nn import Module
 from ..train import super_resolve
+from .parallel import parallel_map
 
 Transform = Tuple[Callable[[np.ndarray], np.ndarray],
                   Callable[[np.ndarray], np.ndarray]]
@@ -29,7 +31,8 @@ DIHEDRAL_TRANSFORMS: List[Transform] = (
 
 
 def self_ensemble(model: Module, lr_image: np.ndarray,
-                  n_transforms: int = 8) -> np.ndarray:
+                  n_transforms: int = 8, batched: bool = True,
+                  n_threads: Optional[int] = None) -> np.ndarray:
     """Super-resolve ``lr_image`` averaged over dihedral transforms.
 
     Parameters
@@ -41,15 +44,56 @@ def self_ensemble(model: Module, lr_image: np.ndarray,
     n_transforms:
         How many of the 8 dihedral transforms to use (1 disables the
         ensemble; 4 is rotations only; 8 is the full "+'' protocol).
+    batched:
+        Stack transform variants of equal shape — the unrotated and the
+        90/270-degree views, two groups of up to 4 — into single NCHW
+        forwards dispatched over the inference thread pool, instead of
+        eight separate model calls.  Accumulation happens in transform
+        order on the calling thread, so the result matches the
+        sequential path (``batched=False``, the retained seed loop).
+    n_threads:
+        Worker threads for the shape groups (default: the global
+        setting, see :func:`repro.infer.parallel.get_num_threads`).
 
     Note: models with a square-window constraint (SwinIR/HAT) accept the
     rotated inputs as long as H and W are both window multiples.
     """
     if not 1 <= n_transforms <= 8:
         raise ValueError(f"n_transforms must be in [1, 8], got {n_transforms}")
-    accumulated: np.ndarray | None = None
-    for forward_t, inverse_t in DIHEDRAL_TRANSFORMS[:n_transforms]:
-        sr = super_resolve(model, np.ascontiguousarray(forward_t(lr_image)))
-        sr = inverse_t(sr)
-        accumulated = sr if accumulated is None else accumulated + sr
+    if not batched:
+        accumulated: Optional[np.ndarray] = None
+        for forward_t, inverse_t in DIHEDRAL_TRANSFORMS[:n_transforms]:
+            sr = super_resolve(model, np.ascontiguousarray(forward_t(lr_image)))
+            sr = inverse_t(sr)
+            accumulated = sr if accumulated is None else accumulated + sr
+        return np.clip(accumulated / n_transforms, 0.0, 1.0)
+
+    variants = [np.ascontiguousarray(forward_t(lr_image))
+                for forward_t, _ in DIHEDRAL_TRANSFORMS[:n_transforms]]
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for i, v in enumerate(variants):
+        groups.setdefault(v.shape, []).append(i)
+
+    def run_group(indices: List[int]) -> np.ndarray:
+        batch = np.stack([variants[i].transpose(2, 0, 1) for i in indices])
+        return np.asarray(model(Tensor(batch)).data)
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            outputs = parallel_map(run_group, list(groups.values()), n_threads)
+    finally:
+        model.train(was_training)
+
+    # Undo transforms and accumulate in transform order — identical
+    # float summation order to the sequential loop.
+    sr_by_index: Dict[int, np.ndarray] = {}
+    for indices, out in zip(groups.values(), outputs):
+        for j, i in enumerate(indices):
+            sr = np.clip(out[j].transpose(1, 2, 0), 0.0, 1.0)
+            sr_by_index[i] = DIHEDRAL_TRANSFORMS[i][1](sr)
+    accumulated = sr_by_index[0]
+    for i in range(1, n_transforms):
+        accumulated = accumulated + sr_by_index[i]
     return np.clip(accumulated / n_transforms, 0.0, 1.0)

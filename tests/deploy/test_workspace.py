@@ -1,0 +1,77 @@
+"""Per-thread scratch arena semantics."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.deploy.workspace import Workspace, clear_workspace, workspace
+
+
+class TestWorkspace:
+    def test_same_key_returns_same_buffer(self):
+        ws = Workspace()
+        a = ws.take("x", (4, 8), np.float64)
+        b = ws.take("x", (4, 8), np.float64)
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_distinct_keys_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.take("x", (4, 8), np.float64)
+        assert ws.take("y", (4, 8), np.float64) is not a
+        assert ws.take("x", (4, 9), np.float64) is not a
+        assert ws.take("x", (4, 8), np.float32) is not a
+
+    def test_zero_on_create_only_zeroes_new_buffers(self):
+        ws = Workspace()
+        a = ws.take("bits", (16,), np.uint8, zero_on_create=True)
+        assert not a.any()
+        a[:] = 7
+        # Reuse must NOT re-zero: callers rely on tails staying zero while
+        # rewriting only their interior.
+        assert ws.take("bits", (16,), np.uint8, zero_on_create=True)[0] == 7
+
+    def test_bounded_under_key_churn(self):
+        ws = Workspace(max_entries=4)
+        for i in range(20):
+            ws.take(f"k{i}", (8,), np.uint8)
+        assert len(ws) <= 4
+
+    def test_eviction_is_fifo(self):
+        ws = Workspace(max_entries=2)
+        a = ws.take("a", (8,), np.uint8)
+        ws.take("b", (8,), np.uint8)
+        ws.take("c", (8,), np.uint8)  # evicts "a"
+        assert ws.take("a", (8,), np.uint8) is not a
+
+    def test_nbytes_accounting(self):
+        ws = Workspace()
+        ws.take("x", (10,), np.float64)
+        ws.take("y", (10,), np.uint8)
+        assert ws.nbytes == 80 + 10
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            Workspace(max_entries=0)
+
+    def test_thread_local_isolation(self):
+        mine = workspace()
+        seen = {}
+
+        def worker():
+            seen["ws"] = workspace()
+            seen["buf"] = workspace().take("t", (4,), np.uint8)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["ws"] is not mine
+        assert workspace() is mine
+
+    def test_clear_workspace(self):
+        ws = workspace()
+        ws.take("tmp", (4,), np.uint8)
+        assert len(ws) >= 1
+        clear_workspace()
+        assert len(workspace()) == 0

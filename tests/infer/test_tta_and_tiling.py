@@ -5,7 +5,8 @@ import pytest
 
 from repro import grad as G
 from repro.data import benchmark_suite
-from repro.infer import DIHEDRAL_TRANSFORMS, self_ensemble, tiled_super_resolve
+from repro.infer import (DIHEDRAL_TRANSFORMS, plan_tiles, self_ensemble,
+                         tiled_super_resolve)
 from repro.infer.tiling import _tile_starts
 from repro.metrics import psnr_y
 from repro.models import build_model
@@ -91,6 +92,87 @@ class TestTileStarts:
         for s in starts:
             covered.update(range(s, s + 8))
         assert covered == set(range(20))
+
+
+class TestPlanTiles:
+    """The shared tiling geometry used by tiled_super_resolve AND
+    deploy.TiledInference."""
+
+    def test_full_coverage_after_trim(self):
+        for h, w, tile, overlap in [(37, 41, 16, 8), (20, 14, 8, 4),
+                                    (64, 64, 16, 6), (10, 50, 12, 2)]:
+            plan = plan_tiles(h, w, tile, overlap)
+            covered = np.zeros((h, w), dtype=int)
+            th, tw = plan.tile_h, plan.tile_w
+            for s in plan.tiles:
+                covered[s.y0 + s.top:s.y0 + th - s.bottom,
+                        s.x0 + s.left:s.x0 + tw - s.right] += 1
+            assert (covered >= 1).all(), (h, w, tile, overlap)
+
+    def test_borders_never_trimmed(self):
+        plan = plan_tiles(40, 40, 16, 8)
+        th, tw = plan.tile_h, plan.tile_w
+        for s in plan.tiles:
+            if s.y0 == 0:
+                assert s.top == 0
+            if s.x0 == 0:
+                assert s.left == 0
+            if s.y0 + th == 40:
+                assert s.bottom == 0
+            if s.x0 + tw == 40:
+                assert s.right == 0
+
+    def test_interior_edges_trimmed(self):
+        plan = plan_tiles(40, 40, 16, 8)
+        th = plan.tile_h
+        interior = [s for s in plan.tiles if 0 < s.y0 and s.y0 + th < 40]
+        assert interior
+        assert all(s.top == s.bottom == plan.trim == 4 for s in interior)
+
+    def test_small_input_single_tile(self):
+        plan = plan_tiles(10, 12, 48, 8)
+        assert len(plan) == 1
+        assert (plan.tile_h, plan.tile_w) == (10, 12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tile"):
+            plan_tiles(20, 20, 0, 0)
+        with pytest.raises(ValueError, match="overlap"):
+            plan_tiles(20, 20, 8, 8)
+        with pytest.raises(ValueError, match="trim"):
+            plan_tiles(20, 20, 8, 4, trim=3)
+
+
+class TestBatchedSelfEnsemble:
+    def test_batched_matches_sequential(self):
+        with G.default_dtype("float32"):
+            init.seed(3)
+            model = build_model("srresnet", scale=2, scheme="scales",
+                                preset="tiny")
+            img = np.random.default_rng(6).random((8, 8, 3)).astype(np.float32)
+            for n in (1, 4, 8):
+                seq = self_ensemble(model, img, n, batched=False)
+                bat = self_ensemble(model, img, n, batched=True)
+                np.testing.assert_allclose(bat, seq, atol=1e-6)
+
+    def test_batched_with_threads(self):
+        with G.default_dtype("float32"):
+            init.seed(4)
+            model = build_model("srresnet", scale=2, scheme="e2fif",
+                                preset="tiny")
+            img = np.random.default_rng(7).random((10, 8, 3)).astype(np.float32)
+            seq = self_ensemble(model, img, 8, batched=False)
+            bat = self_ensemble(model, img, 8, batched=True, n_threads=4)
+            np.testing.assert_allclose(bat, seq, atol=1e-6)
+
+    def test_rectangular_image_groups_shapes(self):
+        # Non-square inputs force two shape groups (H,W) and (W,H).
+        model = _Bilinear()
+        rng = np.random.default_rng(8)
+        img = rng.random((6, 10, 3)).astype(np.float32)
+        seq = self_ensemble(model, img, 8, batched=False)
+        bat = self_ensemble(model, img, 8, batched=True)
+        np.testing.assert_allclose(bat, seq, atol=1e-6)
 
 
 class TestTiledSuperResolve:
