@@ -62,3 +62,19 @@ def test_deploy_packed_inference(benchmark):
             p_float = psnr_y(sr_float, pair.hr, shave=4)
             p_packed = psnr_y(sr_packed, pair.hr, shave=4)
             assert abs(p_float - p_packed) < 1e-3
+
+    # The *trained* model survives the disk round-trip bit-identically:
+    # export the packed artifact, reload it (no float model rebuild) and
+    # compare forwards.  Complements tests/deploy/test_conformance.py,
+    # which runs the same check on untrained tiny models zoo-wide.
+    import tempfile
+    from pathlib import Path
+
+    from repro.deploy import load_artifact, save_artifact
+
+    with G.default_dtype("float32"), tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "srresnet_trained.rbd.npz"
+        save_artifact(compiled, path)
+        loaded = load_artifact(path)
+        with no_grad():
+            np.testing.assert_array_equal(loaded(x).data, compiled(x).data)

@@ -20,7 +20,14 @@ linears really do run on ``uint64`` words —
   thread-parallel :class:`TiledInference` for bounded-memory full-image
   SR;
 * :mod:`repro.deploy.report`   — memory/operation accounting of a
-  deployed model (the 32x weight-compression story of Table VI).
+  deployed model (the 32x weight-compression story of Table VI);
+* :mod:`repro.deploy.serialize` — one-file ``.npz`` deploy artifacts:
+  save a compiled model (packed words, scales, thresholds, topology,
+  tiling config) and reload it into a servable packed graph without the
+  float binary weights ever touching disk;
+* :mod:`repro.deploy.registry` — the zoo-wide deploy registry mapping
+  every ``(architecture, scheme, scale)`` combination to its compile
+  coverage, and the placeholder skeleton builder the loader uses.
 
 The deployed model produces outputs numerically identical to the training
 graph (same scales, thresholds, re-scaling branches and skips), which the
@@ -37,7 +44,13 @@ from .workspace import Workspace, workspace, clear_workspace
 from .engine import (PackedBinaryConv2d, PackedBinaryLinear, TiledInference,
                      compile_model, deployable_layers, get_packed_backend,
                      packed_backend, set_packed_backend)
-from .report import DeploymentReport, deployment_report
+from .report import DeploymentReport, artifact_report, deployment_report
+from .serialize import (ARTIFACT_FORMAT, ARTIFACT_VERSION,
+                        default_artifact_name, load_artifact,
+                        read_artifact_meta, save_artifact)
+from .registry import (DeployEntry, PlaceholderBinaryLayer, build_entry,
+                       build_skeleton, deploy_registry, deployable_entries,
+                       registry_matrix)
 
 __all__ = [
     "pack_signs", "unpack_signs", "popcount_u64", "popcount_u64_lut",
@@ -50,5 +63,9 @@ __all__ = [
     "PackedBinaryConv2d", "PackedBinaryLinear", "TiledInference",
     "compile_model", "deployable_layers",
     "get_packed_backend", "packed_backend", "set_packed_backend",
-    "DeploymentReport", "deployment_report",
+    "DeploymentReport", "artifact_report", "deployment_report",
+    "ARTIFACT_FORMAT", "ARTIFACT_VERSION", "default_artifact_name",
+    "save_artifact", "load_artifact", "read_artifact_meta",
+    "DeployEntry", "PlaceholderBinaryLayer", "build_entry", "build_skeleton",
+    "deploy_registry", "deployable_entries", "registry_matrix",
 ]

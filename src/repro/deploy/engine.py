@@ -436,10 +436,16 @@ class TiledInference(Module):
     :func:`repro.infer.tiling.tiled_super_resolve`.
     """
 
-    def __init__(self, model: Module, tile: int = 48, overlap: int = 8,
+    def __init__(self, model, tile: int = 48, overlap: int = 8,
                  batch_size: int = 16, n_threads: Optional[int] = None,
                  batched: bool = True):
         super().__init__()
+        if isinstance(model, (str, os.PathLike)):
+            # Serve straight from a packed deploy artifact: load the bare
+            # model (ignoring any stored tiling config — this wrapper IS
+            # the tiling layer).
+            from .serialize import load_artifact
+            model = load_artifact(model, tile=None)
         if tile <= 0:
             raise ValueError(f"tile must be positive, got {tile}")
         if not 0 <= overlap < tile:
@@ -524,7 +530,8 @@ def _compile_in_place(module: Module) -> int:
 
 def compile_model(model: Module, tile: Optional[int] = None,
                   tile_overlap: int = 8, tile_batch_size: int = 16,
-                  tile_threads: Optional[int] = None) -> Module:
+                  tile_threads: Optional[int] = None,
+                  freeze=None) -> Module:
     """Deep-copy ``model`` and swap binary layers for packed twins.
 
     Returns the compiled copy in eval mode; raises if nothing in the model
@@ -544,6 +551,12 @@ def compile_model(model: Module, tile: Optional[int] = None,
     tile_threads:
         Worker threads for tile batches (default: the global inference
         thread count, see :func:`repro.infer.parallel.get_num_threads`).
+    freeze:
+        When set, additionally export the compiled model as a packed
+        deploy artifact (:func:`repro.deploy.serialize.save_artifact`):
+        a path writes there; ``True`` derives the canonical file name
+        from the model's build recipe.  The written path is recorded on
+        the returned module as ``artifact_path``.
     """
     compiled = copy.deepcopy(model)
     replaced = _compile_in_place(compiled)
@@ -552,8 +565,13 @@ def compile_model(model: Module, tile: Optional[int] = None,
             "model contains no deployable binary layers; expected at least "
             "one SCALES / E2FIF / BiBERT binary conv or linear")
     compiled.eval()
+    result = compiled
     if tile is not None:
-        return TiledInference(compiled, tile=tile, overlap=tile_overlap,
-                              batch_size=tile_batch_size,
-                              n_threads=tile_threads)
-    return compiled
+        result = TiledInference(compiled, tile=tile, overlap=tile_overlap,
+                                batch_size=tile_batch_size,
+                                n_threads=tile_threads)
+    if freeze is not None and freeze is not False:
+        from .serialize import save_artifact
+        path = save_artifact(result, None if freeze is True else freeze)
+        object.__setattr__(result, "artifact_path", path)
+    return result

@@ -1,0 +1,217 @@
+"""Zoo-wide deploy registry: which (architecture, scheme) pairs pack.
+
+The paper's deployment story assumes any trained network can be exported
+to the packed XNOR-popcount form; this module makes that claim auditable
+across the whole model zoo.  For every combination
+``models.build_model`` can produce it records a :class:`DeployEntry`
+describing *compile coverage*:
+
+``full``
+    every binary layer the scheme inserts has a packed twin in
+    :data:`repro.deploy.engine._COMPILERS` — the artifact ships no float
+    binary weights at all;
+``partial``
+    at least one layer packs but some binary layers stay on the float
+    path (e.g. transformer ``bibert``: the BiBERT linears pack, the
+    ``plain``-scheme block convs do not);
+``none``
+    nothing packs — ``compile_model`` would raise (``fp`` and the
+    float-simulation baselines such as ``bam`` / ``daq``).
+
+Coverage is probed *empirically*: one throwaway layer per scheme is
+instantiated and matched against the compiler table, so a new scheme or
+a new packed twin is picked up automatically.
+
+The registry also builds the *skeletons* the artifact loader needs: the
+same architecture with :class:`PlaceholderBinaryLayer` at every
+packable site, so ``load_artifact`` never materializes (or even
+randomly initializes) the float binary weights it is about to discard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..binarize import (conv_scheme_names, get_conv_factory,
+                        get_linear_factory)
+from ..models import (ARCHITECTURES, CNN_ARCHITECTURES,
+                      TRANSFORMER_ARCHITECTURES, build_model,
+                      transformer_scheme_names, transformer_scheme_pair)
+from ..nn import Module
+
+__all__ = [
+    "PlaceholderBinaryLayer", "DeployEntry", "deploy_registry",
+    "deployable_entries", "registry_matrix", "build_entry",
+    "build_skeleton",
+]
+
+
+class PlaceholderBinaryLayer(Module):
+    """Stand-in for a packable binary layer in a loader skeleton.
+
+    Carries no parameters and cannot run: if a forward ever reaches one,
+    the artifact did not cover a site the recipe builds — surfacing the
+    mismatch loudly beats serving garbage.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__()
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError(
+            "PlaceholderBinaryLayer was never replaced by a packed layer — "
+            "the artifact does not cover this site (artifact/recipe mismatch)")
+
+
+def _compilable_types() -> Tuple[type, ...]:
+    from .engine import _COMPILERS
+    return tuple(src for src, _ in _COMPILERS)
+
+
+@lru_cache(maxsize=None)
+def _conv_scheme_packs(scheme: str) -> Optional[bool]:
+    """Does this conv scheme's layer have a packed twin?
+
+    ``None`` for ``fp`` (no binary layer at all), else True/False by
+    instantiating one throwaway layer and matching the compiler table.
+    """
+    if scheme == "fp":
+        return None
+    layer = get_conv_factory(scheme)(4, 4, 3)
+    return isinstance(layer, _compilable_types())
+
+
+@lru_cache(maxsize=None)
+def _linear_scheme_packs(scheme: str) -> Optional[bool]:
+    if scheme == "fp":
+        return None
+    layer = get_linear_factory(scheme)(8, 8)
+    return isinstance(layer, _compilable_types())
+
+
+@dataclass(frozen=True)
+class DeployEntry:
+    """One (architecture, scheme, scale) cell of the deploy matrix."""
+
+    architecture: str
+    scheme: str
+    scale: int = 2
+    preset: str = "tiny"
+    #: "full" | "partial" | "none" (see module docstring)
+    coverage: str = "none"
+    #: human-readable note on what packs / what blocks packing
+    detail: str = ""
+
+    @property
+    def deployable(self) -> bool:
+        """True when ``compile_model`` succeeds (>= 1 packed layer)."""
+        return self.coverage in ("full", "partial")
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        return (self.architecture, self.scheme, self.scale)
+
+    def build(self, **overrides) -> Module:
+        """Instantiate this entry's float model (carries its recipe)."""
+        return build_entry(self, **overrides)
+
+
+def _classify(architecture: str, scheme: str) -> Tuple[str, str]:
+    """``(coverage, detail)`` for one architecture x scheme cell."""
+    if architecture in CNN_ARCHITECTURES:
+        packs = _conv_scheme_packs(scheme)
+        if packs is None:
+            return "none", "full-precision model: nothing to pack"
+        if packs:
+            return "full", "every body conv packs"
+        return "none", f"conv scheme {scheme!r} has no packed twin"
+    linear_scheme, conv_scheme = transformer_scheme_pair(scheme)
+    lin, conv = _linear_scheme_packs(linear_scheme), _conv_scheme_packs(conv_scheme)
+    if lin is None and conv is None:
+        return "none", "full-precision model: nothing to pack"
+    parts, packed_any, float_any = [], False, False
+    for what, packs, name in (("linears", lin, linear_scheme),
+                              ("block convs", conv, conv_scheme)):
+        if packs is None:
+            continue
+        packed_any |= bool(packs)
+        float_any |= not packs
+        parts.append(f"{name} {what} {'pack' if packs else 'stay float'}")
+    if not packed_any:
+        return "none", "; ".join(parts)
+    return ("partial" if float_any else "full"), "; ".join(parts)
+
+
+def deploy_registry(scales: Sequence[int] = (2,),
+                    preset: str = "tiny") -> List[DeployEntry]:
+    """Every (architecture, scheme, scale) cell the zoo builds."""
+    entries: List[DeployEntry] = []
+    for architecture in ARCHITECTURES:
+        schemes = (conv_scheme_names() if architecture in CNN_ARCHITECTURES
+                   else transformer_scheme_names())
+        for scheme in schemes:
+            coverage, detail = _classify(architecture, scheme)
+            for scale in scales:
+                entries.append(DeployEntry(
+                    architecture=architecture, scheme=scheme, scale=scale,
+                    preset=preset, coverage=coverage, detail=detail))
+    return entries
+
+
+def deployable_entries(scales: Sequence[int] = (2,),
+                       preset: str = "tiny") -> List[DeployEntry]:
+    """The conformance-matrix rows: every cell ``compile_model`` accepts."""
+    return [e for e in deploy_registry(scales, preset) if e.deployable]
+
+
+def registry_matrix(scales: Sequence[int] = (2,)) -> Dict[Tuple[str, str], str]:
+    """``(architecture, scheme) -> coverage`` — the printable deploy map."""
+    return {(e.architecture, e.scheme): e.coverage
+            for e in deploy_registry(scales=scales[:1])}
+
+
+def build_entry(entry: DeployEntry, **overrides) -> Module:
+    """Build the float model for a registry entry (recipe attached)."""
+    return build_model(entry.architecture, scale=entry.scale,
+                       scheme=entry.scheme, preset=entry.preset, **overrides)
+
+
+def _placeholder_conv_factory(scheme: str):
+    """Conv factory for a skeleton: placeholder at packable sites,
+    the real (float-serving) layer everywhere else."""
+    if scheme != "fp" and _conv_scheme_packs(scheme):
+        return lambda cin, cout, k: PlaceholderBinaryLayer()
+    return get_conv_factory(scheme)
+
+
+def _placeholder_linear_factory(scheme: str):
+    if scheme != "fp" and _linear_scheme_packs(scheme):
+        return lambda fin, fout: PlaceholderBinaryLayer()
+    return get_linear_factory(scheme)
+
+
+def build_skeleton(recipe: Dict) -> Module:
+    """Rebuild a recipe's architecture with placeholders at packed sites.
+
+    This is the loader's half of the artifact round-trip: the returned
+    tree has :class:`PlaceholderBinaryLayer` (no parameters, no float
+    weights) wherever ``compile_model`` would have put a packed twin,
+    real float modules everywhere else.  ``load_artifact`` then swaps
+    the placeholders for deserialized packed layers and restores the
+    float remainder from the artifact's state section.
+    """
+    architecture = recipe["architecture"]
+    scheme = recipe["scheme"]
+    if architecture in CNN_ARCHITECTURES:
+        conv_factory = _placeholder_conv_factory(scheme)
+        linear_factory = None
+    else:
+        linear_scheme, conv_scheme = transformer_scheme_pair(scheme)
+        conv_factory = _placeholder_conv_factory(conv_scheme)
+        linear_factory = _placeholder_linear_factory(linear_scheme)
+    return build_model(architecture, scale=recipe["scale"], scheme=scheme,
+                       preset=recipe["preset"], conv_factory=conv_factory,
+                       linear_factory=linear_factory,
+                       **recipe.get("overrides", {}))

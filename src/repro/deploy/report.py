@@ -8,8 +8,9 @@ thresholds, BatchNorm) stays in float32.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
@@ -66,8 +67,46 @@ class DeploymentReport:
         }
 
 
-def deployment_report(compiled: Module) -> DeploymentReport:
-    """Account every buffer of a model produced by ``compile_model``."""
+def artifact_report(path: Union[str, os.PathLike]) -> DeploymentReport:
+    """A :class:`DeploymentReport` read from a saved deploy artifact.
+
+    Accounts the *stored* buffers of :func:`repro.deploy.serialize
+    .save_artifact` output with the same rules as
+    :func:`deployment_report`, so the two agree exactly for the same
+    model — without loading the model.
+    """
+    from .serialize import read_artifact_meta
+
+    meta = read_artifact_meta(path)
+    packed_bytes = 0
+    dense_bytes = 0
+    fp_param_elements = 0
+    with np.load(path) as data:
+        for i, entry in enumerate(meta["layers"]):
+            packed_bytes += data[f"layer{i}:packed"].nbytes
+            dense_bytes += int(np.prod(entry["shape"])) * _FLOAT_BYTES
+            for sidecar in ("weight_scale", "alpha", "beta", "bias"):
+                key = f"layer{i}:{sidecar}"
+                if key in data.files:
+                    fp_param_elements += data[key].size
+        for key in data.files:
+            if key.startswith("state:"):
+                fp_param_elements += data[key].size
+    return DeploymentReport(packed_weight_bytes=packed_bytes,
+                            dense_weight_bytes=dense_bytes,
+                            fp_bytes=fp_param_elements * _FLOAT_BYTES,
+                            n_binary_layers=len(meta["layers"]))
+
+
+def deployment_report(compiled: Union[Module, str, os.PathLike]) -> DeploymentReport:
+    """Account every buffer of a model produced by ``compile_model``.
+
+    Also accepts the path of a saved deploy artifact, delegating to
+    :func:`artifact_report` (the artifact metadata is enough — the model
+    is not loaded).
+    """
+    if isinstance(compiled, (str, os.PathLike)):
+        return artifact_report(compiled)
     packed_bytes = 0
     dense_bytes = 0
     n_binary = 0

@@ -1,0 +1,366 @@
+"""Packed deployment artifacts: one-file export of a compiled model.
+
+The paper's phone deployment assumes a trained network is exported
+*once* and served from its packed form — Table VI's 32x weight
+compression is a property of the artifact on disk, not just of RAM.
+This module is that export path:
+
+``save_artifact(compiled, path)``
+    serializes a ``compile_model`` output to a single ``.npz`` file
+    holding, per packed layer, the bit-packed ``uint64`` weight words,
+    scales, thresholds and geometry; the float *remainder* (head/tail
+    convs, re-scaling branches, norms) as exact arrays; BatchNorm
+    running statistics; the build recipe ``models.build_model`` stamped
+    on the model; and the tiling configuration when the compiled model
+    is wrapped in :class:`repro.deploy.engine.TiledInference`.  The
+    float weights of the binary layers are **not** stored in any form —
+    only their sign bits ship.
+
+``load_artifact(path)``
+    reconstructs a servable model: the recipe rebuilds the architecture
+    skeleton with parameter-free placeholders at every packed site
+    (:func:`repro.deploy.registry.build_skeleton` — the float binary
+    weights are never materialized, not even as a random init), each
+    placeholder is swapped for a :class:`PackedBinaryConv2d` /
+    :class:`PackedBinaryLinear` deserialized straight from the packed
+    words, and the float remainder is restored bit-exactly.  The loaded
+    model's outputs are **bit-identical** to the live compiled model's —
+    the conformance matrix in ``tests/deploy/test_conformance.py``
+    enforces this for every deployable zoo entry.
+
+Models compiled from hand-built graphs (no ``build_recipe``) can still
+round-trip: pass ``skeleton=`` to :func:`load_artifact` with a module
+tree whose binary sites sit at the same paths.
+
+Artifact layout (``np.savez``)
+------------------------------
+``__meta__``
+    JSON: format/version, parameter dtype, recipe, tiling config, and a
+    table of packed-layer descriptors (path, kind, geometry, flags,
+    re-scaling branch configs).
+``layer{i}:packed`` / ``:weight_scale`` / ``:alpha`` / ``:beta`` / ``:bias``
+    per packed layer, in meta-table order.
+``state:{name}``
+    every float parameter of the compiled tree, stored verbatim.
+``buffer:{path}:running_mean`` / ``:running_var``
+    BatchNorm running statistics (not Parameters, so not in ``state:``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..binarize.channel import ChannelRescale
+from ..binarize.spatial import SpatialRescale2d, SpatialRescaleTokens
+from ..grad import default_dtype
+from ..nn import Module
+from ..nn.norm import BatchNorm2d
+from .engine import PackedBinaryConv2d, PackedBinaryLinear, TiledInference
+from .packing import unpack_signs
+
+__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "save_artifact",
+           "load_artifact", "read_artifact_meta", "default_artifact_name"]
+
+ARTIFACT_FORMAT = "repro-packed-deploy"
+ARTIFACT_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+
+def default_artifact_name(recipe: Dict) -> str:
+    """Canonical file name for a recipe-carrying artifact."""
+    return (f"{recipe['architecture']}_{recipe['scheme']}"
+            f"_x{recipe['scale']}_{recipe['preset']}.rbd.npz")
+
+
+def _unwrap(model: Module):
+    """Split an optional :class:`TiledInference` wrapper from its model."""
+    if isinstance(model, TiledInference):
+        tiling = {"tile": model.tile, "overlap": model.overlap,
+                  "batch_size": model.batch_size}
+        return model.model, tiling
+    return model, None
+
+
+def _spatial_meta(module: Module) -> Dict:
+    if isinstance(module, SpatialRescale2d):
+        return {"type": "conv2d", "channels": int(module.channels),
+                "kernel_size": int(module.proj.kernel_size),
+                "stride": int(module.proj.stride)}
+    if isinstance(module, SpatialRescaleTokens):
+        return {"type": "tokens", "channels": int(module.channels)}
+    raise TypeError(
+        f"unsupported spatial re-scaling module {type(module).__name__}")
+
+
+def _build_spatial(meta: Dict) -> Module:
+    if meta["type"] == "conv2d":
+        return SpatialRescale2d(meta["channels"], meta["kernel_size"],
+                                stride=meta["stride"])
+    if meta["type"] == "tokens":
+        return SpatialRescaleTokens(meta["channels"])
+    raise ValueError(f"unknown spatial branch type {meta['type']!r}")
+
+
+def _layer_entry(i: int, path: str, layer: Module, arrays: Dict) -> Dict:
+    """Describe one packed layer in the meta table; stash its arrays."""
+    prefix = f"layer{i}"
+    entry: Dict = {"path": path}
+    if isinstance(layer, PackedBinaryConv2d):
+        entry["kind"] = "conv"
+        entry["shape"] = [int(s) for s in layer.weight_signs.shape]
+        entry["stride"] = int(layer.stride)
+        entry["padding"] = int(layer.padding)
+        if layer._has_channel:
+            entry["channel"] = {"channels": int(layer.channel.channels),
+                                "kernel_size": int(layer.channel.kernel_size)}
+        if layer._has_bn:
+            bn = layer.bn
+            entry["bn"] = {"num_features": int(bn.num_features),
+                           "eps": float(bn.eps),
+                           "momentum": float(bn.momentum)}
+        bias = layer.conv_bias
+    elif isinstance(layer, PackedBinaryLinear):
+        entry["kind"] = "linear"
+        entry["shape"] = [int(layer.out_features), int(layer.in_features)]
+        bias = layer.lin_bias
+    else:  # pragma: no cover - caller filters
+        raise TypeError(f"not a packed layer: {type(layer).__name__}")
+    entry["skip"] = bool(layer.skip)
+    if layer._has_spatial:
+        entry["spatial"] = _spatial_meta(layer.spatial)
+    arrays[f"{prefix}:packed"] = np.ascontiguousarray(layer.packed_weight)
+    arrays[f"{prefix}:weight_scale"] = np.asarray(layer.weight_scale)
+    for name, value in (("alpha", layer.alpha), ("beta", layer.beta),
+                        ("bias", bias)):
+        if value is not None:
+            arrays[f"{prefix}:{name}"] = np.asarray(value)
+    return entry
+
+
+def save_artifact(model: Module, path: Optional[PathLike] = None,
+                  recipe: Optional[Dict] = None) -> Path:
+    """Serialize a compiled model to a single ``.npz`` deploy artifact.
+
+    Parameters
+    ----------
+    model:
+        A ``compile_model`` output — bare or wrapped in
+        :class:`TiledInference` (the tiling configuration is recorded
+        and restored on load).
+    path:
+        Destination file.  Defaults to :func:`default_artifact_name`
+        under the current directory when the model carries a recipe.
+    recipe:
+        Build recipe override; defaults to the ``build_recipe`` dict
+        ``models.build_model`` stamps on its outputs (surviving the
+        ``compile_model`` deep copy).  Artifacts saved without a recipe
+        need an explicit ``skeleton`` at load time.
+
+    Returns the path written.
+    """
+    inner, tiling = _unwrap(model)
+    recipe = recipe if recipe is not None else getattr(inner, "build_recipe",
+                                                       None)
+    if path is None:
+        if recipe is None:
+            raise ValueError(
+                "save_artifact needs an explicit path when the model has no "
+                "build recipe (hand-built models are not in the zoo registry)")
+        path = default_artifact_name(recipe)
+
+    arrays: Dict[str, np.ndarray] = {}
+    layers = []
+    for name, module in inner.named_modules():
+        if isinstance(module, (PackedBinaryConv2d, PackedBinaryLinear)):
+            layers.append(_layer_entry(len(layers), name, module, arrays))
+    if not layers:
+        raise ValueError(
+            "model contains no packed layers; run compile_model before "
+            "save_artifact")
+
+    params = list(inner.named_parameters())
+    for pname, param in params:
+        arrays[f"state:{pname}"] = param.data
+    for mname, module in inner.named_modules():
+        if isinstance(module, BatchNorm2d):
+            arrays[f"buffer:{mname}:running_mean"] = module.running_mean
+            arrays[f"buffer:{mname}:running_var"] = module.running_var
+
+    dtype = str(params[0][1].data.dtype) if params else "float64"
+    meta = {"format": ARTIFACT_FORMAT, "version": ARTIFACT_VERSION,
+            "dtype": dtype, "recipe": recipe, "tiling": tiling,
+            "layers": layers}
+    try:
+        meta_json = json.dumps(meta)
+    except TypeError as exc:
+        raise ValueError(
+            "build recipe is not JSON-serializable; pass a recipe of plain "
+            f"python values to save_artifact ({exc})") from exc
+    path = Path(path)
+    with open(path, "wb") as fh:
+        np.savez(fh, __meta__=np.array(meta_json), **arrays)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+
+def read_artifact_meta(path: PathLike) -> Dict:
+    """The artifact's meta block (recipe, tiling, packed-layer table)."""
+    with np.load(path) as data:
+        if "__meta__" not in data.files:
+            raise ValueError(f"{path} is not a packed deploy artifact")
+        meta = json.loads(str(data["__meta__"][()]))
+    if meta.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"{path}: unknown artifact format "
+                         f"{meta.get('format')!r}")
+    if meta.get("version", 0) > ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: artifact version {meta['version']} is newer than this "
+            f"library supports ({ARTIFACT_VERSION})")
+    return meta
+
+
+def _deserialize_layer(entry: Dict, arrays: Dict[str, np.ndarray],
+                       index: int) -> Module:
+    """Rebuild one packed layer from its packed words — no float weights."""
+    prefix = f"layer{index}"
+    take = lambda name: arrays.get(f"{prefix}:{name}")
+    alpha, beta, bias = take("alpha"), take("beta"), take("bias")
+    spatial = (_build_spatial(entry["spatial"])
+               if entry.get("spatial") else None)
+    if entry["kind"] == "conv":
+        c_out, c_in, kh, kw = entry["shape"]
+        signs = unpack_signs(arrays[f"{prefix}:packed"],
+                             c_in * kh * kw).reshape(c_out, c_in, kh, kw)
+        channel = (ChannelRescale(entry["channel"]["channels"],
+                                  entry["channel"]["kernel_size"])
+                   if entry.get("channel") else None)
+        bn = None
+        if entry.get("bn"):
+            b = entry["bn"]
+            bn = BatchNorm2d(b["num_features"], eps=b["eps"],
+                             momentum=b["momentum"])
+        layer = PackedBinaryConv2d(signs, bias, entry["stride"],
+                                   entry["padding"], alpha, beta,
+                                   spatial=spatial, channel=channel, bn=bn,
+                                   skip=entry["skip"])
+    elif entry["kind"] == "linear":
+        out_features, in_features = entry["shape"]
+        signs = unpack_signs(arrays[f"{prefix}:packed"], in_features)
+        layer = PackedBinaryLinear(signs, bias, alpha, beta, spatial=spatial,
+                                   skip=entry["skip"])
+    else:
+        raise ValueError(f"unknown packed layer kind {entry['kind']!r}")
+    # The per-channel l1 scale of the *float* weights cannot be recovered
+    # from sign bits; it ships in the artifact and overrides the
+    # constructor's (sign-derived, all-ones) value.
+    layer.weight_scale = arrays[f"{prefix}:weight_scale"]
+    return layer
+
+
+def _resolve_parent(root: Module, path: str):
+    parts = path.split(".")
+    module = root
+    for part in parts[:-1]:
+        child = module._modules.get(part)
+        if child is None:
+            raise KeyError(
+                f"artifact layer path {path!r} does not exist in the "
+                f"skeleton (no submodule {part!r})")
+        module = child
+    if parts[-1] not in module._modules:
+        raise KeyError(
+            f"artifact layer path {path!r} does not exist in the skeleton")
+    return module, parts[-1]
+
+
+def load_artifact(path: PathLike, skeleton: Optional[Module] = None,
+                  tile: Union[int, None, str] = "auto",
+                  tile_overlap: Optional[int] = None,
+                  tile_batch_size: Optional[int] = None) -> Module:
+    """Load a packed deploy artifact into a servable model.
+
+    Parameters
+    ----------
+    path:
+        Artifact written by :func:`save_artifact` (or
+        ``compile_model(..., freeze=...)``).
+    skeleton:
+        Optional module tree to load into; required for artifacts saved
+        without a build recipe.  The modules at the artifact's packed
+        paths are replaced outright, so placeholders and live float
+        binary layers both work.
+    tile / tile_overlap / tile_batch_size:
+        ``"auto"`` (default) restores the tiling configuration stored in
+        the artifact; ``tile=None`` forces a bare model; an integer
+        wraps the model in :class:`TiledInference` with that tile size.
+
+    Returns the model in eval mode, wrapped in ``TiledInference`` when a
+    tiling configuration applies.
+    """
+    meta = read_artifact_meta(path)
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files if k != "__meta__"}
+
+    with default_dtype(meta["dtype"]):
+        if skeleton is None:
+            if meta["recipe"] is None:
+                raise ValueError(
+                    f"{path} was saved without a build recipe; pass "
+                    "skeleton= to load it")
+            from .registry import build_skeleton
+            model = build_skeleton(meta["recipe"])
+        else:
+            model = skeleton
+        for i, entry in enumerate(meta["layers"]):
+            parent, leaf = _resolve_parent(model, entry["path"])
+            parent.register_module(leaf, _deserialize_layer(entry, arrays, i))
+
+    from .registry import PlaceholderBinaryLayer
+    leftovers = [n for n, m in model.named_modules()
+                 if isinstance(m, PlaceholderBinaryLayer)]
+    if leftovers:
+        raise ValueError(
+            f"artifact does not cover every binary site of the skeleton; "
+            f"uncovered: {leftovers}")
+
+    state = {k[len("state:"):]: v for k, v in arrays.items()
+             if k.startswith("state:")}
+    model.load_state_dict(state, strict=True)
+    for key, value in arrays.items():
+        if key.startswith("buffer:"):
+            mod_path, attr = key[len("buffer:"):].rsplit(":", 1)
+            module = model
+            for part in filter(None, mod_path.split(".")):
+                module = module._modules[part]
+            setattr(module, attr, value.copy())
+    model.eval()
+
+    tiling = meta.get("tiling")
+    if tile == "auto":
+        if tiling is None:
+            return model
+        tile, overlap, batch = (tiling["tile"], tiling["overlap"],
+                                tiling["batch_size"])
+    elif tile is None:
+        return model
+    else:
+        overlap = tiling["overlap"] if tiling else 8
+        batch = tiling["batch_size"] if tiling else 16
+    if tile_overlap is not None:
+        overlap = tile_overlap
+    if tile_batch_size is not None:
+        batch = tile_batch_size
+    return TiledInference(model, tile=tile, overlap=overlap, batch_size=batch)

@@ -25,6 +25,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -75,7 +76,10 @@ class InferencePipeline:
     Parameters
     ----------
     model:
-        SR model mapping NCHW to NCHW (e.g. a ``compile_model`` output).
+        SR model mapping NCHW to NCHW (e.g. a ``compile_model`` output),
+        or the path of a packed deploy artifact
+        (:func:`repro.deploy.serialize.save_artifact`) — the serving
+        process never touches the float model.
     batch_size:
         Images per model forward when micro-batching same-shape images
         (also the tile batch size on the tiled path).
@@ -93,10 +97,15 @@ class InferencePipeline:
         in this repo; disable for raw residual outputs).
     """
 
-    def __init__(self, model: Module, batch_size: int = 8,
+    def __init__(self, model, batch_size: int = 8,
                  tile: Optional[int] = None, tile_overlap: int = 8,
                  scale: Optional[int] = None,
                  n_threads: Optional[int] = None, clip: bool = True):
+        if isinstance(model, (str, os.PathLike)):
+            # The pipeline drives tiling itself (tile=/scale=), so load
+            # the bare packed graph, ignoring the artifact's own tiling.
+            from ..deploy.serialize import load_artifact
+            model = load_artifact(model, tile=None)
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if tile is not None and scale is None:

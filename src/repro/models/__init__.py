@@ -84,8 +84,23 @@ _CNN_CLASSES = {"srresnet": SRResNet, "edsr": EDSR, "rdn": RDN, "rcan": RCAN}
 _TRANSFORMER_CLASSES = {"swinir": SwinIR, "hat": HAT}
 
 
+def transformer_scheme_pair(scheme: str) -> tuple:
+    """``(linear_scheme, conv_scheme)`` a transformer scheme maps onto."""
+    if scheme not in _TRANSFORMER_SCHEME_MAP:
+        raise KeyError(
+            f"unknown transformer scheme {scheme!r}; choose from "
+            f"{sorted(_TRANSFORMER_SCHEME_MAP)}")
+    return _TRANSFORMER_SCHEME_MAP[scheme]
+
+
+def transformer_scheme_names() -> list:
+    """Every scheme name ``build_model`` accepts for transformers."""
+    return sorted(_TRANSFORMER_SCHEME_MAP)
+
+
 def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
-                preset: str = "tiny", **overrides) -> Module:
+                preset: str = "tiny", conv_factory=None, linear_factory=None,
+                **overrides) -> Module:
     """Build an SR network with a binarization scheme dropped into its body.
 
     Parameters
@@ -100,41 +115,55 @@ def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
         ``fp | bibert | bivit | scales | scales_lsf`` for transformers.
     preset:
         ``tiny`` / ``small`` / ``paper`` size presets.
+    conv_factory / linear_factory:
+        Optional factory overrides taking precedence over ``scheme``.
+        The deploy loader (:mod:`repro.deploy.serialize`) uses these to
+        rebuild an architecture skeleton with placeholder layers at the
+        binary sites, so a packed artifact can be served without ever
+        materializing the float binary weights.
     overrides:
         Keyword overrides merged on top of the preset.
+
+    The returned model carries a ``build_recipe`` dict (architecture,
+    scale, scheme, preset, overrides) so downstream tooling — artifact
+    export in particular — can reproduce the skeleton.
     """
     architecture = architecture.lower()
+    recipe = {"architecture": architecture, "scale": scale, "scheme": scheme,
+              "preset": preset, "overrides": dict(overrides)}
     if architecture in _CNN_CLASSES:
         presets = _CNN_PRESETS[architecture]
         if preset not in presets:
             raise KeyError(f"unknown preset {preset!r} for {architecture}")
         kwargs = dict(presets[preset])
         kwargs.update(overrides)
-        conv_factory = get_conv_factory(scheme)
-        return _CNN_CLASSES[architecture](scale=scale, conv_factory=conv_factory,
-                                          **kwargs)
-    if architecture in _TRANSFORMER_CLASSES:
-        if scheme not in _TRANSFORMER_SCHEME_MAP:
-            raise KeyError(
-                f"unknown transformer scheme {scheme!r}; choose from "
-                f"{sorted(_TRANSFORMER_SCHEME_MAP)}")
-        linear_scheme, conv_scheme = _TRANSFORMER_SCHEME_MAP[scheme]
+        if conv_factory is None:
+            conv_factory = get_conv_factory(scheme)
+        model = _CNN_CLASSES[architecture](scale=scale,
+                                           conv_factory=conv_factory,
+                                           **kwargs)
+    elif architecture in _TRANSFORMER_CLASSES:
+        linear_scheme, conv_scheme = transformer_scheme_pair(scheme)
         presets = _TRANSFORMER_PRESETS[architecture]
         if preset not in presets:
             raise KeyError(f"unknown preset {preset!r} for {architecture}")
         kwargs = dict(presets[preset])
         kwargs.update(overrides)
-        return _TRANSFORMER_CLASSES[architecture](
+        model = _TRANSFORMER_CLASSES[architecture](
             scale=scale,
-            linear_factory=get_linear_factory(linear_scheme),
-            conv_factory=get_conv_factory(conv_scheme),
+            linear_factory=linear_factory or get_linear_factory(linear_scheme),
+            conv_factory=conv_factory or get_conv_factory(conv_scheme),
             **kwargs)
-    raise KeyError(f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}")
+    else:
+        raise KeyError(
+            f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}")
+    model.build_recipe = recipe
+    return model
 
 
 __all__ = [
     "ARCHITECTURES", "CNN_ARCHITECTURES", "TRANSFORMER_ARCHITECTURES",
-    "build_model",
+    "build_model", "transformer_scheme_pair", "transformer_scheme_names",
     "SRResNet", "EDSR", "RDN", "RCAN", "SwinIR", "HAT",
     "ResNet", "resnet18", "SwinViT",
     "ResidualBlock", "Upsampler", "MeanShift", "CALayer", "fp_conv_factory",

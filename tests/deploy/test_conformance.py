@@ -1,0 +1,175 @@
+"""Zoo-wide deploy conformance matrix.
+
+For every deployable ``(architecture, scheme)`` entry of the registry
+(tiny configs), the packed round-trip must hold exactly:
+
+* ``save_artifact`` -> ``load_artifact`` -> forward is **bit-identical**
+  to the live ``compile_model`` output;
+* the live compiled output matches the float training graph to float
+  tolerance;
+* the compiled output matches the committed golden fixture for that
+  entry (``golden_conformance.json``), so a drift names the exact
+  architecture x scheme cell that moved.
+
+Regenerate the golden fixtures after an *intentional* numeric change:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/deploy/test_conformance.py -q
+"""
+
+import atexit
+import json
+import os
+import shutil
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.deploy import (compile_model, deployable_entries, load_artifact,
+                          save_artifact)
+from repro.grad import Tensor, no_grad
+from repro.models import build_model
+from repro.nn import init
+
+GOLDEN_PATH = Path(__file__).parent / "golden_conformance.json"
+UPDATE_GOLDEN = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+# Module-level dir (not tmp_path) so the lru_cache'd runner can share
+# artifacts across the parametrized tests; removed at interpreter exit.
+_ARTIFACT_DIR = Path(tempfile.mkdtemp(prefix="repro_conformance_"))
+atexit.register(shutil.rmtree, _ARTIFACT_DIR, ignore_errors=True)
+
+ENTRIES = deployable_entries(scales=(2,), preset="tiny")
+
+
+def _entry_id(entry) -> str:
+    return f"{entry.architecture}-{entry.scheme}"
+
+
+def _entry_key(entry) -> str:
+    return f"{entry.architecture}|{entry.scheme}|x{entry.scale}|{entry.preset}"
+
+
+def _perturb_learnables(model) -> None:
+    """Move LSF thresholds/scales off their init values (as training
+    would), so the conformance input exercises non-trivial thresholds."""
+    rng = np.random.default_rng(5)
+    for name, param in model.named_parameters():
+        if name.endswith("binarizer.alpha"):
+            param.data[...] = 0.4 + 0.2 * rng.random(param.data.shape)
+        elif name.endswith("binarizer.beta"):
+            param.data[...] = 0.1 * rng.standard_normal(param.data.shape)
+
+
+@lru_cache(maxsize=None)
+def _run_entry(key: str):
+    """(float_ref, live_out, loaded_out, artifact_path) for one cell."""
+    arch, scheme, scale, preset = key.split("|")
+    scale = int(scale[1:])
+    with G.default_dtype("float32"):
+        init.seed(1234)
+        model = build_model(arch, scale=scale, scheme=scheme, preset=preset)
+        _perturb_learnables(model)
+        model.eval()
+        x = np.random.default_rng(99).random((1, 3, 8, 8)).astype(np.float32)
+        with no_grad():
+            ref = model(Tensor(x)).data
+        compiled = compile_model(model)
+        with no_grad():
+            live = compiled(Tensor(x)).data
+        path = _ARTIFACT_DIR / f"conformance_{arch}_{scheme}.rbd.npz"
+        save_artifact(compiled, path)
+        loaded = load_artifact(path)
+        with no_grad():
+            back = loaded(Tensor(x)).data
+    return ref, live, back, path
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+class TestConformanceMatrix:
+    def test_round_trip_bit_identical(self, entry):
+        _, live, back, _ = _run_entry(_entry_key(entry))
+        np.testing.assert_array_equal(
+            back, live,
+            err_msg=f"saved-then-loaded forward drifted from the live "
+                    f"compiled model for {_entry_id(entry)}")
+
+    def test_compiled_matches_float_reference(self, entry):
+        ref, live, _, _ = _run_entry(_entry_key(entry))
+        np.testing.assert_allclose(
+            live, ref, rtol=0, atol=1e-4,
+            err_msg=f"compiled output drifted from the float graph for "
+                    f"{_entry_id(entry)}")
+
+    def test_artifact_ships_no_float_binary_weights(self, entry):
+        _, _, _, path = _run_entry(_entry_key(entry))
+        with np.load(path) as data:
+            meta = json.loads(str(data["__meta__"][()]))
+            packed_paths = {layer["path"] for layer in meta["layers"]}
+            for key in data.files:
+                if not key.startswith("state:"):
+                    continue
+                param = key[len("state:"):]
+                parent = param.rsplit(".", 1)[0] if "." in param else ""
+                assert parent not in packed_paths, (
+                    f"float parameter {param} of packed layer shipped in "
+                    f"artifact for {_entry_id(entry)}")
+
+
+class TestGoldenFixtures:
+    """Committed per-entry output fingerprints.
+
+    A conformance failure above says *that* something drifted; these say
+    *what* changed numerically, per architecture x scheme, against the
+    committed baseline.
+    """
+
+    @staticmethod
+    def _fingerprint(out: np.ndarray) -> dict:
+        flat = np.asarray(out, dtype=np.float64).ravel()
+        idx = np.linspace(0, flat.size - 1, 8).astype(int)
+        return {"shape": list(out.shape),
+                "mean": float(flat.mean()),
+                "std": float(flat.std()),
+                "samples": [float(v) for v in flat[idx]]}
+
+    @pytest.mark.skipif(not UPDATE_GOLDEN and not GOLDEN_PATH.exists(),
+                        reason="golden fixture file missing")
+    @pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+    def test_matches_golden(self, entry):
+        key = _entry_key(entry)
+        _, live, _, _ = _run_entry(key)
+        got = self._fingerprint(live)
+        if UPDATE_GOLDEN:
+            golden = (json.loads(GOLDEN_PATH.read_text())
+                      if GOLDEN_PATH.exists() else {})
+            golden[key] = got
+            GOLDEN_PATH.write_text(json.dumps(golden, indent=1,
+                                              sort_keys=True) + "\n")
+            pytest.skip("golden fixture regenerated")
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert key in golden, (
+            f"no golden fixture for {key}; regenerate with "
+            f"REPRO_UPDATE_GOLDEN=1")
+        want = golden[key]
+        assert got["shape"] == want["shape"], f"{key}: output shape changed"
+        np.testing.assert_allclose(
+            [got["mean"], got["std"]], [want["mean"], want["std"]],
+            rtol=0, atol=2e-5,
+            err_msg=f"{key}: output statistics drifted from golden fixture")
+        np.testing.assert_allclose(
+            got["samples"], want["samples"], rtol=0, atol=2e-5,
+            err_msg=f"{key}: sampled output values drifted from golden "
+                    f"fixture")
+
+    def test_golden_file_covers_every_deployable_entry(self):
+        if not GOLDEN_PATH.exists():
+            pytest.skip("golden fixture file missing")
+        golden = json.loads(GOLDEN_PATH.read_text())
+        missing = {_entry_key(e) for e in ENTRIES} - set(golden)
+        assert not missing, (
+            f"golden fixtures missing for {sorted(missing)}; regenerate "
+            f"with REPRO_UPDATE_GOLDEN=1")

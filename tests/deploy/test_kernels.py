@@ -114,6 +114,61 @@ class TestPackedLinear:
             packed_linear(_random_signs(rng, (2, 9)), packed, k)
 
 
+class TestGemmFastVsReferenceSweep:
+    """Seeded sweep: ``binary_gemm`` must equal ``binary_gemm_reference``
+    (and the float matmul) across randomized shapes.
+
+    Covers the fast path's distinguishing machinery — hardware popcount
+    dispatch, the uint16 accumulator, workspace reuse, precomputed
+    ``b_t`` panels, caller-provided ``out=`` — on non-multiple-of-64
+    widths, K=1, single-row and single-column panels, and row counts
+    that straddle the block boundary.
+    """
+
+    KS = (1, 63, 64, 65, 127, 129, 576)
+    SHAPES = ((1, 1), (1, 7), (5, 1), (7, 5), (300, 3))
+
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("m,n", SHAPES)
+    def test_matches_reference_and_float(self, m, n, k):
+        from repro.deploy import binary_gemm_reference
+        rng = np.random.default_rng(k * 1000 + m * 10 + n)
+        a = _random_signs(rng, (m, k))
+        b = _random_signs(rng, (n, k))
+        pa, pb = pack_signs(a), pack_signs(b)
+        fast = binary_gemm(pa, pb, k, block=128)
+        ref = binary_gemm_reference(pa, pb, k, block=128)
+        np.testing.assert_array_equal(fast, ref)
+        np.testing.assert_array_equal(fast, (a @ b.T).astype(np.int32))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_geometry_with_bt_and_out(self, seed):
+        from repro.deploy import binary_gemm_reference
+        rng = np.random.default_rng(seed)
+        m, n, k = (int(rng.integers(1, 200)), int(rng.integers(1, 40)),
+                   int(rng.integers(1, 260)))
+        a = _random_signs(rng, (m, k))
+        b = _random_signs(rng, (n, k))
+        pa, pb = pack_signs(a), pack_signs(b)
+        # Weight-stationary call shape: precomputed transpose + arena out.
+        b_t = np.ascontiguousarray(pb.T)
+        out = np.empty((m, n), dtype=np.int32)
+        got = binary_gemm(pa, pb, k, b_t=b_t, out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, binary_gemm_reference(pa, pb, k))
+
+    def test_wide_k_int64_accumulator_fallback(self):
+        from repro.deploy import binary_gemm_reference
+        # >= 2**16 bits per row forces the int64 accumulator branch.
+        k = (1 << 16) + 64
+        rng = np.random.default_rng(2024)
+        a = _random_signs(rng, (2, k))
+        b = _random_signs(rng, (3, k))
+        pa, pb = pack_signs(a), pack_signs(b)
+        np.testing.assert_array_equal(binary_gemm(pa, pb, k),
+                                      binary_gemm_reference(pa, pb, k))
+
+
 class TestPackedConv2dStridePadding:
     """Explicit stride-2 + padding coverage through the packed pipeline."""
 

@@ -144,6 +144,43 @@ class TestPackingEdgeCases:
         np.testing.assert_array_equal(out, (a @ b.T).astype(np.int32))
 
 
+class TestSeededRoundTripSweep:
+    """Deterministic randomized sweep of the pack/unpack codec.
+
+    Complements the hypothesis properties above with a fixed, exhaustive
+    grid over the shapes that have bitten packed kernels before: K=1,
+    K straddling every word boundary, single rows, and tall panels.
+    """
+
+    WIDTHS = (1, 2, 63, 64, 65, 127, 128, 129, 191, 200, 1000)
+    ROWS = (1, 3, 17)
+
+    @pytest.mark.parametrize("k", WIDTHS)
+    @pytest.mark.parametrize("rows", ROWS)
+    def test_roundtrip(self, rows, k):
+        rng = np.random.default_rng(1000 * rows + k)
+        signs = np.where(rng.random((rows, k)) > 0.5, 1.0, -1.0)
+        packed = pack_signs(signs)
+        assert packed.shape == (rows, packed_words(k))
+        np.testing.assert_array_equal(unpack_signs(packed, k), signs)
+
+    @pytest.mark.parametrize("k", WIDTHS)
+    def test_tail_bits_are_zero(self, k):
+        # All-ones rows: every bit beyond k must stay 0 so both GEMM
+        # operands pad identically.
+        packed = pack_signs(np.ones((2, k)))
+        total = int(popcount_u64(packed).sum())
+        assert total == 2 * k
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_3d_panels(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 300))
+        signs = np.where(rng.random((2, 3, k)) > 0.5, 1.0, -1.0)
+        np.testing.assert_array_equal(unpack_signs(pack_signs(signs), k),
+                                      signs)
+
+
 class TestSwarPopcountOracle:
     def test_matches_lut_reference(self):
         from repro.deploy import popcount_u64_lut

@@ -1,0 +1,112 @@
+"""The zoo-wide deploy registry and placeholder skeletons."""
+
+import pytest
+
+from repro import grad as G
+from repro.binarize import conv_scheme_names
+from repro.deploy import (PlaceholderBinaryLayer, build_skeleton,
+                          compile_model, deploy_registry, deployable_entries,
+                          registry_matrix)
+from repro.deploy.engine import deployable_layers
+from repro.grad import Tensor
+from repro.models import (ARCHITECTURES, CNN_ARCHITECTURES,
+                          TRANSFORMER_ARCHITECTURES,
+                          transformer_scheme_names)
+from repro.nn import init
+
+import numpy as np
+
+
+class TestRegistryMatrix:
+    def test_known_coverage_cells(self):
+        matrix = registry_matrix()
+        assert matrix[("srresnet", "scales")] == "full"
+        assert matrix[("srresnet", "e2fif")] == "full"
+        assert matrix[("srresnet", "bam")] == "none"
+        assert matrix[("srresnet", "fp")] == "none"
+        assert matrix[("swinir", "bibert")] == "partial"
+        assert matrix[("swinir", "bivit")] == "none"
+        assert matrix[("hat", "scales_lsf")] == "full"
+
+    def test_covers_whole_zoo(self):
+        matrix = registry_matrix()
+        archs = {a for a, _ in matrix}
+        assert archs == set(ARCHITECTURES)
+        for arch in CNN_ARCHITECTURES:
+            assert {s for a, s in matrix if a == arch} == set(conv_scheme_names())
+        for arch in TRANSFORMER_ARCHITECTURES:
+            schemes = {s for a, s in matrix if a == arch}
+            # Exact equality: a scheme added to the transformer map must
+            # appear in the deploy matrix, or the audit has a blind spot.
+            assert schemes == set(transformer_scheme_names())
+
+    def test_deployable_entries_are_the_compilable_cells(self):
+        entries = deploy_registry()
+        deployable = deployable_entries()
+        assert [e for e in entries if e.deployable] == deployable
+        assert all(e.coverage in ("full", "partial") for e in deployable)
+        assert all(e.detail for e in entries)
+
+    def test_multiple_scales(self):
+        entries = deploy_registry(scales=(2, 4))
+        assert {e.scale for e in entries} == {2, 4}
+
+
+class TestDeployabilityIsAccurate:
+    """The registry's static classification must match compile_model."""
+
+    @pytest.mark.parametrize("scheme", ["scales", "e2fif", "bam", "fp"])
+    def test_cnn_cell_agrees_with_compiler(self, scheme):
+        with G.default_dtype("float32"):
+            init.seed(40)
+            entry = next(e for e in deploy_registry()
+                         if e.architecture == "srresnet" and e.scheme == scheme)
+            model = entry.build()
+            if entry.deployable:
+                compiled = compile_model(model)
+                assert not deployable_layers(compiled)
+            else:
+                with pytest.raises(ValueError, match="no deployable"):
+                    compile_model(model)
+
+
+class TestPlaceholderSkeleton:
+    def _recipe(self, arch="srresnet", scheme="scales"):
+        return {"architecture": arch, "scale": 2, "scheme": scheme,
+                "preset": "tiny", "overrides": {}}
+
+    def test_placeholders_at_every_deployable_site(self):
+        with G.default_dtype("float32"):
+            init.seed(41)
+            skeleton = build_skeleton(self._recipe())
+            live = next(e for e in deployable_entries()
+                        if e.architecture == "srresnet"
+                        and e.scheme == "scales").build()
+            holes = [n for n, m in skeleton.named_modules()
+                     if isinstance(m, PlaceholderBinaryLayer)]
+            assert set(holes) == set(deployable_layers(live))
+
+    def test_placeholder_sites_carry_no_parameters(self):
+        with G.default_dtype("float32"):
+            skeleton = build_skeleton(self._recipe())
+            for name, module in skeleton.named_modules():
+                if isinstance(module, PlaceholderBinaryLayer):
+                    assert not module.parameters()
+
+    def test_placeholder_forward_raises(self):
+        layer = PlaceholderBinaryLayer()
+        with pytest.raises(RuntimeError, match="never replaced"):
+            layer(Tensor(np.zeros((1, 3, 4, 4))))
+
+    def test_partial_scheme_keeps_float_sites_real(self):
+        # swinir/bibert: linears become placeholders, plain convs stay
+        # real float-path modules (their weights ship in the artifact).
+        with G.default_dtype("float32"):
+            init.seed(42)
+            skeleton = build_skeleton(self._recipe("swinir", "bibert"))
+            holes = [m for m in skeleton.modules()
+                     if isinstance(m, PlaceholderBinaryLayer)]
+            assert holes
+            from repro.binarize.baselines import PlainBinaryConv2d
+            assert any(isinstance(m, PlainBinaryConv2d)
+                       for m in skeleton.modules())
