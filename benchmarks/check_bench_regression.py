@@ -1,0 +1,115 @@
+"""Perf-regression gate: recorded BENCH ratios vs committed floors.
+
+The perf benchmarks (``benchmarks/test_perf_hotpaths.py``,
+``test_perf_pipeline.py``, ``test_serve_throughput.py``) append every
+measured speedup to their ``BENCH_<family>.json`` trajectory.  This
+script is the CI step that turns those recordings into a *gate*: for
+every ``family -> benchmark -> floor`` in
+``benchmarks/perf_floors.json`` it finds the **newest** recorded entry
+and fails (exit 1) if its speedup ratio is below the floor — so a perf
+regression fails the build even if someone weakens or skips the
+in-test assertion, and the uploaded artifact can never silently decay.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--bench-dir DIR]
+        [--floors FILE] [--require-fresh SECONDS]
+
+``--bench-dir`` defaults to the directory the perf run recorded into
+(``REPRO_BENCH_DIR`` or the repo root).  ``--require-fresh`` rejects
+stale entries: CI passes the job runtime so the gate provably checks
+numbers measured in *this* build, not history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def newest_entry(entries, benchmark):
+    """Latest trajectory entry for ``benchmark`` (by position)."""
+    matching = [e for e in entries if e.get("benchmark") == benchmark]
+    return matching[-1] if matching else None
+
+
+def check(bench_dir: Path, floors_path: Path,
+          require_fresh: float | None) -> int:
+    floors = json.loads(floors_path.read_text())
+    floors.pop("_comment", None)
+    now = time.time()
+    failures = []
+    rows = []
+    for family, gates in floors.items():
+        path = bench_dir / f"BENCH_{family}.json"
+        if not path.exists():
+            failures.append(f"{path.name}: missing (perf run did not record "
+                            f"the '{family}' family)")
+            continue
+        entries = json.loads(path.read_text()).get("entries", [])
+        for benchmark, floor in gates.items():
+            entry = newest_entry(entries, benchmark)
+            if entry is None:
+                failures.append(
+                    f"{path.name}: no entry for gated benchmark "
+                    f"{benchmark!r}")
+                continue
+            ratio = entry.get("speedup")
+            age = now - entry.get("unix_time", 0)
+            rows.append((family, benchmark, ratio, floor, age))
+            if not isinstance(ratio, (int, float)):
+                failures.append(
+                    f"{benchmark}: latest entry has no numeric speedup")
+                continue
+            if require_fresh is not None and age > require_fresh:
+                failures.append(
+                    f"{benchmark}: newest entry is {age:.0f}s old "
+                    f"(> {require_fresh:.0f}s): the perf run did not "
+                    f"re-measure it")
+                continue
+            if ratio < floor:
+                failures.append(
+                    f"{benchmark}: speedup {ratio:.2f}x is below the "
+                    f"committed floor {floor:.2f}x")
+
+    print(f"perf-regression gate  (floors: {floors_path}, "
+          f"trajectories: {bench_dir})")
+    for family, benchmark, ratio, floor, age in rows:
+        shown = f"{ratio:.2f}x" if isinstance(ratio, (int, float)) else "?"
+        print(f"  {family:>12} / {benchmark:<22} {shown:>8}  "
+              f"(floor {floor:.2f}x, measured {age:.0f}s ago)")
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: every gated ratio is at or above its floor")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_dir = Path(__file__).resolve().parent.parent
+    parser.add_argument("--bench-dir", type=Path, default=None,
+                        help="directory holding BENCH_*.json (default: "
+                             "REPRO_BENCH_DIR or the repo root)")
+    parser.add_argument("--floors", type=Path,
+                        default=Path(__file__).resolve().parent
+                        / "perf_floors.json")
+    parser.add_argument("--require-fresh", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail if the newest gated entry is older than "
+                             "this (CI passes the job runtime)")
+    args = parser.parse_args(argv)
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        import os
+        bench_dir = Path(os.environ.get("REPRO_BENCH_DIR", default_dir))
+    return check(bench_dir, args.floors, args.require_fresh)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 

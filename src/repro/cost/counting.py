@@ -25,7 +25,7 @@ area too).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -45,7 +45,6 @@ from ..binarize.baselines import (
     BTMBinaryConv2d,
     DAQBinaryConv2d,
     LMBBinaryConv2d,
-    WeightOnlyBinaryConv2d,
 )
 
 BN_OPS_PER_ELEMENT = 8.0

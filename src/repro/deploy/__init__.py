@@ -45,12 +45,12 @@ from .engine import (PackedBinaryConv2d, PackedBinaryLinear, TiledInference,
                      compile_model, deployable_layers, get_packed_backend,
                      packed_backend, set_packed_backend)
 from .report import DeploymentReport, artifact_report, deployment_report
-from .serialize import (ARTIFACT_FORMAT, ARTIFACT_VERSION,
-                        default_artifact_name, load_artifact,
-                        read_artifact_meta, save_artifact)
+from .serialize import (ARTIFACT_FORMAT, ARTIFACT_VERSION, ArtifactInfo,
+                        artifact_key, default_artifact_name, load_artifact,
+                        read_artifact_meta, save_artifact, scan_artifact_dir)
 from .registry import (DeployEntry, PlaceholderBinaryLayer, build_entry,
-                       build_skeleton, deploy_registry, deployable_entries,
-                       registry_matrix)
+                       build_skeleton, classify_recipe, deploy_registry,
+                       deployable_entries, registry_matrix)
 
 __all__ = [
     "pack_signs", "unpack_signs", "popcount_u64", "popcount_u64_lut",
@@ -66,6 +66,8 @@ __all__ = [
     "DeploymentReport", "artifact_report", "deployment_report",
     "ARTIFACT_FORMAT", "ARTIFACT_VERSION", "default_artifact_name",
     "save_artifact", "load_artifact", "read_artifact_meta",
+    "ArtifactInfo", "artifact_key", "scan_artifact_dir",
     "DeployEntry", "PlaceholderBinaryLayer", "build_entry", "build_skeleton",
-    "deploy_registry", "deployable_entries", "registry_matrix",
+    "classify_recipe", "deploy_registry", "deployable_entries",
+    "registry_matrix",
 ]

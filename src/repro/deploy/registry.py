@@ -36,15 +36,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..binarize import (conv_scheme_names, get_conv_factory,
                         get_linear_factory)
-from ..models import (ARCHITECTURES, CNN_ARCHITECTURES,
-                      TRANSFORMER_ARCHITECTURES, build_model,
+from ..models import (ARCHITECTURES, CNN_ARCHITECTURES, build_model,
                       transformer_scheme_names, transformer_scheme_pair)
 from ..nn import Module
 
 __all__ = [
     "PlaceholderBinaryLayer", "DeployEntry", "deploy_registry",
     "deployable_entries", "registry_matrix", "build_entry",
-    "build_skeleton",
+    "build_skeleton", "classify_recipe",
 ]
 
 
@@ -170,6 +169,30 @@ def registry_matrix(scales: Sequence[int] = (2,)) -> Dict[Tuple[str, str], str]:
     """``(architecture, scheme) -> coverage`` — the printable deploy map."""
     return {(e.architecture, e.scheme): e.coverage
             for e in deploy_registry(scales=scales[:1])}
+
+
+def classify_recipe(recipe: Dict) -> DeployEntry:
+    """The registry cell for an artifact's build recipe.
+
+    This is how a scanned artifact is admitted into a serving zoo: its
+    recipe is mapped back onto the coverage classification, so the
+    caller can see whether the cell packs fully or partially — and an
+    artifact claiming a combination the registry knows cannot pack at
+    all (coverage ``none``) is surfaced as the inconsistency it is
+    rather than loaded blind.
+    """
+    architecture = recipe.get("architecture")
+    scheme = recipe.get("scheme")
+    if architecture not in ARCHITECTURES:
+        raise ValueError(
+            f"recipe names unknown architecture {architecture!r} "
+            f"(known: {', '.join(ARCHITECTURES)})")
+    coverage, detail = _classify(architecture, scheme)
+    return DeployEntry(
+        architecture=architecture, scheme=scheme,
+        scale=int(recipe.get("scale", 2)),
+        preset=str(recipe.get("preset", "tiny")),
+        coverage=coverage, detail=detail)
 
 
 def build_entry(entry: DeployEntry, **overrides) -> Module:

@@ -50,21 +50,24 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..binarize.channel import ChannelRescale
 from ..binarize.spatial import SpatialRescale2d, SpatialRescaleTokens
-from ..grad import default_dtype
+from ..grad import thread_default_dtype
 from ..nn import Module
 from ..nn.norm import BatchNorm2d
 from .engine import PackedBinaryConv2d, PackedBinaryLinear, TiledInference
 from .packing import unpack_signs
 
 __all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "save_artifact",
-           "load_artifact", "read_artifact_meta", "default_artifact_name"]
+           "load_artifact", "read_artifact_meta", "default_artifact_name",
+           "ArtifactInfo", "artifact_key", "scan_artifact_dir"]
 
 ARTIFACT_FORMAT = "repro-packed-deploy"
 ARTIFACT_VERSION = 1
@@ -232,11 +235,90 @@ def read_artifact_meta(path: PathLike) -> Dict:
     return meta
 
 
+def artifact_key(recipe: Dict) -> Tuple[str, str, int]:
+    """The zoo key ``(architecture, scheme, scale)`` of a build recipe."""
+    try:
+        return (str(recipe["architecture"]), str(recipe["scheme"]),
+                int(recipe["scale"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"recipe does not identify a zoo cell: {recipe!r}") from exc
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Metadata-only description of one on-disk deploy artifact.
+
+    Produced by :func:`scan_artifact_dir` without loading any weights:
+    only the JSON ``__meta__`` member of the ``.npz`` is read, so
+    probing a directory of large artifacts stays cheap.
+    """
+
+    path: Path
+    #: ``(architecture, scheme, scale)`` — the zoo registry key.
+    key: Tuple[str, str, int]
+    recipe: Dict
+    #: tiling config stored in the artifact (None for bare models)
+    tiling: Optional[Dict]
+    n_packed_layers: int
+    size_bytes: int
+
+
+def scan_artifact_dir(
+        directory: PathLike,
+        pattern: str = "*.npz") -> Tuple[List[ArtifactInfo], List[Tuple[Path, str]]]:
+    """Probe a directory for deploy artifacts — metadata only.
+
+    Every file matching ``pattern`` is opened just far enough to read
+    its ``__meta__`` block (:func:`read_artifact_meta`); no weight
+    arrays are decompressed.  Returns ``(artifacts, skipped)`` where
+    ``skipped`` pairs each rejected path with a reason: not an
+    artifact, unsupported version, recipe-less (cannot be keyed into
+    the zoo), or a duplicate of an earlier file with the same key.
+
+    Artifacts come back sorted by key so the scan order — and anything
+    keyed off it, like a server's model listing — is deterministic.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"artifact directory {directory} not found")
+    artifacts: Dict[Tuple[str, str, int], ArtifactInfo] = {}
+    skipped: List[Tuple[Path, str]] = []
+    for path in sorted(directory.glob(pattern)):
+        try:
+            meta = read_artifact_meta(path)
+        except (ValueError, OSError, KeyError, EOFError,
+                zipfile.BadZipFile) as exc:
+            # Truncated zips raise BadZipFile, mid-write files EOFError:
+            # one bad file must never take down the whole scan.
+            skipped.append((path, f"not a deploy artifact ({exc})"))
+            continue
+        recipe = meta.get("recipe")
+        if recipe is None:
+            skipped.append(
+                (path, "no build recipe: cannot be keyed into the zoo"))
+            continue
+        key = artifact_key(recipe)
+        if key in artifacts:
+            skipped.append(
+                (path, f"duplicate of {artifacts[key].path.name} "
+                       f"for key {key}"))
+            continue
+        artifacts[key] = ArtifactInfo(
+            path=path, key=key, recipe=recipe, tiling=meta.get("tiling"),
+            n_packed_layers=len(meta.get("layers", [])),
+            size_bytes=path.stat().st_size)
+    return [artifacts[key] for key in sorted(artifacts)], skipped
+
+
 def _deserialize_layer(entry: Dict, arrays: Dict[str, np.ndarray],
                        index: int) -> Module:
     """Rebuild one packed layer from its packed words — no float weights."""
     prefix = f"layer{index}"
-    take = lambda name: arrays.get(f"{prefix}:{name}")
+
+    def take(name):
+        return arrays.get(f"{prefix}:{name}")
+
     alpha, beta, bias = take("alpha"), take("beta"), take("bias")
     spatial = (_build_spatial(entry["spatial"])
                if entry.get("spatial") else None)
@@ -314,7 +396,10 @@ def load_artifact(path: PathLike, skeleton: Optional[Module] = None,
     with np.load(path) as data:
         arrays = {k: data[k] for k in data.files if k != "__meta__"}
 
-    with default_dtype(meta["dtype"]):
+    # Thread-scoped dtype: artifact loads happen on server/scheduler
+    # threads concurrently with the rest of the process, so the shared
+    # process-wide default must not be touched here.
+    with thread_default_dtype(meta["dtype"]):
         if skeleton is None:
             if meta["recipe"] is None:
                 raise ValueError(

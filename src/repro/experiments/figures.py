@@ -24,11 +24,11 @@ from ..analysis import (
     token_distributions,
 )
 from ..binarize import LSFBinarizer2d
-from ..binarize.ste import approx_sign_ste, sign_ste
+from ..binarize.ste import sign_ste
 from ..data import benchmark_suite, hr_images
 from ..models import build_model, resnet18, SwinViT
 from ..nn import Conv2d, Linear, init
-from ..train import evaluate, super_resolve
+from ..train import super_resolve
 from ..metrics import psnr_y
 from . import cache
 from .presets import ExperimentPreset, get_preset

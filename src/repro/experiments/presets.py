@@ -13,7 +13,7 @@ Both use the same code paths; only steps / dataset sizes change.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Tuple
 
 
 @dataclass(frozen=True)

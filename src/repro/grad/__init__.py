@@ -6,7 +6,8 @@ and trained with the optimizers in :mod:`repro.optim`.
 """
 
 from .tensor import (Tensor, as_tensor, custom_op, default_dtype, get_default_dtype,
-                     is_grad_enabled, no_grad, set_default_dtype, unbroadcast)
+                     is_grad_enabled, no_grad, set_default_dtype,
+                     thread_default_dtype, unbroadcast)
 from .activations import (
     absolute,
     clip,
@@ -48,7 +49,8 @@ from .conv import (
 
 __all__ = [
     "Tensor", "as_tensor", "custom_op", "default_dtype", "get_default_dtype",
-    "is_grad_enabled", "no_grad", "set_default_dtype", "unbroadcast",
+    "is_grad_enabled", "no_grad", "set_default_dtype",
+    "thread_default_dtype", "unbroadcast",
     "absolute", "clip", "exp", "gelu", "leaky_relu", "log", "maximum", "relu",
     "sigmoid", "softmax", "sqrt", "tanh", "where",
     "maxval", "mean", "minval", "sum", "var",

@@ -14,6 +14,7 @@ operand are reduced back to its shape by :func:`unbroadcast`.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -21,8 +22,18 @@ import numpy as np
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-_grad_enabled = True
+# Grad mode is *thread-local* (as in PyTorch): the batched inference
+# pipeline and the model server run no_grad forwards on worker/scheduler
+# threads concurrently with the caller, and a shared global would let
+# two interleaved save/restore pairs leave gradients switched off for
+# the whole process (observed as "training silently stops learning").
+# Each thread starts with gradients enabled.
+_grad_state = threading.local()
 _default_dtype = np.float64
+# Per-thread dtype override (see thread_default_dtype): lets a worker
+# thread build tensors in a specific dtype (e.g. an artifact load on a
+# server thread) without a racy save/restore on the shared global.
+_dtype_override = threading.local()
 
 
 def set_default_dtype(dtype) -> None:
@@ -39,12 +50,21 @@ def set_default_dtype(dtype) -> None:
 
 
 def get_default_dtype():
-    return _default_dtype
+    override = getattr(_dtype_override, "value", None)
+    return override if override is not None else _default_dtype
 
 
 @contextlib.contextmanager
 def default_dtype(dtype):
-    """Temporarily switch the default tensor dtype."""
+    """Temporarily switch the *process-wide* default tensor dtype.
+
+    The setting is global so worker threads spawned under the context
+    (batched tile inference, the serving pipeline) build tensors in the
+    same dtype as the caller.  Concurrent *differing* contexts on
+    several threads would race on the restore; a thread that only needs
+    the dtype for its own work (an artifact load on a server thread)
+    should use :func:`thread_default_dtype` instead.
+    """
     previous = _default_dtype
     set_default_dtype(dtype)
     try:
@@ -54,19 +74,38 @@ def default_dtype(dtype):
 
 
 @contextlib.contextmanager
-def no_grad():
-    """Context manager that disables graph construction (inference mode)."""
-    global _grad_enabled
-    prev = _grad_enabled
-    _grad_enabled = False
+def thread_default_dtype(dtype):
+    """Override the default tensor dtype on this thread only.
+
+    Unlike :func:`default_dtype` this never writes shared state, so any
+    number of threads can hold different overrides concurrently — the
+    model server uses it to deserialize artifacts on scheduler threads
+    while the rest of the process keeps its own dtype.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError("default dtype must be float32 or float64")
+    previous = getattr(_dtype_override, "value", None)
+    _dtype_override.value = dtype.type
     try:
         yield
     finally:
-        _grad_enabled = prev
+        _dtype_override.value = previous
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction (inference mode) on this thread."""
+    prev = getattr(_grad_state, "enabled", True)
+    _grad_state.enabled = False
+    try:
+        yield
+    finally:
+        _grad_state.enabled = prev
 
 
 def is_grad_enabled() -> bool:
-    return _grad_enabled
+    return getattr(_grad_state, "enabled", True)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -87,7 +126,7 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got Tensor")
-    return np.asarray(value, dtype=_default_dtype)
+    return np.asarray(value, dtype=get_default_dtype())
 
 
 class Tensor:
@@ -166,7 +205,8 @@ class Tensor:
     ) -> "Tensor":
         """Create a graph node from ``data`` with the given parents."""
         parents = tuple(parents)
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(
+            p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -241,7 +281,7 @@ class Tensor:
     def _coerce(value: ArrayLike) -> "Tensor":
         if isinstance(value, Tensor):
             return value
-        return Tensor(np.asarray(value, dtype=_default_dtype))
+        return Tensor(np.asarray(value, dtype=get_default_dtype()))
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = Tensor._coerce(other)
@@ -354,7 +394,7 @@ def custom_op(
     (Eq. 2 / Eq. 3): the forward result is an arbitrary array and
     ``backward(grad, send)`` routes custom gradients to each input.
     """
-    return Tensor._make(np.asarray(output_data, dtype=_default_dtype), tuple(inputs), backward)
+    return Tensor._make(np.asarray(output_data, dtype=get_default_dtype()), tuple(inputs), backward)
 
 
 def as_tensor(value: ArrayLike) -> Tensor:

@@ -23,11 +23,13 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
+from ..grad import is_grad_enabled, no_grad
+
 __all__ = ["get_num_threads", "set_num_threads", "num_threads",
-           "parallel_map"]
+           "parallel_map", "submit_task"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -111,9 +113,17 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     if workers <= 1 or getattr(_in_worker, "active", False):
         return [fn(item) for item in items]
 
+    # Grad mode is thread-local (repro.grad): a no_grad() on the calling
+    # thread must extend into the pool, or threaded inference would
+    # silently build autograd graphs in every worker forward.
+    grad_disabled = not is_grad_enabled()
+
     def guarded(item: T) -> R:
         _in_worker.active = True
         try:
+            if grad_disabled:
+                with no_grad():
+                    return fn(item)
             return fn(item)
         finally:
             _in_worker.active = False
@@ -126,3 +136,43 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     for i in range(0, len(items), workers):
         results.extend(pool.map(guarded, items[i:i + workers]))
     return results
+
+
+def submit_task(fn: Callable[..., R], *args, **kwargs) -> "Future[R]":
+    """Hand one task to the shared inference pool; returns its future.
+
+    This is the executor handoff for layers above the pipeline (the
+    multi-model server runs each model's flush as one task, so several
+    models execute concurrently while each flush's internal
+    ``parallel_map`` runs inline — the task carries the same
+    nested-call guard as a ``parallel_map`` worker, so it can never
+    deadlock the pool by fanning out into it and waiting).
+
+    With an effective thread count of 1, or when called from inside a
+    pool worker, the task runs inline on the calling thread and the
+    returned future is already resolved — the deterministic single
+    -core behaviour, with no second pool and no extra threads.
+
+    The caller's (thread-local) grad mode is carried into the worker,
+    matching :func:`parallel_map`.
+    """
+    grad_disabled = not is_grad_enabled()
+
+    def guarded() -> R:
+        _in_worker.active = True
+        try:
+            if grad_disabled:
+                with no_grad():
+                    return fn(*args, **kwargs)
+            return fn(*args, **kwargs)
+        finally:
+            _in_worker.active = False
+
+    if get_num_threads() <= 1 or getattr(_in_worker, "active", False):
+        future: "Future[R]" = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # mirrored onto the returned future
+            future.set_exception(exc)
+        return future
+    return _executor(get_num_threads()).submit(guarded)

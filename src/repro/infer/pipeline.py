@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,7 +37,28 @@ from ..nn import Module
 from .parallel import parallel_map
 from .tiling import tiled_super_resolve
 
-__all__ = ["InferencePipeline", "PendingResult"]
+__all__ = ["InferencePipeline", "PendingResult", "PipelineHooks"]
+
+
+class PipelineHooks:
+    """Observer interface for an external scheduler / telemetry sink.
+
+    Subclass and override what you need; the default implementation is
+    a no-op, so the pipeline costs nothing when unobserved.  The serve
+    layer (:mod:`repro.serve`) uses these to record batch occupancy and
+    batch latency without the pipeline knowing telemetry exists.
+
+    ``on_batch`` fires once per executed model forward on the batched
+    path (it may fire from a worker thread); ``on_flush`` fires once
+    per ``flush()`` that processed at least one image, from the thread
+    driving the flush.
+    """
+
+    def on_batch(self, n_images: int, seconds: float) -> None:
+        """One micro-batch of ``n_images`` ran in ``seconds``."""
+
+    def on_flush(self, n_images: int, seconds: float) -> None:
+        """One ``flush()`` completed ``n_images`` in ``seconds``."""
 
 
 class PendingResult:
@@ -95,12 +117,16 @@ class InferencePipeline:
     clip:
         Clip outputs to [0, 1] (the convention of every SR entry point
         in this repo; disable for raw residual outputs).
+    hooks:
+        Optional :class:`PipelineHooks` observer — the pluggable
+        scheduler/telemetry attachment point.
     """
 
     def __init__(self, model, batch_size: int = 8,
                  tile: Optional[int] = None, tile_overlap: int = 8,
                  scale: Optional[int] = None,
-                 n_threads: Optional[int] = None, clip: bool = True):
+                 n_threads: Optional[int] = None, clip: bool = True,
+                 hooks: Optional[PipelineHooks] = None):
         if isinstance(model, (str, os.PathLike)):
             # The pipeline drives tiling itself (tile=/scale=), so load
             # the bare packed graph, ignoring the artifact's own tiling.
@@ -124,7 +150,8 @@ class InferencePipeline:
         self.scale = scale
         self.n_threads = n_threads
         self.clip = clip
-        self._pending: List[Tuple[np.ndarray, PendingResult]] = []
+        self.hooks = hooks if hooks is not None else PipelineHooks()
+        self._pending: List[Tuple[np.ndarray, PendingResult, float]] = []
         self._queue_lock = threading.Lock()
         #: Counters: submitted/completed images, batches run, largest batch.
         self.stats: Dict[str, int] = {
@@ -138,9 +165,40 @@ class InferencePipeline:
                 f"expected an (H, W, C) image, got shape {lr_image.shape}")
         handle = PendingResult(self)
         with self._queue_lock:
-            self._pending.append((lr_image, handle))
+            self._pending.append((lr_image, handle, time.monotonic()))
         self.stats["submitted"] += 1
         return handle
+
+    def oldest_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds the oldest queued image has waited (None if empty)."""
+        with self._queue_lock:
+            if not self._pending:
+                return None
+            enqueued = self._pending[0][2]
+        return (time.monotonic() if now is None else now) - enqueued
+
+    def due(self, budget_s: float, now: Optional[float] = None) -> bool:
+        """Is a flush warranted under a ``budget_s`` latency budget?
+
+        True when a full micro-batch is queued (nothing to gain by
+        waiting) or the oldest queued image has already waited
+        ``budget_s`` — the flush-deadline policy a serving loop polls.
+        """
+        with self._queue_lock:
+            if not self._pending:
+                return False
+            if len(self._pending) >= self.batch_size:
+                return True
+            enqueued = self._pending[0][2]
+        return (time.monotonic() if now is None else now) - enqueued >= budget_s
+
+    def flush_if_due(self, budget_s: float,
+                     now: Optional[float] = None) -> bool:
+        """``flush()`` when :meth:`due`; returns whether it flushed."""
+        if not self.due(budget_s, now):
+            return False
+        self.flush()
+        return True
 
     def flush(self) -> None:
         """Run every pending image; all outstanding handles become ready.
@@ -155,6 +213,7 @@ class InferencePipeline:
             taken, self._pending = self._pending, []
         if not taken:
             return
+        started = time.monotonic()
         try:
             if self.tile is not None:
                 self._flush_tiled(taken)
@@ -165,9 +224,12 @@ class InferencePipeline:
             if unprocessed:
                 with self._queue_lock:
                     self._pending = unprocessed + self._pending
+            completed = len(taken) - len(unprocessed)
+            if completed:
+                self.hooks.on_flush(completed, time.monotonic() - started)
 
     def _flush_tiled(self, taken) -> None:
-        for image, handle in taken:
+        for image, handle, _ in taken:
             sr = tiled_super_resolve(
                 self.model, image, self.scale, tile=self.tile,
                 overlap=self.tile_overlap, batch_size=self.batch_size,
@@ -177,16 +239,18 @@ class InferencePipeline:
 
     def _flush_batched(self, taken) -> None:
         groups: Dict[Tuple[int, ...], List[Tuple[np.ndarray, PendingResult]]] = {}
-        for image, handle in taken:
+        for image, handle, _ in taken:
             groups.setdefault(image.shape, []).append((image, handle))
         batches: List[List[Tuple[np.ndarray, PendingResult]]] = []
         for group in groups.values():
             for i in range(0, len(group), self.batch_size):
                 batches.append(group[i:i + self.batch_size])
 
-        def run(batch: List[Tuple[np.ndarray, PendingResult]]) -> np.ndarray:
+        def run(batch: List[Tuple[np.ndarray, PendingResult]]):
             stacked = np.stack([img.transpose(2, 0, 1) for img, _ in batch])
-            return np.asarray(self.model(Tensor(stacked)).data)
+            t0 = time.monotonic()
+            out = np.asarray(self.model(Tensor(stacked)).data)
+            return out, time.monotonic() - t0
 
         was_training = self.model.training
         self.model.eval()
@@ -196,15 +260,32 @@ class InferencePipeline:
         finally:
             self.model.train(was_training)
 
-        for batch, out in zip(batches, outputs):
+        for batch, (out, seconds) in zip(batches, outputs):
             self.stats["batches"] += 1
             self.stats["max_batch"] = max(self.stats["max_batch"], len(batch))
+            self.hooks.on_batch(len(batch), seconds)
             for (_, handle), sr in zip(batch, out):
                 sr = sr.transpose(1, 2, 0)
                 if self.clip:
                     sr = np.clip(sr, 0.0, 1.0)
                 handle._set(sr)
                 self.stats["completed"] += 1
+
+    def discard_pending(self, handles) -> int:
+        """Drop queued images whose handle is in ``handles``; returns count.
+
+        The cancellation path for layers driving the pipeline from
+        outside (the model server): after a failed flush the offending
+        submissions can be removed instead of poisoning every later
+        flush of this model.  Handles already completed (or not queued
+        here) are ignored.
+        """
+        targets = set(handles)
+        with self._queue_lock:
+            before = len(self._pending)
+            self._pending = [
+                entry for entry in self._pending if entry[1] not in targets]
+            return before - len(self._pending)
 
     def map(self, images: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Submit ``images``, flush once, and return results in order."""

@@ -8,7 +8,7 @@ Modules register parameters and sub-modules automatically via
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 import numpy as np
 

@@ -1,0 +1,53 @@
+"""Multi-model serving layer over packed deploy artifacts.
+
+The production half of the deployment story: PRs 1-3 produced fast
+packed kernels, a micro-batching :class:`repro.infer.InferencePipeline`
+and one-file ``.npz`` deploy artifacts; this package turns a directory
+of those artifacts into a *server* —
+
+* :mod:`repro.serve.server`    — :class:`ModelServer`: lazy LRU-bounded
+  multi-model registry keyed by ``(architecture, scheme, scale)``,
+  admission control with typed :class:`ServerBusy` shedding, the
+  background scheduling loop;
+* :mod:`repro.serve.scheduler` — deadline-aware micro-batch policy:
+  coalesce same-model requests, flush on full batch or expired latency
+  budget, enforce per-model concurrency caps;
+* :mod:`repro.serve.cache`     — content-hash result cache with
+  byte-size LRU eviction (repeat inputs never touch the engine);
+* :mod:`repro.serve.telemetry` — counters and log-bucketed latency
+  histograms (p50/p95/p99, batch occupancy, cache hit-rate) behind
+  ``stats()`` and a plain-text ``report()``.
+
+Served outputs are bit-identical to direct ``InferencePipeline`` runs
+of the same artifact — scheduling, batching and caching are execution
+-strategy details, never numerics.
+"""
+
+from .cache import ResultCache, content_key
+from .scheduler import MicroBatchScheduler, QueuedRequest
+from .server import (
+    ModelKey,
+    ModelServer,
+    ServeError,
+    ServeFuture,
+    ServerBusy,
+    ServerConfig,
+    parse_model_key,
+)
+from .telemetry import LatencyHistogram, Telemetry
+
+__all__ = [
+    "ResultCache",
+    "content_key",
+    "MicroBatchScheduler",
+    "QueuedRequest",
+    "ModelKey",
+    "ModelServer",
+    "ServeError",
+    "ServeFuture",
+    "ServerBusy",
+    "ServerConfig",
+    "parse_model_key",
+    "LatencyHistogram",
+    "Telemetry",
+]

@@ -1,0 +1,644 @@
+"""`ModelServer`: serve a zoo of packed deploy artifacts.
+
+PRs 1-3 made one model fast and exportable; this module is the layer
+that serves *many* of them at once, the way the paper's deployment
+story (and the ROADMAP's heavy-traffic north star) assumes:
+
+* **Artifact-backed registry.**  The server is pointed at a directory
+  of ``.npz`` deploy artifacts (:func:`repro.deploy.scan_artifact_dir`
+  probes metadata only); each is admitted under its zoo key
+  ``(architecture, scheme, scale)`` after the deploy registry's
+  coverage classification confirms the cell actually packs.  Models
+  load lazily on first request and live in an LRU bound of
+  ``max_models`` — a zoo larger than RAM still serves.
+* **Deadline-aware micro-batching.**  Requests are coalesced per model
+  by :class:`repro.serve.scheduler.MicroBatchScheduler` and executed
+  as :class:`repro.infer.InferencePipeline` micro-batches: a batch
+  runs the moment it is full, or when the oldest request's latency
+  budget expires — whichever comes first — so batching never costs
+  more latency than the configured budget.
+* **Result cache.**  Outputs are cached by input content hash
+  (:mod:`repro.serve.cache`); repeat inputs are served without
+  touching the engine, bounded by bytes.
+* **Admission control.**  The global queue depth is bounded; beyond it
+  requests are *shed* — resolved immediately with a typed
+  :class:`ServerBusy` value instead of queueing unboundedly or raising
+  across threads.  A per-model in-flight cap keeps one hot model from
+  monopolizing the executor.
+* **Telemetry.**  Every decision is counted and timed
+  (:mod:`repro.serve.telemetry`): ``server.stats()`` is the
+  machine-readable snapshot, ``server.report()`` the log block.
+
+Determinism: a served output is bit-identical to running the same
+image through ``InferencePipeline`` on the same artifact directly —
+batch composition, scheduling order, caching and thread count are all
+execution-strategy details (the tests enforce this).
+
+Typical use::
+
+    with ModelServer("artifacts/", ServerConfig(max_batch=8)) as server:
+        future = server.submit(image, model="srresnet/scales/x2")
+        output = future.result()          # np.ndarray, or ServerBusy
+        print(server.report())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..deploy.registry import DeployEntry, classify_recipe
+from ..deploy.serialize import ArtifactInfo, scan_artifact_dir
+from ..infer.parallel import submit_task
+from ..infer.pipeline import InferencePipeline, PipelineHooks
+from .cache import ResultCache, content_key
+from .scheduler import MicroBatchScheduler, QueuedRequest
+from .telemetry import Telemetry
+
+__all__ = [
+    "ModelKey",
+    "ModelServer",
+    "ServeError",
+    "ServeFuture",
+    "ServerBusy",
+    "ServerConfig",
+    "parse_model_key",
+]
+
+#: ``(architecture, scheme, scale)`` — how the zoo names a model.
+ModelKey = Tuple[str, str, int]
+
+
+def parse_model_key(spec: Union[ModelKey, Sequence, str]) -> ModelKey:
+    """Normalize a model spec to the ``(architecture, scheme, scale)`` key.
+
+    Accepts the tuple itself or the route-style string
+    ``"srresnet/scales/x2"`` (the ``x`` prefix on the scale is
+    optional).
+    """
+    if isinstance(spec, str):
+        parts = spec.strip("/").split("/")
+        if len(parts) != 3:
+            raise ValueError(
+                f"model spec {spec!r} is not 'architecture/scheme/xN'"
+            )
+        architecture, scheme, scale = parts
+        scale = scale[1:] if scale.startswith("x") else scale
+    else:
+        try:
+            architecture, scheme, scale = spec
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"model spec {spec!r} is not an (architecture, scheme, "
+                f"scale) triple"
+            ) from None
+    try:
+        return (str(architecture), str(scheme), int(scale))
+    except ValueError:
+        raise ValueError(
+            f"model spec {spec!r} has a non-integer scale"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ServerBusy:
+    """Typed shed result: admission control refused this request.
+
+    Returned *as the future's value* (never raised): under overload a
+    caller sees an immediate, explicit refusal it can retry or degrade
+    on, and a worker thread never has to throw across the API.
+    """
+
+    model: ModelKey
+    reason: str
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class ServeError:
+    """Typed failure result: the flush running this request raised."""
+
+    model: ModelKey
+    message: str
+
+
+class ServeFuture:
+    """Handle for a submitted request; resolves to the output array,
+    a :class:`ServerBusy` shed marker, or a :class:`ServeError`."""
+
+    __slots__ = ("_event", "_value")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+
+    @classmethod
+    def resolved(cls, value) -> "ServeFuture":
+        future = cls()
+        future._resolve(value)
+        return future
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until resolved; raises ``TimeoutError`` on timeout."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not served within timeout")
+        return self._value
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+
+@dataclass
+class ServerConfig:
+    """Operational knobs of :class:`ModelServer`.
+
+    latency_budget_s:
+        Default micro-batching budget: a queued request waits at most
+        this long for batch-mates before a (possibly partial) batch is
+        forced out.  Per-request ``deadline_s`` overrides it.
+    max_batch:
+        Images per micro-batch; also the immediate-flush threshold (a
+        model with a full batch queued never waits out the budget).
+    max_models:
+        LRU bound on concurrently loaded models.  Models with queued or
+        in-flight work are never evicted, so the bound can be exceeded
+        transiently when every loaded model is busy.
+    max_queue_depth:
+        Global bound on queued (admitted, not yet executing) requests;
+        beyond it new submissions are shed with :class:`ServerBusy`.
+    max_inflight_per_model:
+        Concurrency cap: flushes of one model running at once.
+    cache_bytes:
+        Result-cache budget (0 disables caching).
+    clip / n_threads:
+        Passed through to each model's ``InferencePipeline``.
+    background:
+        Run the scheduler loop on a daemon thread (the serving mode).
+        ``False`` is manual mode: the caller drives ``poll()`` /
+        ``drain()`` — what the deterministic scheduler tests use.
+    poll_interval_s:
+        Idle wake-up period of the background loop (responsiveness
+        floor when no deadline is pending).
+    """
+
+    latency_budget_s: float = 0.02
+    max_batch: int = 8
+    max_models: int = 4
+    max_queue_depth: int = 256
+    max_inflight_per_model: int = 1
+    cache_bytes: int = 64 << 20
+    clip: bool = True
+    n_threads: Optional[int] = None
+    background: bool = True
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.latency_budget_s < 0:
+            raise ValueError("latency_budget_s must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_models < 1:
+            raise ValueError("max_models must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+
+class _TelemetryHooks(PipelineHooks):
+    """Bridge pipeline batch events into the server's telemetry."""
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+
+    def on_batch(self, n_images: int, seconds: float) -> None:
+        self.telemetry.count("batches")
+        self.telemetry.count("batch_images", n_images)
+        self.telemetry.observe("batch_seconds", seconds)
+
+
+@dataclass
+class _LoadedModel:
+    info: ArtifactInfo
+    entry: DeployEntry
+    pipeline: InferencePipeline
+
+
+class ModelServer:
+    """Serve every packed artifact in a directory; see module docstring.
+
+    Parameters
+    ----------
+    artifact_dir:
+        Directory of ``.npz`` deploy artifacts (scanned metadata-only;
+        files that are not recipe-carrying artifacts, duplicate a zoo
+        key, or classify as unpackable are recorded in ``skipped``).
+    config:
+        :class:`ServerConfig`; defaults serve small models well.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        artifact_dir,
+        config: Optional[ServerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self._clock = clock
+        self.telemetry = Telemetry(batch_capacity=self.config.max_batch)
+        self.cache = ResultCache(self.config.cache_bytes)
+        self._scheduler = MicroBatchScheduler(
+            self.config.max_batch, self.config.max_inflight_per_model
+        )
+        infos, skipped = scan_artifact_dir(artifact_dir)
+        #: ``(path, reason)`` for every file the scan or coverage
+        #: classification refused to serve.
+        self.skipped: List[Tuple] = list(skipped)
+        self._catalog: Dict[ModelKey, ArtifactInfo] = {}
+        self._coverage: Dict[ModelKey, DeployEntry] = {}
+        for info in infos:
+            entry = classify_recipe(info.recipe)
+            if not entry.deployable:
+                self.skipped.append(
+                    (
+                        info.path,
+                        f"registry classifies {info.key} as coverage "
+                        f"'none': {entry.detail}",
+                    )
+                )
+                continue
+            self._catalog[info.key] = info
+            self._coverage[info.key] = entry
+        if not self._catalog:
+            raise ValueError(
+                f"no servable deploy artifacts in {artifact_dir!s} "
+                f"(skipped: {[str(p) for p, _ in self.skipped]})"
+            )
+        self._models: "OrderedDict[ModelKey, _LoadedModel]" = OrderedDict()
+        self._models_lock = threading.Lock()
+        # In-flight coalescing: cache_key -> the QueuedRequest computing
+        # it.  An identical request arriving while one is queued or
+        # executing attaches its future instead of recomputing — the
+        # thundering-herd guard in front of the result cache.
+        self._inflight_by_key: Dict[str, QueuedRequest] = {}
+        self._inflight_lock = threading.Lock()
+        self._wake = threading.Condition()
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+        if self.config.background:
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="repro-serve", daemon=True
+            )
+            self._thread.start()
+
+    # -- catalog -----------------------------------------------------------
+
+    @property
+    def available_models(self) -> Tuple[ModelKey, ...]:
+        """Every servable zoo key, sorted (loaded or not)."""
+        return tuple(sorted(self._catalog))
+
+    def model_info(self, model: Union[ModelKey, str]) -> ArtifactInfo:
+        return self._catalog[self._resolve_key(model)]
+
+    def coverage(self, model: Union[ModelKey, str]) -> DeployEntry:
+        """The registry coverage classification backing this model."""
+        return self._coverage[self._resolve_key(model)]
+
+    def loaded_models(self) -> Tuple[ModelKey, ...]:
+        with self._models_lock:
+            return tuple(self._models)
+
+    def _resolve_key(self, model: Union[ModelKey, str]) -> ModelKey:
+        key = parse_model_key(model)
+        if key not in self._catalog:
+            known = ", ".join(
+                "/".join((a, s, f"x{x}")) for a, s, x in sorted(self._catalog)
+            )
+            raise KeyError(f"no artifact for model {key}; available: {known}")
+        return key
+
+    # -- model registry (lazy load, LRU) -----------------------------------
+
+    def _model(self, key: ModelKey) -> _LoadedModel:
+        with self._models_lock:
+            loaded = self._models.get(key)
+            if loaded is not None:
+                self._models.move_to_end(key)
+                return loaded
+            info = self._catalog[key]
+            t0 = time.monotonic()
+            pipeline = InferencePipeline(
+                str(info.path),
+                batch_size=self.config.max_batch,
+                n_threads=self.config.n_threads,
+                clip=self.config.clip,
+                hooks=_TelemetryHooks(self.telemetry),
+            )
+            self.telemetry.count("model_loads")
+            self.telemetry.observe("load_seconds", time.monotonic() - t0)
+            loaded = _LoadedModel(
+                info=info, entry=self._coverage[key], pipeline=pipeline
+            )
+            self._models[key] = loaded
+            self._evict_over_bound(keep=key)
+            return loaded
+
+    def _evict_over_bound(self, keep: ModelKey) -> None:
+        """Drop LRU models over ``max_models`` (busy models are kept)."""
+        while len(self._models) > self.config.max_models:
+            for candidate in self._models:
+                if candidate == keep:
+                    continue
+                if self._scheduler.inflight(candidate):
+                    continue
+                if self._scheduler.pending(candidate):
+                    continue
+                del self._models[candidate]
+                self.telemetry.count("model_evictions")
+                break
+            else:
+                return  # everything is busy: transiently over the bound
+
+    # -- request path ------------------------------------------------------
+
+    def submit(
+        self,
+        image: np.ndarray,
+        model: Union[ModelKey, str],
+        deadline_s: Optional[float] = None,
+    ) -> ServeFuture:
+        """Admit one ``(H, W, C)`` image for ``model``; never blocks.
+
+        Returns a :class:`ServeFuture` that resolves to the output
+        array — immediately on a cache hit, after the next due flush
+        otherwise — or to :class:`ServerBusy` when the queue-depth
+        bound sheds the request.  ``deadline_s`` overrides the
+        configured latency budget for this request alone.
+        """
+        key = self._resolve_key(model)
+        image = np.asarray(image)
+        if image.ndim != 3:
+            raise ValueError(
+                f"expected an (H, W, C) image, got shape {image.shape}"
+            )
+        if self._stopped:
+            # A closed server refuses explicitly instead of queueing a
+            # request no loop will ever flush.
+            self.telemetry.count("shed")
+            return ServeFuture.resolved(
+                ServerBusy(
+                    model=key,
+                    reason="server closed",
+                    queue_depth=self._scheduler.depth(),
+                )
+            )
+        t0 = self._clock()
+        self.telemetry.count("requests")
+        cache_key = content_key(key, image)
+        if self.config.cache_bytes:
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                self.telemetry.count("cache_hits")
+                self.telemetry.count("responses")
+                self.telemetry.observe("request_latency", self._clock() - t0)
+                return ServeFuture.resolved(cached)
+            self.telemetry.count("cache_misses")
+        budget = (
+            self.config.latency_budget_s if deadline_s is None else deadline_s
+        )
+        future = ServeFuture()
+        request = QueuedRequest(
+            image=image,
+            cache_key=cache_key,
+            future=future,
+            enqueued_at=t0,
+            deadline=t0 + budget,
+            model_key=key,
+        )
+        with self._inflight_lock:
+            existing = self._inflight_by_key.get(cache_key)
+            if existing is not None:
+                # Identical request already queued or executing: ride
+                # along on its computation instead of queueing a twin.
+                existing.extra_futures.append(future)
+                self.telemetry.count("coalesced")
+                return future
+            depth = self._scheduler.enqueue(
+                request, max_depth=self.config.max_queue_depth
+            )
+            if depth >= 0:
+                self._inflight_by_key[cache_key] = request
+        if depth < 0:
+            self.telemetry.count("shed")
+            return ServeFuture.resolved(
+                ServerBusy(
+                    model=key,
+                    reason="queue full",
+                    queue_depth=self.config.max_queue_depth,
+                )
+            )
+        with self._wake:
+            self._wake.notify_all()
+        return future
+
+    def map(
+        self,
+        images: Sequence[np.ndarray],
+        model: Union[ModelKey, str],
+        deadline_s: Optional[float] = None,
+    ) -> List:
+        """Submit ``images``, drain, and return results in order."""
+        futures = [self.submit(img, model, deadline_s) for img in images]
+        self.drain()
+        return [f.result(timeout=60.0) for f in futures]
+
+    def __call__(
+        self, image: np.ndarray, model: Union[ModelKey, str]
+    ) -> np.ndarray:
+        """Single-image convenience: submit + drain + result."""
+        return self.map([image], model)[0]
+
+    # -- execution ---------------------------------------------------------
+
+    def poll(self, now: Optional[float] = None, force: bool = False) -> int:
+        """Dispatch every due model's flush once; returns the count.
+
+        The background loop calls this continuously; in manual mode
+        (``background=False``) the test/caller drives it, optionally
+        with a simulated ``now``.  ``force`` ignores deadlines (drain).
+        """
+        now = self._clock() if now is None else now
+        dispatched = 0
+        for key in self._scheduler.due_keys(now, force=force):
+            taken, reason = self._scheduler.take(key, now)
+            if not taken:
+                continue  # another poll got here first; nothing in flight
+            self.telemetry.count(f"flush_{reason}")
+            submit_task(self._run_flush, key, taken)
+            dispatched += 1
+        return dispatched
+
+    def _settle(self, req: QueuedRequest) -> List[ServeFuture]:
+        """Detach ``req`` from the coalescing map; every future to resolve.
+
+        After this returns, a new identical submission starts a fresh
+        computation (or hits the cache) — so no future can attach to a
+        request that has already been resolved.
+        """
+        with self._inflight_lock:
+            self._inflight_by_key.pop(req.cache_key, None)
+            futures = [req.future] + list(req.extra_futures)
+        return futures
+
+    def _respond(self, req: QueuedRequest, value, done: float) -> None:
+        if self.config.cache_bytes:
+            self.cache.put(req.cache_key, value)
+        for i, future in enumerate(self._settle(req)):
+            self.telemetry.observe(
+                "request_latency", max(0.0, done - req.enqueued_at)
+            )
+            self.telemetry.count("responses")
+            # Coalesced riders get their own copy: a caller mutating
+            # its result in place must never corrupt another caller's.
+            future._resolve(value if i == 0 else value.copy())
+
+    def _run_flush(self, key: ModelKey, requests: List[QueuedRequest]) -> None:
+        pipeline = None
+        handles: List = []
+        try:
+            pipeline = self._model(key).pipeline
+            handles = [(req, pipeline.submit(req.image)) for req in requests]
+            pipeline.flush()
+            done = self._clock()
+            for req, handle in handles:
+                self._respond(req, handle.result(), done)
+        except Exception as exc:
+            # A failed flush must not poison the model: pull our
+            # unprocessed submissions back out of the pipeline queue,
+            # salvage any batch that did complete, and resolve the rest
+            # with a typed error instead of hanging their futures.
+            if pipeline is not None and handles:
+                pipeline.discard_pending([h for _, h in handles])
+            done = self._clock()
+            message = f"{type(exc).__name__}: {exc}"
+            completed = {
+                id(req): handle for req, handle in handles if handle.done()
+            }
+            for req in requests:
+                if req.future.done():
+                    continue
+                handle = completed.get(id(req))
+                if handle is not None:
+                    self._respond(req, handle.result(), done)
+                else:
+                    error = ServeError(model=key, message=message)
+                    for future in self._settle(req):
+                        self.telemetry.count("errors")
+                        future._resolve(error)
+        finally:
+            self._scheduler.release(key)
+            with self._wake:
+                self._wake.notify_all()
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._wake:
+                if self._stopped:
+                    return
+                wait = self._scheduler.next_due(self._clock())
+                if wait is None:
+                    self._wake.wait(timeout=self.config.poll_interval_s)
+                elif wait > 0:
+                    self._wake.wait(timeout=wait)
+                if self._stopped:
+                    return
+            self.poll()
+
+    def drain(self) -> None:
+        """Flush everything queued, deadlines ignored; block until idle."""
+        while True:
+            self.poll(force=True)
+            if self._scheduler.idle():
+                return
+            with self._wake:
+                if not self._scheduler.idle():
+                    self._wake.wait(timeout=0.005)
+
+    def pending(self) -> int:
+        """Requests admitted but not yet executing."""
+        return self._scheduler.depth()
+
+    # -- observability / lifecycle -----------------------------------------
+
+    def stats(self) -> Dict:
+        """Machine-readable snapshot: telemetry + cache + registry."""
+        stats = self.telemetry.stats()
+        stats["cache"] = self.cache.stats()
+        stats["server"] = {
+            "available_models": len(self._catalog),
+            "loaded_models": len(self.loaded_models()),
+            "queue_depth": self._scheduler.depth(),
+            "inflight": self._scheduler.inflight(),
+            "skipped_artifacts": len(self.skipped),
+        }
+        return stats
+
+    def report(self) -> str:
+        """Plain-text operational report (telemetry + registry lines)."""
+        stats = self.stats()
+        lines = [self.telemetry.report(), "  cache:"]
+        for name in ("entries", "current_bytes", "max_bytes", "evictions"):
+            lines.append(f"    {name:<18} {stats['cache'][name]}")
+        lines.append("  server:")
+        for name in sorted(stats["server"]):
+            lines.append(f"    {name:<18} {stats['server'][name]}")
+        loaded = set(self.loaded_models())
+        lines.append("  models:")
+        for key in self.available_models:
+            arch, scheme, scale = key
+            entry = self._coverage[key]
+            state = "loaded" if key in loaded else "cold"
+            lines.append(
+                f"    {arch}/{scheme}/x{scale:<3} {state:<7} "
+                f"coverage={entry.coverage}"
+            )
+        return "\n".join(lines)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop serving: refuse new work, then settle what was admitted.
+
+        The stop flag is raised *before* draining so a submit racing
+        the shutdown is shed (typed ``ServerBusy``) rather than left
+        stranded with a future no loop will ever resolve.
+        """
+        with self._wake:
+            already_stopped = self._stopped
+            self._stopped = True
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if drain and not already_stopped:
+            self.drain()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close(drain=False)
+        except Exception:
+            pass

@@ -1,0 +1,205 @@
+"""Serving telemetry: counters, latency histograms, derived rates.
+
+A serving process is only operable if it can say what it is doing:
+how many requests arrived, how many were shed, how long they waited,
+how full the micro-batches ran, how often the result cache saved a
+forward.  :class:`Telemetry` is the one sink every serve-layer
+component reports into — plain counters plus log-bucketed latency
+histograms — and :meth:`Telemetry.stats` / :meth:`Telemetry.report`
+are the two read sides: a machine-readable dict and an aligned
+plain-text block for logs.
+
+The histogram is deliberately bounded: geometric buckets from 1 us to
+~2 min, so a server that has handled a billion requests still holds a
+few dozen integers per tracked latency.  Percentiles are resolved to a
+bucket upper bound and clamped into the exactly-tracked ``[min, max]``
+observed range, which keeps them honest for the monotone checks the
+tests apply (p50 <= p95 <= p99).
+
+Everything is thread-safe: one lock guards all mutation, and reads
+return snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "Telemetry"]
+
+#: Geometric bucket upper bounds (seconds): 1 us doubling up to ~134 s.
+_BUCKET_BOUNDS: List[float] = [1e-6 * (2.0**i) for i in range(28)]
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with exact count/sum/min/max.
+
+    ``record()`` files one observation (seconds) into a geometric
+    bucket; ``percentile(p)`` walks the cumulative counts and returns
+    the upper bound of the bucket containing the p-th observation,
+    clamped to the exact observed ``[min, max]``.  Memory is O(1) in
+    the number of observations.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.counts[bisect_left(_BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (p in [0, 100]) in seconds."""
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        target = max(1, int(round(self.count * p / 100.0)))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                bound = (
+                    _BUCKET_BOUNDS[i]
+                    if i < len(_BUCKET_BOUNDS)
+                    else self.max
+                )
+                return min(max(bound, self.min), self.max)
+        return self.max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict (times in milliseconds, as served dashboards do)."""
+        if self.count == 0:
+            return {"count": 0}
+        to_ms = 1e3
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * to_ms,
+            "p50_ms": self.percentile(50) * to_ms,
+            "p95_ms": self.percentile(95) * to_ms,
+            "p99_ms": self.percentile(99) * to_ms,
+            "min_ms": self.min * to_ms,
+            "max_ms": self.max * to_ms,
+        }
+
+
+class Telemetry:
+    """Thread-safe counter + latency sink for the serving layer.
+
+    Parameters
+    ----------
+    batch_capacity:
+        The server's configured micro-batch size; when set, ``stats()``
+        derives ``batch_occupancy`` (mean fill fraction of executed
+        batches) from the ``batch_images`` / ``batches`` counters.
+
+    Counter names are free-form; the conventional set the server emits:
+    ``requests``, ``responses``, ``shed``, ``errors``, ``cache_hits``,
+    ``cache_misses``, ``cache_evictions``, ``model_loads``,
+    ``model_evictions``, ``batches``, ``batch_images``,
+    ``flush_full``, ``flush_deadline``, ``flush_drain``.
+    """
+
+    def __init__(self, batch_capacity: Optional[int] = None) -> None:
+        self.batch_capacity = batch_capacity
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        """File one latency observation into the histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = LatencyHistogram()
+            hist.record(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def _ratio(self, num: int, den: int) -> Optional[float]:
+        return num / den if den else None
+
+    def stats(self) -> Dict:
+        """Snapshot: counters, per-histogram percentiles, derived rates.
+
+        Derived fields (``None`` until their inputs exist):
+
+        ``cache_hit_rate``
+            ``cache_hits / (cache_hits + cache_misses)``.
+        ``batch_occupancy``
+            ``batch_images / (batches * batch_capacity)`` — how full
+            the executed micro-batches ran on average.
+        ``shed_rate``
+            ``shed / requests`` — fraction of arrivals refused by
+            admission control.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            latency = {
+                name: hist.snapshot()
+                for name, hist in self._histograms.items()
+            }
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        batches = counters.get("batches", 0)
+        derived = {
+            "cache_hit_rate": self._ratio(hits, hits + misses),
+            "shed_rate": self._ratio(
+                counters.get("shed", 0), counters.get("requests", 0)
+            ),
+            "batch_occupancy": (
+                self._ratio(
+                    counters.get("batch_images", 0),
+                    batches * self.batch_capacity,
+                )
+                if self.batch_capacity
+                else None
+            ),
+        }
+        return {"counters": counters, "latency": latency, "derived": derived}
+
+    def report(self) -> str:
+        """Aligned plain-text rendering of :meth:`stats` for logs."""
+        stats = self.stats()
+        lines = ["serve telemetry", "  counters:"]
+        for name in sorted(stats["counters"]):
+            lines.append(f"    {name:<18} {stats['counters'][name]}")
+        if stats["latency"]:
+            lines.append("  latency (ms):")
+            for name in sorted(stats["latency"]):
+                snap = stats["latency"][name]
+                if snap["count"] == 0:
+                    continue
+                lines.append(
+                    f"    {name:<18} n={snap['count']:<7} "
+                    f"p50={snap['p50_ms']:.3f} p95={snap['p95_ms']:.3f} "
+                    f"p99={snap['p99_ms']:.3f} max={snap['max_ms']:.3f}"
+                )
+        lines.append("  derived:")
+        for name in sorted(stats["derived"]):
+            value = stats["derived"][name]
+            rendered = "n/a" if value is None else f"{value:.3f}"
+            lines.append(f"    {name:<18} {rendered}")
+        return "\n".join(lines)

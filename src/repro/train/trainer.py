@@ -9,7 +9,7 @@ with an upscale-factor border shave, exactly as Tables III-V.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

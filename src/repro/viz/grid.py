@@ -7,7 +7,7 @@ method crops side by side.  Both reduce to: normalize each panel to
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

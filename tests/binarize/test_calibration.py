@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import grad as G
-from repro.binarize import LSFBinarizer2d, SCALESBinaryConv2d, calibrate_lsf
+from repro.binarize import LSFBinarizer2d, calibrate_lsf
 from repro.binarize.lsf import LSFBinarizerTokens
 from repro.grad import Tensor
 from repro.models import build_model

@@ -187,3 +187,96 @@ class TestUnbroadcast:
         g = np.ones((3, 4))
         out = G.unbroadcast(g, (3, 1))
         np.testing.assert_allclose(out, np.full((3, 1), 4.0))
+
+
+class TestThreadSafety:
+    """Grad mode and dtype overrides must be safe across threads.
+
+    The serving layer runs no_grad forwards on scheduler/worker threads
+    concurrently with training on the main thread; with process-global
+    save/restore, two interleaved no_grad blocks could leave gradients
+    switched off for the whole process (training silently stops
+    learning — the bug that motivated thread-local grad mode).
+    """
+
+    def test_no_grad_is_thread_local(self):
+        import threading
+
+        seen = {}
+
+        def worker():
+            with G.no_grad():
+                seen["inside_worker"] = G.is_grad_enabled()
+                barrier.wait()   # main thread checks while we hold no_grad
+                barrier.wait()
+            seen["after_worker"] = G.is_grad_enabled()
+
+        barrier = threading.Barrier(2)
+        thread = threading.Thread(target=worker)
+        thread.start()
+        barrier.wait()
+        # The worker's no_grad must not leak into this thread.
+        assert G.is_grad_enabled()
+        barrier.wait()
+        thread.join()
+        assert seen["inside_worker"] is False
+        assert seen["after_worker"] is True
+        assert G.is_grad_enabled()
+
+    def test_interleaved_no_grad_cannot_disable_grad_forever(self):
+        import threading
+
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                with G.no_grad():
+                    pass
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                with G.no_grad():
+                    assert not G.is_grad_enabled()
+                assert G.is_grad_enabled()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        x = Tensor([1.0], requires_grad=True)
+        assert (x * 2.0).requires_grad  # graph construction still works
+
+    def test_thread_default_dtype_is_isolated(self):
+        import threading
+
+        results = {}
+
+        def worker():
+            with G.thread_default_dtype("float32"):
+                results["worker"] = Tensor([1.0]).dtype
+                barrier.wait()   # main thread creates a tensor meanwhile
+                barrier.wait()
+            results["worker_after"] = Tensor([1.0]).dtype
+
+        barrier = threading.Barrier(2)
+        thread = threading.Thread(target=worker)
+        thread.start()
+        barrier.wait()
+        results["main"] = Tensor([1.0]).dtype
+        barrier.wait()
+        thread.join()
+        assert results["worker"] == np.float32
+        assert results["main"] == np.float64
+        assert results["worker_after"] == np.float64
+
+    def test_thread_default_dtype_nests(self):
+        with G.thread_default_dtype("float32"):
+            with G.thread_default_dtype("float64"):
+                assert Tensor([1.0]).dtype == np.float64
+            assert Tensor([1.0]).dtype == np.float32
+        assert Tensor([1.0]).dtype == np.float64
+        with pytest.raises(ValueError):
+            with G.thread_default_dtype("int32"):
+                pass

@@ -324,3 +324,100 @@ class TestInferencePipeline:
             assert pipe.stats["submitted"] == 5
             assert pipe.stats["completed"] == 5
             assert pipe.stats["batches"] == 3  # 2 + 2 + 1
+
+
+class TestPipelineDeadlinesAndHooks:
+    """The serving-layer attachment points: flush deadlines + hooks."""
+
+    def _pipeline(self, **kwargs):
+        return InferencePipeline(_Upscale2x(), **kwargs)
+
+    def test_oldest_age_and_due(self):
+        pipe = self._pipeline(batch_size=4)
+        assert pipe.oldest_age() is None
+        assert not pipe.due(0.0)
+        img = np.random.default_rng(0).random((4, 4, 3))
+        pipe.submit(img)
+        t0 = pipe._pending[0][2]
+        assert pipe.oldest_age(now=t0 + 0.25) == pytest.approx(0.25)
+        assert not pipe.due(budget_s=0.5, now=t0 + 0.25)
+        assert pipe.due(budget_s=0.5, now=t0 + 0.5)
+
+    def test_full_batch_is_due_regardless_of_budget(self):
+        pipe = self._pipeline(batch_size=2)
+        img = np.random.default_rng(0).random((4, 4, 3))
+        pipe.submit(img)
+        assert not pipe.due(budget_s=1e9)
+        pipe.submit(img)
+        assert pipe.due(budget_s=1e9)
+
+    def test_flush_if_due(self):
+        pipe = self._pipeline(batch_size=8)
+        img = np.random.default_rng(0).random((4, 4, 3))
+        handle = pipe.submit(img)
+        t0 = pipe._pending[0][2]
+        assert not pipe.flush_if_due(budget_s=10.0, now=t0 + 0.1)
+        assert not handle.done()
+        assert pipe.flush_if_due(budget_s=0.05, now=t0 + 0.1)
+        assert handle.done()
+        assert pipe.pending() == 0
+
+    def test_hooks_observe_batches_and_flushes(self):
+        events = []
+
+        from repro.infer import PipelineHooks
+
+        class Hooks(PipelineHooks):
+            def on_batch(self, n_images, seconds):
+                events.append(("batch", n_images))
+
+            def on_flush(self, n_images, seconds):
+                events.append(("flush", n_images))
+
+        pipe = self._pipeline(batch_size=2, hooks=Hooks())
+        rng = np.random.default_rng(0)
+        pipe.map([rng.random((4, 4, 3)) for _ in range(5)])
+        batches = [e for e in events if e[0] == "batch"]
+        flushes = [e for e in events if e[0] == "flush"]
+        assert sum(n for _, n in batches) == 5
+        assert [n for _, n in batches] == [2, 2, 1]
+        assert flushes == [("flush", 5)]
+
+    def test_discard_pending(self):
+        pipe = self._pipeline(batch_size=8)
+        rng = np.random.default_rng(0)
+        keep = pipe.submit(rng.random((4, 4, 3)))
+        drop = pipe.submit(rng.random((4, 4, 3)))
+        assert pipe.discard_pending([drop]) == 1
+        assert pipe.pending() == 1
+        pipe.flush()
+        assert keep.done()
+        assert not drop.done()
+        assert pipe.discard_pending([keep]) == 0  # already completed
+
+
+class TestGradModeInheritance:
+    """no_grad on the calling thread must extend into pool workers."""
+
+    def test_parallel_map_inherits_no_grad(self):
+        def probe(_):
+            return G.is_grad_enabled()
+
+        with G.no_grad():
+            assert parallel_map(probe, range(6), n_threads=3) == [False] * 6
+        assert parallel_map(probe, range(6), n_threads=3) == [True] * 6
+
+    def test_submit_task_inherits_no_grad(self):
+        from repro.infer import submit_task
+
+        with num_threads(2):
+            with G.no_grad():
+                assert submit_task(G.is_grad_enabled).result(5) is False
+            assert submit_task(G.is_grad_enabled).result(5) is True
+
+    def test_threaded_pipeline_builds_no_graph(self):
+        model = _Upscale2x()
+        pipe = InferencePipeline(model, batch_size=1, n_threads=2)
+        rng = np.random.default_rng(0)
+        outs = pipe.map([rng.random((4, 4, 3)) for _ in range(4)])
+        assert len(outs) == 4

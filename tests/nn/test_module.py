@@ -5,7 +5,7 @@ import pytest
 
 from repro import grad as G
 from repro.grad import Tensor
-from repro.nn import Conv2d, Linear, Module, Parameter, ReLU, Sequential
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
 
 
 class Toy(Module):

@@ -1,0 +1,475 @@
+"""ModelServer end-to-end: correctness, concurrency, admission, LRU.
+
+The invariant everything here leans on: a served output is
+bit-identical to running the same image through ``InferencePipeline``
+on the same artifact — scheduling order, batch composition, caching
+and thread count are execution-strategy details only.
+"""
+
+import itertools
+import threading
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.deploy import compile_model, scan_artifact_dir
+from repro.infer import InferencePipeline
+from repro.models import build_model
+from repro.nn import init
+from repro.serve import (
+    ModelServer,
+    ServeError,
+    ServerBusy,
+    ServerConfig,
+    parse_model_key,
+)
+
+KEY_A = ("srresnet", "scales", 2)
+KEY_B = ("edsr", "e2fif", 2)
+SHAPES = ((12, 12, 3), (10, 14, 3))
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    """Directory with two tiny packed artifacts (built once per module)."""
+    directory = tmp_path_factory.mktemp("zoo")
+    with G.default_dtype("float32"):
+        for arch, scheme, scale in (KEY_A, KEY_B):
+            init.seed(0)
+            model = build_model(arch, scale=scale, scheme=scheme, preset="tiny")
+            compile_model(model, freeze=str(directory / f"{arch}_{scheme}.npz"))
+    return directory
+
+
+@pytest.fixture(scope="module")
+def reference_outputs(artifact_dir):
+    """key -> {shape: [outputs for the module's canonical images]}."""
+
+    def compute(key, images):
+        info = {i.key: i for i in scan_artifact_dir(artifact_dir)[0]}[key]
+        pipeline = InferencePipeline(str(info.path), batch_size=4)
+        return pipeline.map(images)
+
+    refs = {}
+    with G.default_dtype("float32"):
+        for key in (KEY_A, KEY_B):
+            refs[key] = {
+                shape: compute(key, _images(shape)) for shape in SHAPES
+            }
+    return refs
+
+
+def _images(shape, n=6):
+    rng = np.random.default_rng(hash(shape) % (2**32))
+    return [rng.random(shape).astype(np.float32) for _ in range(n)]
+
+
+def _manual_server(artifact_dir, clock, **overrides):
+    defaults = dict(
+        background=False, latency_budget_s=0.5, max_batch=8, n_threads=1
+    )
+    defaults.update(overrides)
+    return ModelServer(
+        artifact_dir, ServerConfig(**defaults), clock=clock
+    )
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestParseModelKey:
+    def test_tuple_and_string_forms(self):
+        assert parse_model_key(("srresnet", "scales", 2)) == KEY_A
+        assert parse_model_key("srresnet/scales/x2") == KEY_A
+        assert parse_model_key("srresnet/scales/2") == KEY_A
+
+    def test_bad_specs(self):
+        for spec in ("srresnet/scales", "a/b/xq", 42, ("a", "b")):
+            with pytest.raises(ValueError):
+                parse_model_key(spec)
+
+
+class TestCatalog:
+    def test_available_models(self, artifact_dir):
+        server = _manual_server(artifact_dir, FakeClock())
+        assert server.available_models == (KEY_B, KEY_A)
+        assert server.coverage(KEY_A).coverage == "full"
+        assert server.model_info("edsr/e2fif/x2").n_packed_layers > 0
+
+    def test_unknown_model_is_a_keyerror(self, artifact_dir):
+        server = _manual_server(artifact_dir, FakeClock())
+        with pytest.raises(KeyError, match="available"):
+            server.submit(np.zeros((8, 8, 3), np.float32), "rdn/scales/x2")
+
+    def test_bad_image_shape(self, artifact_dir):
+        server = _manual_server(artifact_dir, FakeClock())
+        with pytest.raises(ValueError, match="H, W, C"):
+            server.submit(np.zeros((8, 8), np.float32), KEY_A)
+
+    def test_garbage_files_are_skipped_not_fatal(self, artifact_dir, tmp_path):
+        zoo = tmp_path / "zoo"
+        zoo.mkdir()
+        real = next(artifact_dir.glob("srresnet*.npz"))
+        (zoo / real.name).write_bytes(real.read_bytes())
+        np.savez(zoo / "notanartifact.npz", x=np.zeros(3))
+        (zoo / "junk.npz").write_bytes(b"not a zip at all")
+        # Truncated zip (valid magic, corrupt structure): BadZipFile.
+        (zoo / "truncated.npz").write_bytes(real.read_bytes()[:100])
+        server = _manual_server(zoo, FakeClock())
+        assert server.available_models == (KEY_A,)
+        assert len(server.skipped) == 3
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelServer(tmp_path / "missing", ServerConfig(background=False))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no servable"):
+            ModelServer(empty, ServerConfig(background=False))
+
+
+class TestDeadlineScheduling:
+    def test_deadline_expiry_forces_partial_batch(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(
+            artifact_dir, clock, latency_budget_s=0.5, max_batch=8
+        )
+        futures = [
+            server.submit(img, KEY_A)
+            for img in _images(SHAPES[0], n=3)
+        ]
+        assert server.poll() == 0  # budget not expired, batch not full
+        assert server.pending() == 3
+        clock.advance(0.49)
+        assert server.poll() == 0
+        clock.advance(0.02)  # now past the oldest deadline
+        assert server.poll() == 1
+        assert all(f.done() for f in futures)
+        assert server.telemetry.counter("flush_deadline") == 1
+        assert server.telemetry.counter("batch_images") == 3
+
+    def test_full_batch_flushes_without_waiting(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(
+            artifact_dir, clock, latency_budget_s=100.0, max_batch=4
+        )
+        futures = [
+            server.submit(img, KEY_A)
+            for img in _images(SHAPES[0], n=4)
+        ]
+        assert server.poll() == 1  # due immediately: a full batch waits
+        assert all(f.done() for f in futures)
+        assert server.telemetry.counter("flush_full") == 1
+
+    def test_per_request_deadline_overrides_budget(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(
+            artifact_dir, clock, latency_budget_s=100.0, max_batch=8
+        )
+        server.submit(_images(SHAPES[0], n=1)[0], KEY_A, deadline_s=0.01)
+        clock.advance(0.02)
+        assert server.poll() == 1
+
+    def test_drain_ignores_deadlines(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(
+            artifact_dir, clock, latency_budget_s=100.0, max_batch=8
+        )
+        future = server.submit(_images(SHAPES[0], n=1)[0], KEY_A)
+        server.drain()
+        assert future.done()
+        assert server.telemetry.counter("flush_drain") == 1
+
+
+class TestCorrectness:
+    def test_bit_identical_to_direct_pipeline(
+        self, artifact_dir, reference_outputs
+    ):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock(), max_batch=3)
+            for key in (KEY_A, KEY_B):
+                for shape in SHAPES:
+                    outputs = server.map(_images(shape), key)
+                    for out, ref in zip(outputs, reference_outputs[key][shape]):
+                        np.testing.assert_array_equal(out, ref)
+
+    def test_cache_hits_are_bit_identical(self, artifact_dir, reference_outputs):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            images = _images(SHAPES[0])
+            first = server.map(images, KEY_A)
+            again = server.map(images, KEY_A)
+            assert server.telemetry.counter("cache_hits") == len(images)
+            for out, ref in zip(again, reference_outputs[KEY_A][SHAPES[0]]):
+                np.testing.assert_array_equal(out, ref)
+            assert server.telemetry.counter("batches") == server.telemetry.counter(
+                "batches"
+            )
+            del first
+
+    def test_cache_correctness_under_eviction(
+        self, artifact_dir, reference_outputs
+    ):
+        with G.default_dtype("float32"):
+            images = _images(SHAPES[0])
+            out_bytes = reference_outputs[KEY_A][SHAPES[0]][0].nbytes
+            # Room for only two outputs: constant churn.
+            server = _manual_server(
+                artifact_dir, FakeClock(), cache_bytes=2 * out_bytes
+            )
+            for _ in range(3):
+                outputs = server.map(images, KEY_A)
+                for out, ref in zip(outputs, reference_outputs[KEY_A][SHAPES[0]]):
+                    np.testing.assert_array_equal(out, ref)
+            assert server.cache.evictions > 0
+            assert server.telemetry.counter("cache_hits") > 0
+
+    def test_cache_disabled(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock(), cache_bytes=0)
+            images = _images(SHAPES[0], n=2)
+            server.map(images, KEY_A)
+            server.map(images, KEY_A)
+            assert server.telemetry.counter("cache_hits") == 0
+            assert server.cache.stats()["entries"] == 0
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_typed_result(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(
+            artifact_dir, clock, max_queue_depth=2, latency_budget_s=100.0
+        )
+        images = _images(SHAPES[0], n=3)
+        f1 = server.submit(images[0], KEY_A)
+        f2 = server.submit(images[1], KEY_A)
+        f3 = server.submit(images[2], KEY_A)
+        assert not f1.done() and not f2.done()
+        assert f3.done()
+        shed = f3.result()
+        assert isinstance(shed, ServerBusy)
+        assert shed.model == KEY_A
+        assert shed.queue_depth == 2
+        assert server.telemetry.counter("shed") == 1
+        server.drain()
+        assert isinstance(f1.result(timeout=5), np.ndarray)
+        assert server.stats()["derived"]["shed_rate"] == pytest.approx(1 / 3)
+
+    def test_identical_inflight_requests_coalesce(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(
+            artifact_dir, clock, latency_budget_s=100.0, max_batch=8
+        )
+        image = _images(SHAPES[0], n=1)[0]
+        futures = [server.submit(image, KEY_A) for _ in range(5)]
+        # One computation queued; four riders attached to it.
+        assert server.pending() == 1
+        assert server.telemetry.counter("coalesced") == 4
+        server.drain()
+        outputs = [f.result(timeout=5) for f in futures]
+        for out in outputs:
+            np.testing.assert_array_equal(out, outputs[0])
+        assert server.telemetry.counter("responses") == 5
+        assert server.telemetry.counter("batch_images") == 1
+
+    def test_coalesced_results_are_mutation_isolated(self, artifact_dir):
+        server = _manual_server(
+            artifact_dir, FakeClock(), latency_budget_s=100.0
+        )
+        image = _images(SHAPES[0], n=1)[0]
+        futures = [server.submit(image, KEY_A) for _ in range(3)]
+        server.drain()
+        outputs = [f.result(timeout=5) for f in futures]
+        expected = outputs[1].copy()
+        outputs[0][:] = -1.0  # one caller trashes its result in place
+        np.testing.assert_array_equal(outputs[1], expected)
+        np.testing.assert_array_equal(outputs[2], expected)
+
+    def test_coalesced_requests_share_failure(self, artifact_dir):
+        server = _manual_server(artifact_dir, FakeClock())
+        bad = np.zeros((8, 8, 4), np.float32)
+        futures = [server.submit(bad, KEY_A) for _ in range(3)]
+        server.drain()
+        for future in futures:
+            assert isinstance(future.result(timeout=5), ServeError)
+        assert server.telemetry.counter("errors") == 3
+
+    def test_cache_hit_bypasses_admission(self, artifact_dir):
+        clock = FakeClock()
+        server = _manual_server(artifact_dir, clock, max_queue_depth=1)
+        image = _images(SHAPES[0], n=1)[0]
+        server.submit(image, KEY_A)
+        server.drain()
+        # Queue is empty again; a repeat of a cached input resolves
+        # instantly even when fresh work would be queued.
+        blocker = server.submit(_images(SHAPES[1], n=1)[0], KEY_A)
+        hit = server.submit(image, KEY_A)
+        assert hit.done()
+        assert isinstance(hit.result(), np.ndarray)
+        assert not blocker.done()
+        server.drain()
+
+
+class TestModelRegistryLRU:
+    def test_lazy_load_and_eviction(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock(), max_models=1)
+            assert server.loaded_models() == ()
+            image_a = _images(SHAPES[0], n=1)[0]
+            image_b = _images(SHAPES[1], n=1)[0]
+            server.map([image_a], KEY_A)
+            assert server.loaded_models() == (KEY_A,)
+            server.map([image_b], KEY_B)
+            assert server.loaded_models() == (KEY_B,)
+            server.map([image_b], KEY_A)
+            assert server.loaded_models() == (KEY_A,)
+            assert server.telemetry.counter("model_loads") == 3
+            assert server.telemetry.counter("model_evictions") == 2
+
+    def test_no_reload_when_capacity_allows(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock(), max_models=2)
+            for _ in range(3):
+                server.map(_images(SHAPES[0], n=1), KEY_A)
+                server.map(_images(SHAPES[0], n=1), KEY_B)
+            assert server.telemetry.counter("model_loads") == 2
+            assert server.telemetry.counter("model_evictions") == 0
+
+
+class TestFailureIsolation:
+    def test_bad_request_gets_typed_error_not_poison(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            # 4-channel input cannot run through a 3-channel head.
+            bad = server.submit(np.zeros((8, 8, 4), np.float32), KEY_A)
+            server.drain()
+            result = bad.result(timeout=5)
+            assert isinstance(result, ServeError)
+            assert result.model == KEY_A
+            assert server.telemetry.counter("errors") == 1
+            # The model still serves good requests afterwards.
+            good = server.map(_images(SHAPES[0], n=2), KEY_A)
+            assert all(isinstance(out, np.ndarray) for out in good)
+
+
+class TestConcurrentServing:
+    def test_many_threads_mixed_shapes_and_models(
+        self, artifact_dir, reference_outputs
+    ):
+        with G.default_dtype("float32"):
+            server = ModelServer(
+                artifact_dir,
+                ServerConfig(
+                    max_batch=4,
+                    latency_budget_s=0.002,
+                    max_queue_depth=4096,
+                    n_threads=1,
+                ),
+            )
+            cases = list(itertools.product((KEY_A, KEY_B), SHAPES))
+            results = {}
+            errors = []
+
+            def client(worker):
+                try:
+                    futures = []
+                    for i in range(12):
+                        key, shape = cases[(worker + i) % len(cases)]
+                        image = _images(shape)[i % 6]
+                        futures.append(
+                            (key, shape, i % 6, server.submit(image, key))
+                        )
+                    results[worker] = [
+                        (key, shape, idx, f.result(timeout=30))
+                        for key, shape, idx, f in futures
+                    ]
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(w,)) for w in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            server.close()
+            assert not errors
+            served = 0
+            for worker_results in results.values():
+                for key, shape, idx, out in worker_results:
+                    assert not isinstance(out, (ServerBusy, ServeError))
+                    np.testing.assert_array_equal(
+                        out, reference_outputs[key][shape][idx]
+                    )
+                    served += 1
+            assert served == 8 * 12
+            assert server.telemetry.counter("responses") == served
+            assert server.telemetry.counter("shed") == 0
+
+    def test_background_loop_flushes_on_deadline(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = ModelServer(
+                artifact_dir,
+                ServerConfig(
+                    max_batch=64, latency_budget_s=0.01, n_threads=1
+                ),
+            )
+            # Far fewer than max_batch: only the deadline can flush it.
+            future = server.submit(_images(SHAPES[0], n=1)[0], KEY_A)
+            out = future.result(timeout=10)
+            server.close()
+            assert isinstance(out, np.ndarray)
+            flushes = (
+                server.telemetry.counter("flush_deadline")
+                + server.telemetry.counter("flush_drain")
+            )
+            assert flushes >= 1
+            assert server.telemetry.counter("flush_full") == 0
+
+
+class TestShutdown:
+    def test_submit_after_close_is_shed_not_stranded(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            image = _images(SHAPES[0], n=1)[0]
+            server.map([image], KEY_A)
+            server.close()
+            future = server.submit(_images(SHAPES[1], n=1)[0], KEY_A)
+            assert future.done()
+            result = future.result()
+            assert isinstance(result, ServerBusy)
+            assert result.reason == "server closed"
+
+    def test_close_is_idempotent(self, artifact_dir):
+        server = _manual_server(artifact_dir, FakeClock())
+        server.close()
+        server.close()
+
+
+class TestStatsAndReport:
+    def test_stats_and_report_surface_the_story(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            images = _images(SHAPES[0])
+            server.map(images, KEY_A)
+            server.map(images, KEY_A)
+            stats = server.stats()
+            assert stats["counters"]["responses"] == 12
+            assert stats["derived"]["cache_hit_rate"] == pytest.approx(0.5)
+            assert 0 < stats["derived"]["batch_occupancy"] <= 1
+            assert stats["cache"]["entries"] == 6
+            assert stats["server"]["available_models"] == 2
+            report = server.report()
+            assert "cache_hit_rate" in report
+            assert "srresnet/scales/x2" in report
+            assert "coverage=full" in report

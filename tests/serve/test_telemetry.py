@@ -1,0 +1,118 @@
+"""Telemetry: counters, histogram percentiles, derived rates, report."""
+
+import threading
+
+import pytest
+
+from repro.serve import LatencyHistogram, Telemetry
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.snapshot() == {"count": 0}
+
+    def test_percentiles_are_monotone_and_bracketed(self):
+        hist = LatencyHistogram()
+        values = [0.001 * (i + 1) for i in range(100)]  # 1ms .. 100ms
+        for v in values:
+            hist.record(v)
+        p50, p95, p99 = (hist.percentile(p) for p in (50, 95, 99))
+        assert min(values) <= p50 <= p95 <= p99 <= max(values)
+        # Log-bucketed: p50 of a uniform 1..100ms spread lands within
+        # a factor-of-two bucket of the true median.
+        assert 0.025 <= p50 <= 0.1
+
+    def test_exact_count_sum_min_max(self):
+        hist = LatencyHistogram()
+        for v in (0.5, 0.25, 1.5):
+            hist.record(v)
+        assert hist.count == 3
+        assert hist.min == 0.25
+        assert hist.max == 1.5
+        assert hist.mean == pytest.approx(2.25 / 3)
+
+    def test_single_observation_is_every_percentile(self):
+        hist = LatencyHistogram()
+        hist.record(0.042)
+        for p in (0, 50, 99, 100):
+            assert hist.percentile(p) == pytest.approx(0.042)
+
+    def test_invalid_percentile(self):
+        hist = LatencyHistogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_negative_latency_clamped(self):
+        hist = LatencyHistogram()
+        hist.record(-0.5)
+        assert hist.min == 0.0
+
+
+class TestTelemetry:
+    def test_counters(self):
+        t = Telemetry()
+        t.count("requests")
+        t.count("requests", 4)
+        assert t.counter("requests") == 5
+        assert t.counter("never") == 0
+
+    def test_stats_derived_rates(self):
+        t = Telemetry(batch_capacity=8)
+        for _ in range(3):
+            t.count("cache_hits")
+        t.count("cache_misses")
+        t.count("requests", 10)
+        t.count("shed", 2)
+        t.count("batches", 2)
+        t.count("batch_images", 12)
+        derived = t.stats()["derived"]
+        assert derived["cache_hit_rate"] == pytest.approx(0.75)
+        assert derived["shed_rate"] == pytest.approx(0.2)
+        assert derived["batch_occupancy"] == pytest.approx(12 / 16)
+
+    def test_derived_none_without_inputs(self):
+        derived = Telemetry().stats()["derived"]
+        assert derived["cache_hit_rate"] is None
+        assert derived["shed_rate"] is None
+        assert derived["batch_occupancy"] is None
+
+    def test_latency_snapshot_in_stats(self):
+        t = Telemetry()
+        for ms in (1, 2, 4):
+            t.observe("request_latency", ms / 1e3)
+        snap = t.stats()["latency"]["request_latency"]
+        assert snap["count"] == 3
+        assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+        assert snap["max_ms"] == pytest.approx(4.0)
+
+    def test_report_mentions_everything(self):
+        t = Telemetry(batch_capacity=4)
+        t.count("requests", 7)
+        t.observe("batch_seconds", 0.01)
+        report = t.report()
+        assert "requests" in report
+        assert "7" in report
+        assert "batch_seconds" in report
+        assert "cache_hit_rate" in report
+
+    def test_thread_safety_exact_totals(self):
+        t = Telemetry()
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                t.count("requests")
+                t.observe("request_latency", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert t.counter("requests") == n_threads * per_thread
+        snap = t.stats()["latency"]["request_latency"]
+        assert snap["count"] == n_threads * per_thread
