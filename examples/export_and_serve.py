@@ -1,18 +1,20 @@
-"""Train -> export -> load -> serve: the packed deployment artifact flow.
+"""Train -> compile -> export -> load -> infer: the deploy artifact flow.
 
 The paper's phone deployment assumes a trained network is exported once
-and served from its packed form.  This example walks that full path:
+and served from its packed form.  This example walks that full path
+through the typed public API (:mod:`repro.api`):
 
-1. train a small SCALES-binarized SRResNet;
-2. ``compile_model(..., freeze=...)`` — compile onto the packed
-   XNOR-popcount engine *and* write a one-file ``.npz`` deploy artifact
-   (bit-packed uint64 weight words + scales/thresholds + the FP
-   remainder; the float binary weights never touch disk);
-3. ``load_artifact`` — rebuild a servable packed model straight from the
-   artifact (the float model is not reconstructed: packed sites load as
-   packed layers);
-4. serve it through :class:`repro.infer.InferencePipeline` and verify
-   the served outputs are bit-identical to the live compiled model.
+1. ``Engine.from_spec(...).train(...)`` — train a small
+   SCALES-binarized SRResNet;
+2. ``engine.export(path)`` — compile onto the packed XNOR-popcount
+   engine and write a one-file ``.npz`` deploy artifact (bit-packed
+   uint64 weight words + scales/thresholds + the FP remainder; the
+   float binary weights never touch disk);
+3. ``Engine.from_artifact(path)`` — rebuild a servable packed engine
+   straight from the artifact (the float model is not reconstructed);
+4. run typed inference and verify the facade's outputs are
+   bit-identical to hand-wiring ``load_artifact`` +
+   ``InferencePipeline`` — the layers the facade drives.
 
 Run:  python examples/export_and_serve.py
 """
@@ -22,90 +24,85 @@ import tempfile
 
 import numpy as np
 
-from repro import grad as G
+from repro.api import Engine, EngineConfig, ModelSpec, capability_matrix
 from repro.data import training_pool
-from repro.deploy import (artifact_report, compile_model, load_artifact,
-                          read_artifact_meta, registry_matrix)
-from repro.grad import Tensor, no_grad
+from repro.deploy import artifact_report, load_artifact, read_artifact_meta
 from repro.infer import InferencePipeline
-from repro.models import build_model
-from repro.nn import init
-from repro.train import TrainConfig, Trainer
+from repro.train import TrainConfig
 
 
 def main() -> None:
-    scale = 2
-    with G.default_dtype("float32"):
-        init.seed(42)
-        model = build_model("srresnet", scale=scale, scheme="scales",
-                            preset="tiny", light_tail=True, head_kernel=3)
+    spec = ModelSpec("srresnet", scheme="scales", scale=2,
+                     overrides={"light_tail": True, "head_kernel": 3})
+    config = EngineConfig(dtype="float32", seed=42, batch_size=4)
+    engine = Engine.from_spec(spec, config=config)
 
-        print("Training SCALES-binarized SRResNet (quick demo schedule)...")
-        pool = training_pool(scale=scale, n_images=8, size=(64, 64))
-        trainer = Trainer(model, pool, TrainConfig(steps=80, batch_size=8,
-                                                   patch_size=16, lr=3e-4,
-                                                   lr_step=60, seed=7))
-        trainer.fit(verbose=False)
+    print("Capability check (before any work):")
+    cap = engine.capability()
+    print(f"  {spec.route}: coverage={cap.coverage} "
+          f"compile={cap.can_compile} export={cap.can_export} "
+          f"serve={cap.can_serve}")
 
-        workdir = tempfile.mkdtemp(prefix="repro_deploy_")
-        artifact = os.path.join(workdir, "srresnet_scales_x2.rbd.npz")
-        float_ckpt = os.path.join(workdir, "srresnet_scales_x2_float.npz")
+    print("\nTraining SCALES-binarized SRResNet (quick demo schedule)...")
+    pool = training_pool(scale=spec.scale, n_images=8, size=(64, 64))
+    engine.train(pool, TrainConfig(steps=80, batch_size=8, patch_size=16,
+                                   lr=3e-4, lr_step=60, seed=7))
 
-        print("\nExporting the packed deploy artifact...")
-        compiled = compile_model(model, freeze=artifact)
-        model.save(float_ckpt)
-        report = artifact_report(artifact)
-        print(f"  artifact          : {artifact}")
-        print(f"  on disk           : {os.path.getsize(artifact)} bytes "
-              f"(float checkpoint: {os.path.getsize(float_ckpt)} bytes)")
-        print(f"  packed layers     : {report.n_binary_layers}")
-        print(f"  binary weights    : {report.packed_weight_bytes} bytes "
-              f"packed vs {report.dense_weight_bytes} dense -> "
-              f"{report.weight_compression:.1f}x")
+    workdir = tempfile.mkdtemp(prefix="repro_deploy_")
+    float_ckpt = os.path.join(workdir, "srresnet_scales_x2_float.npz")
 
-        meta = read_artifact_meta(artifact)
-        print(f"  recipe            : {meta['recipe']['architecture']} / "
-              f"{meta['recipe']['scheme']} / x{meta['recipe']['scale']}")
+    print("\nExporting the packed deploy artifact...")
+    artifact = engine.export(os.path.join(workdir, spec.artifact_name()))
+    engine.model.save(float_ckpt)
+    report = artifact_report(artifact)
+    print(f"  artifact          : {artifact}")
+    print(f"  on disk           : {os.path.getsize(artifact)} bytes "
+          f"(float checkpoint: {os.path.getsize(float_ckpt)} bytes)")
+    print(f"  packed layers     : {report.n_binary_layers}")
+    print(f"  binary weights    : {report.packed_weight_bytes} bytes "
+          f"packed vs {report.dense_weight_bytes} dense -> "
+          f"{report.weight_compression:.1f}x")
 
-        print("\nLoading the artifact into a servable model "
-              "(no float model rebuild)...")
-        served = load_artifact(artifact)
+    meta = read_artifact_meta(artifact)
+    print(f"  recipe            : {meta['recipe']['architecture']} / "
+          f"{meta['recipe']['scheme']} / x{meta['recipe']['scale']}")
 
-        print("Serving through InferencePipeline (micro-batched)...")
-        pipeline = InferencePipeline(artifact, batch_size=4)
-        rng = np.random.default_rng(0)
-        images = [rng.random((24, 24, 3)).astype(np.float32)
-                  for _ in range(6)]
-        outputs = pipeline.map(images)
+    print("\nLoading the artifact into a servable engine "
+          "(no float model rebuild)...")
+    served = Engine.from_artifact(artifact, config=config)
 
-        print("Verifying served outputs against the live compiled model...")
-        worst = 0.0
-        for img, out in zip(images, outputs):
-            with no_grad():
-                x = Tensor(img.transpose(2, 0, 1)[None])
-                live = np.clip(served(x).data[0].transpose(1, 2, 0), 0, 1)
-            worst = max(worst, float(np.abs(out - live).max()))
-        if worst != 0.0:
-            raise SystemExit(f"FAIL: pipeline outputs drifted from the "
-                             f"loaded model (max diff {worst:.1e})")
-        print(f"  {len(outputs)} images served, bit-identical vs the "
-              f"loaded model")
+    print("Running typed inference (micro-batched)...")
+    rng = np.random.default_rng(0)
+    images = [rng.random((24, 24, 3)).astype(np.float32) for _ in range(6)]
+    results = served.infer_many(images)
+    assert all(r.ok for r in results)
 
-        with no_grad():
-            x = Tensor(images[0].transpose(2, 0, 1)[None])
-            a = compiled(x).data
-            b = served(x).data
-        if not np.array_equal(a, b):
-            raise SystemExit("FAIL: loaded artifact drifted from the live "
-                             "compiled model")
-        print("  loaded vs live compiled: bit-identical")
+    print("Verifying against the hand-wired low-level path...")
+    with config.scope():
+        pipeline = InferencePipeline(load_artifact(artifact, tile=None),
+                                     batch_size=4)
+        reference = pipeline.map(images)
+    worst = 0.0
+    for result, expected in zip(results, reference):
+        worst = max(worst, float(np.abs(result.unwrap() - expected).max()))
+    if worst != 0.0:
+        raise SystemExit(f"FAIL: facade outputs drifted from the hand-wired "
+                         f"pipeline (max diff {worst:.1e})")
+    print(f"  {len(results)} images served, bit-identical vs "
+          f"load_artifact + InferencePipeline")
 
-        print("\nZoo-wide deploy coverage (registry):")
-        matrix = registry_matrix()
-        for coverage in ("full", "partial"):
-            cells = sorted(f"{a}/{s}" for (a, s), c in matrix.items()
-                           if c == coverage)
-            print(f"  {coverage:8s}: {', '.join(cells)}")
+    live = engine.infer(images[0]).unwrap()
+    loaded = served.infer(images[0]).unwrap()
+    if not np.array_equal(live, loaded):
+        raise SystemExit("FAIL: loaded artifact drifted from the live "
+                         "compiled engine")
+    print("  loaded vs live compiled engine: bit-identical")
+
+    print("\nZoo-wide deploy coverage (capability registry):")
+    for coverage in ("full", "partial"):
+        cells = sorted(f"{c.architecture}/{c.scheme}"
+                       for c in capability_matrix() if c.coverage == coverage)
+        print(f"  {coverage:8s}: {', '.join(cells)}")
 
 
 if __name__ == "__main__":

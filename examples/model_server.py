@@ -1,40 +1,40 @@
 """Serve a model zoo: export artifacts, start a server, fire traffic.
 
-The end-to-end serving story on top of ``examples/export_and_serve.py``:
+The end-to-end serving story on top of ``examples/export_and_serve.py``,
+driven through the typed public API (:mod:`repro.api`):
 
 1. export three packed deploy artifacts (different architectures and
-   binarization schemes) into one directory — the zoo;
-2. point :class:`repro.serve.ModelServer` at the directory: models load
-   lazily into an LRU registry, requests coalesce into deadline-aware
-   micro-batches, repeat inputs hit the content-hash result cache;
+   binarization schemes) into one directory — the zoo — each through
+   ``Engine.from_spec(...).export(...)``;
+2. open a :func:`repro.api.serve_directory` session over the directory:
+   models load lazily into an LRU registry, requests coalesce into
+   deadline-aware micro-batches, repeat inputs hit the content-hash
+   result cache;
 3. fire a few hundred mixed requests (models x shapes x repeats) from
-   several client threads;
-4. verify **zero dropped** (no ``ServerBusy``/``ServeError``) and
-   **zero incorrect** responses — every output must be bit-identical
-   to a direct ``InferencePipeline`` run of the same artifact — then
+   several client threads; every outcome is a typed
+   :class:`repro.api.InferResult` — overload and failure come back as
+   ``"busy"`` / ``"error"`` results, never raw server marker types;
+4. verify **zero dropped** (every result ``ok``) and **zero incorrect**
+   responses — every output must be bit-identical to
+   ``Engine.from_artifact(...).infer`` on the same artifact — then
    print the telemetry report.
 
 CI runs this as the serve smoke step.  Run:
 ``PYTHONPATH=src python examples/model_server.py``
 """
 
-import os
 import tempfile
 import threading
 
 import numpy as np
 
 from repro import grad as G
-from repro.deploy import compile_model
-from repro.infer import InferencePipeline
-from repro.models import build_model
-from repro.nn import init
-from repro.serve import ModelServer, ServeError, ServerBusy, ServerConfig
+from repro.api import Engine, EngineConfig, ModelSpec, serve_directory
 
 ZOO = (
-    ("srresnet", "scales", 2),
-    ("edsr", "e2fif", 2),
-    ("rdn", "scales_lsf", 2),
+    ModelSpec("srresnet", scheme="scales", scale=2),
+    ModelSpec("edsr", scheme="e2fif", scale=2),
+    ModelSpec("rdn", scheme="scales_lsf", scale=2),
 )
 SHAPES = ((16, 16, 3), (12, 20, 3))
 N_CLIENTS = 4
@@ -44,22 +44,20 @@ DISTINCT_PER_CASE = 4
 
 def export_zoo(directory):
     print("Exporting the zoo (3 packed artifacts)...")
-    for arch, scheme, scale in ZOO:
-        init.seed(0)
-        model = build_model(arch, scale=scale, scheme=scheme, preset="tiny")
-        path = os.path.join(directory, f"{arch}_{scheme}_x{scale}.rbd.npz")
-        compile_model(model, freeze=path)
-        print(f"  {arch}/{scheme}/x{scale}  ->  {os.path.basename(path)} "
-              f"({os.path.getsize(path)} bytes)")
+    for spec in ZOO:
+        path = Engine.from_spec(spec, config=EngineConfig(seed=0)).export(
+            f"{directory}/{spec.artifact_name()}")
+        print(f"  {spec.route}  ->  {path.name} "
+              f"({path.stat().st_size} bytes)")
 
 
 def make_inputs():
     """Distinct images per (model, shape) case, shared by all clients."""
     inputs = {}
-    for c, key in enumerate(ZOO):
+    for c, spec in enumerate(ZOO):
         for shape in SHAPES:
             rng = np.random.default_rng(hash((c,) + shape) % (2**32))
-            inputs[key, shape] = [
+            inputs[spec.key, shape] = [
                 rng.random(shape).astype(np.float32)
                 for _ in range(DISTINCT_PER_CASE)
             ]
@@ -73,33 +71,34 @@ def main() -> None:
 
         inputs = make_inputs()
         total = N_CLIENTS * REQUESTS_PER_CLIENT
-        print(f"\nStarting ModelServer over {zoo_dir} ...")
-        server = ModelServer(
+        print(f"\nOpening a serve session over {zoo_dir} ...")
+        session = serve_directory(
             zoo_dir,
-            ServerConfig(
-                max_batch=8,
+            EngineConfig(
+                batch_size=8,
                 latency_budget_s=0.005,
                 max_models=2,          # smaller than the zoo: LRU works
                 max_queue_depth=total + 1,
             ),
         )
         print(f"  models: "
-              f"{', '.join('/'.join(map(str, k)) for k in server.available_models)}")
+              f"{', '.join('/'.join(map(str, k)) for k in session.available_models)}")
 
         cases = sorted(inputs)
         print(f"\nFiring {total} requests from {N_CLIENTS} client threads...")
         results = {}
 
         def client(worker):
-            futures = []
+            tickets = []
             for i in range(REQUESTS_PER_CLIENT):
                 key, shape = cases[(worker + i) % len(cases)]
                 idx = (worker * 7 + i) % DISTINCT_PER_CASE
                 image = inputs[key, shape][idx]
-                futures.append((key, shape, idx, server.submit(image, key)))
+                tickets.append(
+                    (key, shape, idx, session.submit(image, model=key)))
             results[worker] = [
-                (key, shape, idx, f.result(timeout=60))
-                for key, shape, idx, f in futures
+                (key, shape, idx, t.result(timeout=60))
+                for key, shape, idx, t in tickets
             ]
 
         threads = [
@@ -110,23 +109,23 @@ def main() -> None:
             thread.start()
         for thread in threads:
             thread.join()
-        server.close()
+        session.close()
 
-        print("Verifying against direct InferencePipeline runs...")
+        print("Verifying against direct Engine.from_artifact runs...")
         references = {}
         for (key, shape), images in inputs.items():
-            pipeline = InferencePipeline(
-                str(server.model_info(key).path), batch_size=8
-            )
-            references[key, shape] = pipeline.map(images)
+            engine = Engine.from_artifact(session.server.model_info(key).path)
+            references[key, shape] = [r.unwrap()
+                                      for r in engine.infer_many(images)]
 
         dropped = incorrect = served = 0
         for worker_results in results.values():
-            for key, shape, idx, out in worker_results:
-                if isinstance(out, (ServerBusy, ServeError)):
+            for key, shape, idx, result in worker_results:
+                if not result.ok:
                     dropped += 1
                     continue
-                if not np.array_equal(out, references[key, shape][idx]):
+                if not np.array_equal(result.image,
+                                      references[key, shape][idx]):
                     incorrect += 1
                     continue
                 served += 1
@@ -136,8 +135,8 @@ def main() -> None:
                 f"FAIL: {dropped} dropped / {incorrect} incorrect of {total}"
             )
 
-        print("\n" + server.report())
-        stats = server.stats()
+        print("\n" + session.report())
+        stats = session.stats()
         forwards = stats["counters"].get("batch_images", 0)
         print(f"\n  {total} requests served with {forwards} model forwards "
               f"(batching + caching + coalescing absorbed the rest)")

@@ -3,6 +3,11 @@ Super-Resolution with Efficient Scalings" (DATE 2025).
 
 Subpackages
 -----------
+``repro.api``
+    The typed public front door: ``ModelSpec`` + ``EngineConfig`` +
+    the ``Engine`` facade over train -> compile -> export -> infer ->
+    serve, with shared ``InferRequest``/``InferResult`` types and the
+    capability registry.
 ``repro.grad``
     NumPy autograd engine (the PyTorch substitute).
 ``repro.nn`` / ``repro.optim``
@@ -15,16 +20,31 @@ Subpackages
     Synthetic DIV2K/benchmark substitutes, bicubic degradation, sampling.
 ``repro.metrics`` / ``repro.cost`` / ``repro.train`` / ``repro.analysis``
     PSNR/SSIM, params/OPs/latency accounting, training, activation study.
+``repro.deploy``
+    Packed XNOR-popcount engine: ``compile_model``, one-file deploy
+    artifacts, the zoo-wide deploy registry.
+``repro.infer``
+    Batched/tiled inference, self-ensemble TTA, the micro-batching
+    ``InferencePipeline`` and the shared thread pool.
+``repro.serve``
+    Multi-model artifact server: deadline-aware micro-batching, result
+    cache, admission control, telemetry.
+``repro.perf``
+    Benchmark timing and BENCH_*.json trajectory recording.
+``repro.viz``
+    PNG/PPM image IO, comparison grids, ASCII plots.
 ``repro.experiments``
     Drivers regenerating every table and figure.
 """
 
-from . import (analysis, binarize, cost, data, experiments, grad, metrics,
-               models, nn, optim, train)
+from . import (analysis, api, binarize, cost, data, deploy, experiments,
+               grad, infer, metrics, models, nn, optim, perf, serve, train,
+               viz)
 
 __version__ = "0.1.0"
 
 __all__ = [
-    "analysis", "binarize", "cost", "data", "experiments", "grad",
-    "metrics", "models", "nn", "optim", "train", "__version__",
+    "analysis", "api", "binarize", "cost", "data", "deploy", "experiments",
+    "grad", "infer", "metrics", "models", "nn", "optim", "perf", "serve",
+    "train", "viz", "__version__",
 ]

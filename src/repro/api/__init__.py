@@ -1,0 +1,48 @@
+"""repro.api — the typed public front door to the whole system.
+
+One coherent surface over the five execution layers that grew under it
+(``models`` -> ``deploy`` -> ``infer`` -> ``serve``):
+
+* :class:`ModelSpec` — declarative, validated description of a zoo
+  cell (architecture, scheme, scale, preset, overrides);
+* :class:`EngineConfig` — every execution knob in one typed object;
+  the consolidated home of the ``REPRO_*`` environment variables with
+  documented precedence (explicit arg > env > default);
+* :class:`Engine` — the lifecycle facade:
+  ``from_spec -> train -> compile -> export`` and
+  ``from_artifact -> infer / infer_many / serve``;
+* :class:`InferRequest` / :class:`InferResult` / :class:`EngineError`
+  — shared typed request/result objects: a direct engine call and a
+  model-server round-trip return the same result type;
+* :class:`Capability` / :func:`capability` / :func:`capability_matrix`
+  — the merged registry answering "can this cell compile, export,
+  serve?" before any work happens;
+* :class:`ServeSession` / :func:`serve_directory` — typed serving
+  over a packed-artifact zoo.
+
+The legacy entry points remain supported as the low-level layer this
+facade drives (see the README's Public API table); new cross-layer
+features land here first.
+"""
+
+from .capabilities import Capability, capability, capability_matrix
+from .config import EngineConfig
+from .engine import Engine
+from .results import EngineError, InferRequest, InferResult
+from .serving import ServeSession, ServeTicket, serve_directory
+from .spec import ModelSpec
+
+__all__ = [
+    "Capability",
+    "Engine",
+    "EngineConfig",
+    "EngineError",
+    "InferRequest",
+    "InferResult",
+    "ModelSpec",
+    "ServeSession",
+    "ServeTicket",
+    "capability",
+    "capability_matrix",
+    "serve_directory",
+]

@@ -180,7 +180,13 @@ def classify_recipe(recipe: Dict) -> DeployEntry:
     artifact claiming a combination the registry knows cannot pack at
     all (coverage ``none``) is surfaced as the inconsistency it is
     rather than loaded blind.
+
+    Accepts a recipe dict or any spec object with ``to_recipe()``
+    (e.g. :class:`repro.api.ModelSpec`).
     """
+    to_recipe = getattr(recipe, "to_recipe", None)
+    if callable(to_recipe):
+        recipe = to_recipe()
     architecture = recipe.get("architecture")
     scheme = recipe.get("scheme")
     if architecture not in ARCHITECTURES:

@@ -15,7 +15,7 @@ from .. import grad as G
 from ..data import SRPair, training_pool
 from ..models import build_model
 from ..nn import Module, init
-from ..train import TrainConfig, Trainer
+from ..train import Trainer
 from .presets import ExperimentPreset
 
 _MODEL_CACHE: Dict[Tuple, Module] = {}
@@ -42,11 +42,10 @@ def get_trained_model(architecture: str, scheme: str, scale: int,
                       preset: ExperimentPreset, transformer: bool = False,
                       **model_overrides) -> Module:
     """Train (or fetch from cache) one model under the given preset."""
-    steps = preset.transformer_steps if transformer else preset.steps
-    patch = preset.transformer_patch if transformer else preset.patch_size
-    batch = preset.transformer_batch if transformer else preset.batch_size
-    key = (architecture, scheme, scale, steps, patch, batch, preset.lr,
-           preset.seed, tuple(sorted(model_overrides.items())))
+    config = preset.as_train_config(transformer=transformer)
+    key = (architecture, scheme, scale, config.steps, config.patch_size,
+           config.batch_size, config.lr, config.seed,
+           tuple(sorted(model_overrides.items())))
     if key in _MODEL_CACHE:
         return _MODEL_CACHE[key]
 
@@ -56,9 +55,6 @@ def get_trained_model(architecture: str, scheme: str, scale: int,
                             preset="tiny", **model_overrides)
         lr_multiple = getattr(model, "window_size", 1)
         pool = get_training_pool(scale, preset, lr_multiple=lr_multiple)
-        config = TrainConfig(steps=steps, batch_size=batch, patch_size=patch,
-                             lr=preset.lr, lr_step=preset.lr_step,
-                             seed=preset.seed)
         trainer = Trainer(model, pool, config, lr_multiple=lr_multiple)
         trainer.fit()
     _MODEL_CACHE[key] = model

@@ -36,6 +36,22 @@ class ExperimentPreset:
     transformer_batch: int = 8
 
 
+    def as_train_config(self, transformer: bool = False, **overrides):
+        """The :class:`repro.train.TrainConfig` this preset implies —
+        the bridge between experiment presets and the typed facade
+        (``Engine.train(train_config=preset.as_train_config())``)."""
+        from ..train import TrainConfig
+        kwargs = dict(
+            steps=self.transformer_steps if transformer else self.steps,
+            batch_size=(self.transformer_batch if transformer
+                        else self.batch_size),
+            patch_size=(self.transformer_patch if transformer
+                        else self.patch_size),
+            lr=self.lr, lr_step=self.lr_step, seed=self.seed)
+        kwargs.update(overrides)
+        return TrainConfig(**kwargs)
+
+
 QUICK = ExperimentPreset()
 FULL = ExperimentPreset(train_images=40, train_image_size=128, eval_images=14,
                         eval_image_size=96, steps=2000, lr=3e-4, lr_step=1300,

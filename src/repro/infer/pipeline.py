@@ -157,6 +157,18 @@ class InferencePipeline:
         self.stats: Dict[str, int] = {
             "submitted": 0, "completed": 0, "batches": 0, "max_batch": 0}
 
+    @classmethod
+    def from_config(cls, model, config, scale: Optional[int] = None,
+                    hooks: Optional[PipelineHooks] = None
+                    ) -> "InferencePipeline":
+        """Build a pipeline from an :class:`repro.api.EngineConfig`-style
+        object (anything with ``batch_size`` / ``tile`` / ``tile_overlap``
+        / ``n_threads`` / ``clip`` attributes) — how the typed facade
+        (:class:`repro.api.Engine`) instantiates its execution layer."""
+        return cls(model, batch_size=config.batch_size, tile=config.tile,
+                   tile_overlap=config.tile_overlap, scale=scale,
+                   n_threads=config.n_threads, clip=config.clip, hooks=hooks)
+
     def submit(self, lr_image: np.ndarray) -> PendingResult:
         """Queue an ``(H, W, 3)`` image; returns a result handle."""
         lr_image = np.asarray(lr_image)

@@ -98,6 +98,17 @@ def transformer_scheme_names() -> list:
     return sorted(_TRANSFORMER_SCHEME_MAP)
 
 
+def preset_names(architecture: str) -> list:
+    """Preset sizes :func:`build_model` accepts for ``architecture``."""
+    architecture = architecture.lower()
+    if architecture in _CNN_PRESETS:
+        return sorted(_CNN_PRESETS[architecture])
+    if architecture in _TRANSFORMER_PRESETS:
+        return sorted(_TRANSFORMER_PRESETS[architecture])
+    raise KeyError(
+        f"unknown architecture {architecture!r}; choose from {ARCHITECTURES}")
+
+
 def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
                 preset: str = "tiny", conv_factory=None, linear_factory=None,
                 **overrides) -> Module:
@@ -106,7 +117,10 @@ def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
     Parameters
     ----------
     architecture:
-        One of ``srresnet | edsr | rdn | rcan | swinir | hat``.
+        One of ``srresnet | edsr | rdn | rcan | swinir | hat`` — or any
+        recipe-carrying spec object (e.g. :class:`repro.api.ModelSpec`,
+        anything with ``to_recipe()``), which supplies scale, scheme,
+        preset and overrides itself.
     scale:
         Upsampling factor (2, 3 or 4 as in the paper's experiments).
     scheme:
@@ -128,6 +142,19 @@ def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
     scale, scheme, preset, overrides) so downstream tooling — artifact
     export in particular — can reproduce the skeleton.
     """
+    to_recipe = getattr(architecture, "to_recipe", None)
+    if callable(to_recipe):
+        # A declarative spec (repro.api.ModelSpec or compatible): its
+        # recipe supplies everything; call-site overrides win.
+        spec_recipe = to_recipe()
+        merged = dict(spec_recipe.get("overrides", {}))
+        merged.update(overrides)
+        return build_model(spec_recipe["architecture"],
+                           scale=spec_recipe["scale"],
+                           scheme=spec_recipe["scheme"],
+                           preset=spec_recipe["preset"],
+                           conv_factory=conv_factory,
+                           linear_factory=linear_factory, **merged)
     architecture = architecture.lower()
     recipe = {"architecture": architecture, "scale": scale, "scheme": scheme,
               "preset": preset, "overrides": dict(overrides)}
@@ -163,7 +190,8 @@ def build_model(architecture: str, scale: int = 2, scheme: str = "fp",
 
 __all__ = [
     "ARCHITECTURES", "CNN_ARCHITECTURES", "TRANSFORMER_ARCHITECTURES",
-    "build_model", "transformer_scheme_pair", "transformer_scheme_names",
+    "build_model", "preset_names", "transformer_scheme_pair",
+    "transformer_scheme_names",
     "SRResNet", "EDSR", "RDN", "RCAN", "SwinIR", "HAT",
     "ResNet", "resnet18", "SwinViT",
     "ResidualBlock", "Upsampler", "MeanShift", "CALayer", "fp_conv_factory",

@@ -77,10 +77,15 @@ ModelKey = Tuple[str, str, int]
 def parse_model_key(spec: Union[ModelKey, Sequence, str]) -> ModelKey:
     """Normalize a model spec to the ``(architecture, scheme, scale)`` key.
 
-    Accepts the tuple itself or the route-style string
+    Accepts the tuple itself, the route-style string
     ``"srresnet/scales/x2"`` (the ``x`` prefix on the scale is
-    optional).
+    optional), or any object exposing the key as a ``.key`` attribute
+    (:class:`repro.api.ModelSpec`, :class:`repro.deploy.DeployEntry`,
+    :class:`repro.deploy.ArtifactInfo`).
     """
+    key_attr = getattr(spec, "key", None)
+    if key_attr is not None and not isinstance(spec, str):
+        spec = key_attr
     if isinstance(spec, str):
         parts = spec.strip("/").split("/")
         if len(parts) != 3:

@@ -1,0 +1,138 @@
+"""EngineConfig: the documented precedence — explicit arg > env > default."""
+
+import pytest
+
+from repro.api import EngineConfig
+
+ENV_CASES = [
+    # (field, variable, env value, parsed env value, explicit, default)
+    ("packed_impl", "REPRO_PACKED_IMPL", "reference", "reference", "fast",
+     "fast"),
+    ("conv_impl", "REPRO_CONV_IMPL", "reference", "reference", "fast",
+     "fast"),
+    ("n_threads", "REPRO_NUM_THREADS", "3", 3, 2, None),
+    ("bench_dir", "REPRO_BENCH_DIR", "/tmp/bench", "/tmp/bench", "/x",
+     None),
+    ("perf_smoke", "REPRO_PERF_SMOKE", "1", True, False, False),
+    ("update_golden", "REPRO_UPDATE_GOLDEN", "1", True, False, False),
+]
+
+
+@pytest.mark.parametrize(
+    "field,variable,env,parsed,explicit,default",
+    ENV_CASES, ids=[c[0] for c in ENV_CASES])
+class TestPrecedence:
+    def test_default_when_unset(self, monkeypatch, field, variable, env,
+                                parsed, explicit, default):
+        monkeypatch.delenv(variable, raising=False)
+        config = EngineConfig()
+        assert getattr(config, field) == default
+        assert config.source(field) == "default"
+
+    def test_env_beats_default(self, monkeypatch, field, variable, env,
+                               parsed, explicit, default):
+        monkeypatch.setenv(variable, env)
+        config = EngineConfig()
+        assert getattr(config, field) == parsed
+        assert config.source(field) == "env"
+
+    def test_explicit_arg_beats_env(self, monkeypatch, field, variable, env,
+                                    parsed, explicit, default):
+        monkeypatch.setenv(variable, env)
+        config = EngineConfig(**{field: explicit})
+        assert getattr(config, field) == explicit
+        assert config.source(field) == "arg"
+
+
+class TestFlagGrammars:
+    def test_perf_smoke_any_nonempty_value_enables(self, monkeypatch):
+        # mirrors bool(os.environ.get(...)) in the perf harness:
+        # REPRO_PERF_SMOKE=0 *is* smoke mode
+        monkeypatch.setenv("REPRO_PERF_SMOKE", "0")
+        assert EngineConfig().perf_smoke is True
+
+    def test_update_golden_requires_literal_1(self, monkeypatch):
+        # mirrors os.environ.get(...) == "1" in the conformance suite
+        monkeypatch.setenv("REPRO_UPDATE_GOLDEN", "0")
+        assert EngineConfig().update_golden is False
+        monkeypatch.setenv("REPRO_UPDATE_GOLDEN", "1")
+        assert EngineConfig().update_golden is True
+
+
+class TestValidation:
+    def test_invalid_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED_IMPL", "turbo")
+        with pytest.raises(ValueError, match="REPRO_PACKED_IMPL"):
+            EngineConfig()
+
+    def test_invalid_explicit_value(self):
+        with pytest.raises(ValueError, match="packed_impl"):
+            EngineConfig(packed_impl="turbo")
+
+    def test_invalid_thread_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "0")
+        with pytest.raises(ValueError, match="REPRO_NUM_THREADS"):
+            EngineConfig()
+
+    def test_source_unknown_field(self):
+        with pytest.raises(KeyError):
+            EngineConfig().source("batch_size")
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            EngineConfig(batch_size=0)
+
+
+class TestScopeAndMapping:
+    def test_scope_applies_explicit_backend(self):
+        from repro.deploy import get_packed_backend
+        from repro.grad.conv import get_conv_backend
+        config = EngineConfig(packed_impl="reference", conv_impl="reference")
+        with config.scope():
+            assert get_packed_backend() == "reference"
+            assert get_conv_backend() == "reference"
+        assert get_packed_backend() == "fast"
+        assert get_conv_backend() == "fast"
+
+    def test_scope_default_defers_to_global_switch(self, monkeypatch):
+        # an EngineConfig() whose backend resolved from the *default*
+        # must not stomp a set_packed_backend made elsewhere
+        monkeypatch.delenv("REPRO_PACKED_IMPL", raising=False)
+        from repro.deploy import (get_packed_backend, packed_backend)
+        config = EngineConfig()
+        with packed_backend("reference"):
+            with config.scope():
+                assert get_packed_backend() == "reference"
+
+    def test_scope_env_value_is_applied(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKED_IMPL", "reference")
+        from repro.deploy import get_packed_backend
+        with EngineConfig().scope():
+            assert get_packed_backend() == "reference"
+        assert get_packed_backend() == "fast"
+
+    def test_scope_dtype(self):
+        from repro.grad import get_default_dtype
+        ambient = get_default_dtype()
+        with EngineConfig(dtype="float32").scope():
+            import numpy as np
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == ambient
+
+    def test_to_server_config(self):
+        config = EngineConfig(batch_size=4, latency_budget_s=0.5,
+                              max_models=2, max_queue_depth=9,
+                              cache_bytes=0, clip=False, background=False)
+        server = config.to_server_config()
+        assert server.max_batch == 4
+        assert server.latency_budget_s == 0.5
+        assert server.max_models == 2
+        assert server.max_queue_depth == 9
+        assert server.cache_bytes == 0
+        assert server.clip is False
+        assert server.background is False
+
+    def test_describe_mentions_provenance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        text = EngineConfig(packed_impl="fast").describe()
+        assert "(arg)" in text and "(env)" in text and "(default)" in text

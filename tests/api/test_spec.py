@@ -1,0 +1,101 @@
+"""ModelSpec: validation, recipe round-trip, and build_model interop."""
+
+import pytest
+
+from repro.api import ModelSpec
+from repro.models import ARCHITECTURES, build_model, preset_names
+
+
+class TestValidation:
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            ModelSpec("vdsr")
+
+    def test_unknown_scheme_for_cnn(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            ModelSpec("srresnet", scheme="bivit")  # transformer-only scheme
+
+    def test_unknown_scheme_for_transformer(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            ModelSpec("swinir", scheme="e2fif")  # conv-only scheme
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            ModelSpec("srresnet", preset="huge")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            ModelSpec("srresnet", scale=0)
+
+    def test_architecture_case_insensitive(self):
+        assert ModelSpec("SRResNet").architecture == "srresnet"
+
+    def test_preset_names_match_spec_validation(self):
+        for arch in ARCHITECTURES:
+            names = preset_names(arch)
+            assert "tiny" in names
+            for preset in names:
+                # every advertised preset must construct a valid spec
+                ModelSpec(arch, scheme="fp", preset=preset)
+
+    def test_preset_names_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            preset_names("vdsr")
+
+
+class TestRecipeRoundTrip:
+    def test_to_from_recipe(self):
+        spec = ModelSpec("edsr", scheme="e2fif", scale=3, preset="small",
+                         overrides={"n_feats": 24})
+        assert ModelSpec.from_recipe(spec.to_recipe()) == spec
+
+    def test_key_and_route(self):
+        spec = ModelSpec("srresnet", scheme="scales", scale=2)
+        assert spec.key == ("srresnet", "scales", 2)
+        assert spec.route == "srresnet/scales/x2"
+
+    def test_hashable(self):
+        a = ModelSpec("srresnet", overrides={"light_tail": True})
+        b = ModelSpec("srresnet", overrides={"light_tail": True})
+        assert hash(a) == hash(b) and a == b
+        assert len({a, b}) == 1
+
+    def test_coerce(self):
+        spec = ModelSpec("srresnet")
+        assert ModelSpec.coerce(spec) is spec
+        assert ModelSpec.coerce(spec.to_recipe()) == spec
+        assert ModelSpec.coerce("srresnet") == spec
+        with pytest.raises(ValueError, match="cannot combine"):
+            ModelSpec.coerce(spec, scale=3)
+
+    def test_coerce_refuses_recipe_plus_kwargs(self):
+        # a silently-dropped kwarg would build the wrong model
+        recipe = ModelSpec("srresnet").to_recipe()
+        with pytest.raises(ValueError, match="cannot combine"):
+            ModelSpec.coerce(recipe, scale=4)
+
+
+class TestBuildInterop:
+    def test_build_model_accepts_spec(self):
+        spec = ModelSpec("srresnet", scheme="scales", scale=2,
+                         overrides={"light_tail": True, "head_kernel": 3})
+        model = build_model(spec)
+        assert model.build_recipe == spec.to_recipe()
+
+    def test_build_model_spec_with_override_wins(self):
+        spec = ModelSpec("srresnet", scheme="scales",
+                         overrides={"n_feats": 16})
+        model = build_model(spec, n_feats=8)
+        assert model.build_recipe["overrides"]["n_feats"] == 8
+
+    def test_spec_build_matches_build_model(self):
+        spec = ModelSpec("srresnet", scheme="scales", scale=2)
+        a = spec.build(seed=7)
+        from repro.nn import init
+        init.seed(7)
+        b = build_model("srresnet", scale=2, scheme="scales", preset="tiny")
+        import numpy as np
+        for (na, pa), (nb, pb) in zip(a.named_parameters(),
+                                      b.named_parameters()):
+            assert na == nb
+            assert np.array_equal(pa.data, pb.data)

@@ -1,0 +1,28 @@
+"""ExperimentPreset.as_train_config — the presets -> TrainConfig bridge."""
+
+from repro.experiments import FULL, QUICK
+from repro.train import TrainConfig
+
+
+def test_cnn_train_config_mirrors_preset():
+    config = QUICK.as_train_config()
+    assert isinstance(config, TrainConfig)
+    assert config.steps == QUICK.steps
+    assert config.batch_size == QUICK.batch_size
+    assert config.patch_size == QUICK.patch_size
+    assert config.lr == QUICK.lr
+    assert config.lr_step == QUICK.lr_step
+    assert config.seed == QUICK.seed
+
+
+def test_transformer_train_config_uses_transformer_knobs():
+    config = FULL.as_train_config(transformer=True)
+    assert config.steps == FULL.transformer_steps
+    assert config.patch_size == FULL.transformer_patch
+    assert config.batch_size == FULL.transformer_batch
+
+
+def test_overrides_win():
+    config = QUICK.as_train_config(steps=3, loss="l2")
+    assert config.steps == 3
+    assert config.loss == "l2"
