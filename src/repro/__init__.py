@@ -29,6 +29,10 @@ Subpackages
 ``repro.serve``
     Multi-model artifact server: deadline-aware micro-batching, result
     cache, admission control, telemetry.
+``repro.jobs``
+    Crash-safe bulk inference: manifests, write-ahead journal,
+    retry/backoff + quarantine, deterministic fault injection,
+    kill-and-resume recovery (``python -m repro.jobs``).
 ``repro.perf``
     Benchmark timing and BENCH_*.json trajectory recording.
 ``repro.viz``
@@ -38,13 +42,13 @@ Subpackages
 """
 
 from . import (analysis, api, binarize, cost, data, deploy, experiments,
-               grad, infer, metrics, models, nn, optim, perf, serve, train,
-               viz)
+               grad, infer, jobs, metrics, models, nn, optim, perf, serve,
+               train, viz)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "analysis", "api", "binarize", "cost", "data", "deploy", "experiments",
-    "grad", "infer", "metrics", "models", "nn", "optim", "perf", "serve",
-    "train", "viz", "__version__",
+    "grad", "infer", "jobs", "metrics", "models", "nn", "optim", "perf",
+    "serve", "train", "viz", "__version__",
 ]

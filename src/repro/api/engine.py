@@ -293,6 +293,32 @@ class Engine:
                     else InferResult.failure(key, message) for h in handles]
         return [InferResult.success(h.result(), key) for h in handles]
 
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's models and pipeline.
+
+        Bulk workers cycle many engines through a bounded cache
+        (:class:`repro.jobs.worker.EngineCache`); ``close()`` drops the
+        packed/float models and the lazily built pipeline so their
+        arrays free immediately instead of waiting on the cycle
+        collector.  The engine keeps its spec/config and stays
+        introspectable (``state`` returns to ``"spec"``); any further
+        lifecycle call fails with the usual typed
+        :class:`EngineError` for an engine with no model.
+        """
+        self._pipeline = None
+        self.compiled = None
+        self.model = None
+        self.trainer = None
+        self.artifact_path = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- serving -----------------------------------------------------------
 
     def serve(self, artifact_dir=None,

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -209,9 +210,27 @@ def save_artifact(model: Module, path: Optional[PathLike] = None,
         raise ValueError(
             "build recipe is not JSON-serializable; pass a recipe of plain "
             f"python values to save_artifact ({exc})") from exc
+    # Crash-safe export: serialize to a temp file in the destination
+    # directory, fsync, then atomically rename into place.  An export
+    # interrupted at any point leaves either the previous artifact or
+    # none — never a truncated .npz that scan_artifact_dir would
+    # silently skip (and a server zoo would silently lose).
     path = Path(path)
-    with open(path, "wb") as fh:
-        np.savez(fh, __meta__=np.array(meta_json), **arrays)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, __meta__=np.array(meta_json), **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -33,11 +33,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..grad import Tensor, no_grad
-from ..nn import Module
 from .parallel import parallel_map
 from .tiling import tiled_super_resolve
 
-__all__ = ["InferencePipeline", "PendingResult", "PipelineHooks"]
+__all__ = ["DiscardedError", "InferencePipeline", "PendingResult",
+           "PipelineHooks"]
+
+
+class DiscardedError(RuntimeError):
+    """``result()`` was called on a handle removed by
+    :meth:`InferencePipeline.discard_pending`.  Raised immediately —
+    a discarded submission can never produce a result, so blocking (or
+    re-flushing the queue forever) would wedge the caller."""
 
 
 class PipelineHooks:
@@ -64,18 +71,31 @@ class PipelineHooks:
 class PendingResult:
     """Handle for a submitted image; ``result()`` flushes if needed."""
 
-    __slots__ = ("_pipeline", "_value", "_ready")
+    __slots__ = ("_pipeline", "_value", "_ready", "_discarded")
 
     def __init__(self, pipeline: "InferencePipeline"):
         self._pipeline = pipeline
         self._value: Optional[np.ndarray] = None
         self._ready = False
+        self._discarded = False
 
     def done(self) -> bool:
         return self._ready
 
+    def discarded(self) -> bool:
+        return self._discarded
+
     def result(self) -> np.ndarray:
-        """The super-resolved image (runs the pipeline if still pending)."""
+        """The super-resolved image (runs the pipeline if still pending).
+
+        A handle removed by :meth:`InferencePipeline.discard_pending`
+        raises :class:`DiscardedError` immediately: its image is no
+        longer queued, so no amount of flushing can ever resolve it.
+        """
+        if self._discarded:
+            raise DiscardedError(
+                "this submission was discarded (discard_pending) and "
+                "will never produce a result")
         if not self._ready:
             self._pipeline.flush()
         if not self._ready:  # pragma: no cover - defensive
@@ -295,9 +315,16 @@ class InferencePipeline:
         targets = set(handles)
         with self._queue_lock:
             before = len(self._pending)
-            self._pending = [
-                entry for entry in self._pending if entry[1] not in targets]
-            return before - len(self._pending)
+            kept, dropped = [], []
+            for entry in self._pending:
+                (dropped if entry[1] in targets else kept).append(entry)
+            self._pending = kept
+            for _, handle, _ in dropped:
+                # Mark while still holding the lock, so a racing
+                # result() either finds the entry queued or finds the
+                # handle marked — never a silent limbo in between.
+                handle._discarded = True
+            return before - len(kept)
 
     def map(self, images: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Submit ``images``, flush once, and return results in order."""

@@ -1,0 +1,52 @@
+"""Crash-safe bulk inference: manifests, a write-ahead journal,
+retry/backoff with quarantine, deterministic fault injection, and a
+kill-and-resume-safe coordinator.
+
+The durability story in one paragraph: every item transition is
+appended (fsync'd) to a JSONL journal *around* the action it
+describes, outputs are written atomically (temp file + ``os.replace``)
+and committed by a ``done`` record carrying the output's content hash
+— so after a ``SIGKILL`` at any instant, re-running the same command
+replays the journal, skips every item whose output still verifies,
+redoes anything half-finished, and never processes an input twice
+(:func:`repro.jobs.audit_journal` proves it from the journal alone).
+
+Entry points::
+
+    python -m repro.jobs run manifest.json      # execute / resume
+    python -m repro.jobs status journal.jsonl   # progress table
+
+or programmatically: :func:`load_manifest` → :class:`JobRunner` →
+:class:`RunReport`.
+"""
+
+from .chaos import ChaosConfig, ChaosPoisoned, ChaosTransient
+from .journal import (JobsError, Journal, ItemState, JournalState,
+                      audit_journal, replay_journal)
+from .manifest import JobItem, Manifest, load_manifest
+from .retry import RetryPolicy
+from .runner import JobRunner, RunReport
+from .status import format_status, render_status, summarize
+from .worker import atomic_save_npy
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosPoisoned",
+    "ChaosTransient",
+    "ItemState",
+    "JobItem",
+    "JobRunner",
+    "Journal",
+    "JournalState",
+    "JobsError",
+    "Manifest",
+    "RetryPolicy",
+    "RunReport",
+    "atomic_save_npy",
+    "audit_journal",
+    "format_status",
+    "load_manifest",
+    "render_status",
+    "replay_journal",
+    "summarize",
+]

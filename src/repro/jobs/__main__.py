@@ -1,0 +1,112 @@
+"""CLI for the jobs subsystem.
+
+``python -m repro.jobs run manifest.json``
+    Execute (or resume) a bulk-inference manifest.  Re-running the
+    same command after any interruption — including ``SIGKILL`` —
+    continues from the journal.
+``python -m repro.jobs status journal.jsonl``
+    Render the journal as a per-model/per-shard progress table with
+    retry/quarantine counts, latency percentiles and audit findings.
+
+The ``--chaos-*`` flags arm deterministic fault injection (see
+:mod:`repro.jobs.chaos`); they exist for soak testing and demos, and
+default to "off".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .chaos import ChaosConfig
+from .journal import JobsError
+from .manifest import load_manifest
+from .runner import JobRunner
+from .status import format_status
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jobs",
+        description="Crash-safe bulk inference over a manifest.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute (or resume) a manifest")
+    run.add_argument("manifest", help="path to the manifest JSON file")
+    run.add_argument("--journal", default=None,
+                     help="journal path (default: <output_dir>/journal.jsonl)")
+    run.add_argument("--output-dir", default=None,
+                     help="override the manifest's output_dir")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (0 = inline, no pool)")
+    run.add_argument("--fresh", action="store_true",
+                     help="discard any existing journal and start over")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the journal (the default; accepted "
+                          "for explicitness)")
+    run.add_argument("--no-fsync", action="store_true",
+                     help="skip fsync on journal appends (faster, less "
+                          "durable)")
+    chaos = run.add_argument_group("fault injection (soak testing)")
+    chaos.add_argument("--chaos-seed", type=int, default=0)
+    chaos.add_argument("--chaos-crash-rate", type=float, default=0.0,
+                       help="P(worker hard-exits after an output write)")
+    chaos.add_argument("--chaos-slow-io-rate", type=float, default=0.0)
+    chaos.add_argument("--chaos-flaky-rate", type=float, default=0.0,
+                       help="P(item fails its first attempt(s))")
+    chaos.add_argument("--chaos-poison-rate", type=float, default=0.0,
+                       help="P(item fails every attempt -> quarantine)")
+    chaos.add_argument("--chaos-kill-after-done", type=int, default=None,
+                       help="SIGKILL the whole run after N completions")
+
+    status = sub.add_parser(
+        "status", help="render a journal as a progress table")
+    status.add_argument("journal", help="path to a journal .jsonl file")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.fresh and args.resume:
+        print("error: --fresh and --resume are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    manifest = load_manifest(args.manifest, output_dir=args.output_dir)
+    chaos = ChaosConfig(
+        seed=args.chaos_seed,
+        crash_rate=args.chaos_crash_rate,
+        slow_io_rate=args.chaos_slow_io_rate,
+        flaky_rate=args.chaos_flaky_rate,
+        poison_rate=args.chaos_poison_rate,
+        kill_after_done=args.chaos_kill_after_done)
+    runner = JobRunner(manifest, journal_path=args.journal, chaos=chaos,
+                       fsync=not args.no_fsync)
+    report = runner.run(workers=args.workers, fresh=args.fresh)
+    print(f"{'resumed' if report.resumed else 'ran'} "
+          f"{manifest.path.name}: {report.done} done, "
+          f"{report.skipped} skipped, {report.quarantined} quarantined, "
+          f"{report.failures} retried failure(s), "
+          f"{report.lost_leases} lost lease(s), "
+          f"{report.invalidated} invalidated, "
+          f"{report.wall_s:.2f}s")
+    print(f"journal: {runner.journal_path}")
+    return 0 if report.complete else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _run(args)
+        print(format_status(args.journal))
+        return 0
+    except JobsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

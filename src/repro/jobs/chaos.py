@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the jobs layer.
+
+Crash-safety claims are only as good as the crashes they were tested
+against, so the jobs subsystem ships its own chaos layer: a
+:class:`ChaosConfig` travels (pickled) into every worker process and
+deterministically injects the faults production would eventually
+produce —
+
+* **worker crashes** (``os._exit`` after an output is written but
+  *before* its result is reported — the nastiest window: the work
+  exists on disk but was never journaled);
+* **slow I/O** (sleeps before output writes);
+* **transient inference faults** ("flaky" items that fail their first
+  attempts, then succeed — exercising retry/backoff);
+* **poison items** (inputs that fail every attempt — exercising the
+  quarantine path);
+* **transient artifact-load failures** (an ``Engine.from_artifact``
+  that raises on a worker's first load of a model);
+* a **run kill** (the coordinator ``SIGKILL``\\s its own process group
+  after the N-th journaled completion — the kill-and-resume soak
+  test's deterministic trigger).
+
+Every decision is a pure function of ``(seed, kind, item, attempt)``
+via :func:`repro.jobs.retry.hash_unit`: the same seed picks the same
+poison set, the same crash points and the same flaky items on every
+run, in every process — which is what lets the soak test demand
+bit-identical outputs from an interrupted-and-resumed run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, asdict
+from typing import Dict, Optional
+
+from .retry import hash_unit
+
+__all__ = ["ChaosConfig", "ChaosTransient", "ChaosPoisoned"]
+
+
+class ChaosTransient(RuntimeError):
+    """An injected transient fault (succeeds on a later attempt)."""
+
+
+class ChaosPoisoned(RuntimeError):
+    """An injected permanent fault (fails every attempt)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seed-driven fault rates; all default to "no chaos".
+
+    Rates are probabilities in ``[0, 1]`` evaluated deterministically
+    per item (and, where noted, per attempt).
+    """
+
+    seed: int = 0
+    #: P(worker exits hard after an item's output write, pre-report).
+    crash_rate: float = 0.0
+    #: P(an item sleeps ``slow_io_s`` before its output write).
+    slow_io_rate: float = 0.0
+    slow_io_s: float = 0.05
+    #: P(an item fails attempts ``0 .. flaky_attempts-1``, then works).
+    flaky_rate: float = 0.0
+    flaky_attempts: int = 1
+    #: P(an item fails *every* attempt — quarantine fodder).
+    poison_rate: float = 0.0
+    #: P(a worker's n-th artifact load raises transiently).
+    artifact_load_flaky_rate: float = 0.0
+    #: Coordinator SIGKILLs its process group after this many journaled
+    #: completions (None = never).  CLI / soak-test only.
+    kill_after_done: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.crash_rate or self.slow_io_rate or self.flaky_rate
+                    or self.poison_rate or self.artifact_load_flaky_rate
+                    or self.kill_after_done is not None)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    # -- worker-side decisions ---------------------------------------------
+
+    def is_poison(self, item: str) -> bool:
+        """Same answer every run/attempt: poison is a property of the
+        input, so reference and chaos runs quarantine the same set."""
+        return hash_unit(self.seed, "poison", item) < self.poison_rate
+
+    def is_flaky(self, item: str, attempt: int) -> bool:
+        return (attempt < self.flaky_attempts
+                and hash_unit(self.seed, "flaky", item) < self.flaky_rate)
+
+    def check_infer(self, item: str, attempt: int) -> None:
+        """Raise the injected inference fault for this item, if any."""
+        if self.is_poison(item):
+            raise ChaosPoisoned(f"chaos: poison item {item}")
+        if self.is_flaky(item, attempt):
+            raise ChaosTransient(
+                f"chaos: transient inference fault (attempt {attempt})")
+
+    def check_artifact_load(self, artifact: str, nth_load: int) -> None:
+        """Raise a transient fault for a worker's n-th artifact load."""
+        if hash_unit(self.seed, "artifact", artifact,
+                     nth_load) < self.artifact_load_flaky_rate:
+            raise ChaosTransient(
+                f"chaos: transient artifact-load fault ({artifact})")
+
+    def slow_io(self, item: str) -> None:
+        if hash_unit(self.seed, "slow", item) < self.slow_io_rate:
+            time.sleep(self.slow_io_s)
+
+    def should_crash(self, item: str, lease: int) -> bool:
+        """Should the worker exit hard right after this item's write?
+
+        Keyed per *lease* (the item's global dispatch ordinal), not per
+        attempt: a crashed lease dies with its worker and is re-leased
+        at the same attempt number, so an attempt-keyed decision would
+        crash every replacement worker forever.  Each new lease gets a
+        fresh draw, so a run with ``crash_rate < 1`` always makes
+        progress — while staying fully deterministic (the journal
+        records every lease, so a resumed run continues the same
+        sequence of draws).
+        """
+        return hash_unit(self.seed, "crash", item,
+                         lease) < self.crash_rate
+
+    def crash_worker(self) -> None:  # pragma: no cover - kills the process
+        """Exit without cleanup, as SIGKILL/OOM would."""
+        os._exit(137)
+
+    # -- coordinator-side --------------------------------------------------
+
+    def maybe_kill_run(self, done_count: int) -> None:
+        """SIGKILL the whole run (process group) at the chosen point.
+
+        Only ever called by the coordinator; the CLI runs it in its own
+        session (``start_new_session``) so the kill stays inside the
+        run's process tree.
+        """
+        if self.kill_after_done is not None \
+                and done_count >= self.kill_after_done:  # pragma: no cover
+            os.killpg(os.getpgid(0), signal.SIGKILL)

@@ -1,0 +1,94 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Transient failures (a flaky NFS read, an OOM-killed worker, a chaos
+fault) get retried with exponentially growing, jittered delays; an
+item that keeps failing past ``max_attempts`` is *quarantined* — set
+aside with its error so one poison input degrades the run instead of
+wedging it.
+
+Jitter is deterministic: it is derived by hashing ``(seed, item,
+attempt)``, not drawn from a live RNG, so a resumed run backs off
+exactly like the run it replaced and the kill-and-resume soak test is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "hash_unit"]
+
+
+def hash_unit(*parts) -> float:
+    """Deterministic uniform float in ``[0, 1)`` from hashable parts.
+
+    The shared randomness primitive of the jobs layer: retry jitter and
+    every chaos decision key off it, so a (seed, item, attempt) triple
+    always resolves the same way, in any process, on any run.
+    """
+    digest = hashlib.sha256(
+        "|".join(str(part) for part in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter, attempt cap, quarantine decision.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per item (first attempt included).  An item failing
+        its ``max_attempts``-th attempt is quarantined.
+    base_delay_s / max_delay_s:
+        Attempt ``k`` (0-based) that fails waits
+        ``min(base_delay_s * 2**k, max_delay_s)`` scaled by jitter
+        before attempt ``k + 1``.
+    jitter:
+        Fraction of the delay randomized away: the actual delay is
+        uniform in ``[delay * (1 - jitter), delay]``.  ``0`` disables
+        jitter; ``1`` allows immediate retries.
+    seed:
+        Seeds the deterministic jitter hash.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.25
+    max_delay_s: float = 30.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def exhausted(self, attempt: int) -> bool:
+        """Was ``attempt`` (0-based) the item's last allowed try?"""
+        return attempt + 1 >= self.max_attempts
+
+    def delay_s(self, item: str, attempt: int) -> float:
+        """Backoff before retrying after a failed ``attempt`` (0-based)."""
+        delay = min(self.base_delay_s * (2.0 ** attempt), self.max_delay_s)
+        if self.jitter == 0.0:
+            return delay
+        u = hash_unit(self.seed, "retry", item, attempt)
+        return delay * (1.0 - self.jitter * u)
+
+    @classmethod
+    def from_dict(cls, raw) -> "RetryPolicy":
+        """Build from a manifest's ``retry`` block (unknown keys fail)."""
+        if raw is None:
+            return cls()
+        valid = {f for f in cls.__dataclass_fields__}
+        unknown = set(raw) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown retry option(s) {sorted(unknown)}; valid: "
+                f"{sorted(valid)}")
+        return cls(**raw)

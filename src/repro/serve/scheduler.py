@@ -207,6 +207,22 @@ class MicroBatchScheduler:
             else:
                 self._inflight[model_key] = count
 
+    def drain_queued(self) -> List[QueuedRequest]:
+        """Pop and return every queued (not in-flight) request.
+
+        The shutdown shedding path: a server past its drain deadline
+        empties the queues in one atomic sweep and resolves each
+        request with a typed refusal, so no future is ever stranded
+        behind a stop flag.  In-flight flushes are untouched — they
+        settle their own futures on completion.
+        """
+        with self._lock:
+            taken: List[QueuedRequest] = []
+            for queue in self._queues.values():
+                taken.extend(queue)
+                queue.clear()
+            return taken
+
     def idle(self) -> bool:
         """True when nothing is queued and nothing is in flight."""
         with self._lock:

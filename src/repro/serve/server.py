@@ -193,6 +193,12 @@ class ServerConfig:
     poll_interval_s:
         Idle wake-up period of the background loop (responsiveness
         floor when no deadline is pending).
+    drain_timeout_s:
+        Default graceful-drain bound for :meth:`ModelServer.close`:
+        how long (wall clock) a closing server keeps working its
+        queues before shedding what remains as typed
+        ``ServerBusy("server closed")``.  ``None`` (the default)
+        drains without a bound, as before.
     """
 
     latency_budget_s: float = 0.02
@@ -205,6 +211,7 @@ class ServerConfig:
     n_threads: Optional[int] = None
     background: bool = True
     poll_interval_s: float = 0.05
+    drain_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.latency_budget_s < 0:
@@ -215,6 +222,8 @@ class ServerConfig:
             raise ValueError("max_models must be >= 1")
         if self.max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if self.drain_timeout_s is not None and self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
 
 
 class _TelemetryHooks(PipelineHooks):
@@ -619,13 +628,37 @@ class ModelServer:
             )
         return "\n".join(lines)
 
-    def close(self, drain: bool = True) -> None:
-        """Stop serving: refuse new work, then settle what was admitted.
+    def close(self, drain: bool = True,
+              drain_timeout_s: Optional[float] = None) -> None:
+        """Stop serving gracefully: settle admitted work, then refuse.
 
-        The stop flag is raised *before* draining so a submit racing
-        the shutdown is shed (typed ``ServerBusy``) rather than left
-        stranded with a future no loop will ever resolve.
+        With ``drain=True`` the server first works its queues —
+        in-flight flushes and queued requests settle normally —
+        *before* the stop flag goes up, bounded by ``drain_timeout_s``
+        (argument, else ``config.drain_timeout_s``, else unbounded).
+        Once the deadline passes (or immediately with ``drain=False``)
+        the flag is raised, the loop thread is joined, and everything
+        still queued is resolved as a typed
+        ``ServerBusy("server closed")`` — a closing server never
+        strands a future, whatever state it is in.  Idempotent.
         """
+        timeout = (drain_timeout_s if drain_timeout_s is not None
+                   else self.config.drain_timeout_s)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        if drain and not self._stopped:
+            # Graceful phase: settle in-flight flushes and queued work
+            # before raising the stop flag, so a clean shutdown looks
+            # like a drain, not a shed.
+            while not self._scheduler.idle():
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                self.poll(force=True)
+                if self._scheduler.idle():
+                    break
+                with self._wake:
+                    if not self._scheduler.idle():
+                        self._wake.wait(timeout=0.005)
         with self._wake:
             already_stopped = self._stopped
             self._stopped = True
@@ -633,8 +666,29 @@ class ModelServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        if drain and not already_stopped:
-            self.drain()
+        if already_stopped:
+            return
+        # Past the deadline (or an undrained close): shed everything
+        # still queued with a typed refusal instead of stranding it.
+        for req in self._scheduler.drain_queued():
+            for future in self._settle(req):
+                self.telemetry.count("shed")
+                future._resolve(ServerBusy(
+                    model=req.model_key, reason="server closed",
+                    queue_depth=0))
+        if drain:
+            # In-flight flushes resolve their own futures; give them a
+            # bounded window to finish so close() returning means every
+            # admitted future is resolved in the common case.
+            settle_deadline = time.monotonic() + (
+                5.0 if deadline is None
+                else max(0.0, deadline - time.monotonic()) + 5.0)
+            while self._scheduler.inflight():
+                if time.monotonic() >= settle_deadline:  # pragma: no cover
+                    break
+                with self._wake:
+                    if self._scheduler.inflight():
+                        self._wake.wait(timeout=0.01)
 
     def __enter__(self) -> "ModelServer":
         return self

@@ -63,6 +63,25 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s observations into this histogram.
+
+        Bucket counts add elementwise (both sides share the module's
+        bucket bounds), and the exact count/sum/min/max aggregates
+        combine losslessly — merging N histograms is equivalent to
+        having recorded every observation into one.  Returns ``self``
+        so per-shard histograms reduce into per-model rollups with
+        ``functools.reduce`` (the jobs status presenter does exactly
+        this).
+        """
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
     def percentile(self, p: float) -> float:
         """Approximate p-th percentile (p in [0, 100]) in seconds."""
         if self.count == 0:

@@ -1,7 +1,5 @@
 """Packed deploy artifacts: save/load round-trips and the wiring."""
 
-import json
-
 import numpy as np
 import pytest
 
@@ -95,6 +93,40 @@ class TestSaveLoadRoundTrip:
         loaded = load_artifact(path)
         np.testing.assert_array_equal(_forward(loaded, x),
                                       _forward(compiled, x))
+
+
+class TestCrashSafeExport:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        _, compiled = _compiled_srresnet()
+        path = save_artifact(compiled, tmp_path / "m.rbd.npz")
+        save_artifact(compiled, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+        assert read_artifact_meta(path)["layers"]
+
+    def test_interrupted_export_leaves_old_artifact_or_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        """save_artifact writes through a temp file + atomic rename: a
+        failure mid-serialization must leave the previous artifact
+        bytes untouched (old-or-nothing, never a truncated .npz)."""
+        _, compiled = _compiled_srresnet()
+        path = save_artifact(compiled, tmp_path / "m.rbd.npz")
+        before = path.read_bytes()
+
+        real_savez = np.savez
+
+        def dying_savez(fh, **arrays):
+            # Emit some bytes first, as a real mid-write crash would.
+            real_savez(fh, **dict(list(arrays.items())[:1]))
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(np, "savez", dying_savez)
+        with pytest.raises(OSError, match="disk on fire"):
+            save_artifact(compiled, path)
+        # Old artifact intact, temp file cleaned up.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+        assert read_artifact_meta(path)["layers"]
 
 
 class TestTilingConfig:

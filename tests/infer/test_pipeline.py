@@ -15,9 +15,9 @@ from repro import grad as G
 from repro.binarize.baselines import E2FIFBinaryConv2d
 from repro.deploy import TiledInference, compile_model
 from repro.grad import Tensor, no_grad
-from repro.infer import (InferencePipeline, get_num_threads, num_threads,
-                         parallel_map, plan_tiles, set_num_threads,
-                         tiled_super_resolve)
+from repro.infer import (DiscardedError, InferencePipeline, get_num_threads,
+                         num_threads, parallel_map, plan_tiles,
+                         set_num_threads, tiled_super_resolve)
 from repro.models import build_model
 from repro.nn import Module, Sequential, init
 from repro.train import super_resolve
@@ -394,6 +394,32 @@ class TestPipelineDeadlinesAndHooks:
         assert keep.done()
         assert not drop.done()
         assert pipe.discard_pending([keep]) == 0  # already completed
+
+    def test_discarded_handle_raises_typed_error_immediately(self):
+        # Regression: result() on a discarded handle used to re-flush
+        # and block/fail opaquely — its image is gone from the queue,
+        # so no flush can ever resolve it.
+        pipe = self._pipeline(batch_size=8)
+        rng = np.random.default_rng(0)
+        keep = pipe.submit(rng.random((4, 4, 3)))
+        drop = pipe.submit(rng.random((4, 4, 3)))
+        assert pipe.discard_pending([drop]) == 1
+        assert drop.discarded()
+        assert not keep.discarded()
+        with pytest.raises(DiscardedError):
+            drop.result()
+        # The raise happened without flushing the survivor's image.
+        assert not keep.done()
+        assert keep.result().shape == (8, 8, 3)
+
+    def test_discard_does_not_mark_completed_handles(self):
+        pipe = self._pipeline(batch_size=8)
+        rng = np.random.default_rng(0)
+        done_handle = pipe.submit(rng.random((4, 4, 3)))
+        pipe.flush()
+        assert pipe.discard_pending([done_handle]) == 0
+        assert not done_handle.discarded()
+        assert done_handle.result().shape == (8, 8, 3)
 
 
 class TestGradModeInheritance:

@@ -1,0 +1,74 @@
+"""Shared fixtures for the jobs-layer tests: a tiny artifact zoo, a
+handful of input frames, and a manifest factory.
+
+Everything is content-addressed downstream (item ids hash the input
+bytes), so the frames are generated from a fixed RNG — the same item
+ids on every run, which the deterministic chaos tests rely on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.deploy import compile_model
+from repro.models import build_model
+from repro.nn import init
+
+KEYS = (("srresnet", "scales", 2), ("edsr", "e2fif", 2))
+ROUTES = tuple(f"{a}/{s}/x{x}" for a, s, x in KEYS)
+N_FRAMES = 5
+
+
+@pytest.fixture(scope="package")
+def zoo(tmp_path_factory):
+    """Directory with two tiny packed artifacts (built once)."""
+    directory = tmp_path_factory.mktemp("zoo")
+    with G.default_dtype("float32"):
+        for arch, scheme, scale in KEYS:
+            init.seed(0)
+            model = build_model(arch, scale=scale, scheme=scheme,
+                                preset="tiny")
+            compile_model(model, freeze=str(directory / f"{arch}_{scheme}.npz"))
+    return directory
+
+
+@pytest.fixture(scope="package")
+def frames(tmp_path_factory):
+    """N_FRAMES small ``.npy`` input images with deterministic bytes."""
+    directory = tmp_path_factory.mktemp("frames")
+    rng = np.random.default_rng(42)
+    for i in range(N_FRAMES):
+        np.save(directory / f"frame_{i:03d}.npy",
+                rng.random((8, 8, 3)).astype(np.float32))
+    return directory
+
+
+@pytest.fixture
+def make_manifest(zoo, frames, tmp_path):
+    """Write a manifest JSON file and return its path.
+
+    Keyword overrides replace top-level manifest fields; the defaults
+    run every frame through both zoo models into ``tmp_path/out``.
+    """
+
+    def write(name="manifest.json", **overrides):
+        spec = {
+            "artifacts": str(zoo),
+            "inputs": [str(frames / "*.npy")],
+            "models": list(ROUTES),
+            "output_dir": str(tmp_path / "out"),
+            "shard_size": 2,
+            "batch_size": 4,
+            "workers": 0,
+            "retry": {"max_attempts": 3, "base_delay_s": 0.001,
+                      "max_delay_s": 0.01},
+        }
+        spec.update(overrides)
+        spec = {k: v for k, v in spec.items() if v is not None}
+        path = tmp_path / name
+        path.write_text(json.dumps(spec, indent=2))
+        return path
+
+    return write

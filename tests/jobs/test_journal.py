@@ -1,0 +1,253 @@
+"""Write-ahead journal: append durability, crash-tolerant replay,
+the no-duplicate-work audit, and the retry/chaos determinism the
+resume guarantees are built on."""
+
+import json
+
+import pytest
+
+from repro.jobs import (
+    ChaosConfig,
+    ChaosPoisoned,
+    ChaosTransient,
+    Journal,
+    JobsError,
+    RetryPolicy,
+    audit_journal,
+    replay_journal,
+)
+from repro.jobs.retry import hash_unit
+
+
+def _write(path, *records):
+    with Journal(path, fsync=False) as journal:
+        for record in records:
+            journal.append(record)
+    return path
+
+
+class TestJournalWriter:
+    def test_append_round_trips_and_stamps_time(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "run", "manifest_sha": "abc"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "run"
+        assert record["manifest_sha"] == "abc"
+        assert record["time"] > 0
+
+    def test_unknown_event_refused(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl", fsync=False) as journal:
+            with pytest.raises(JobsError, match="unknown journal event"):
+                journal.append({"event": "reticulated"})
+
+    def test_append_after_close_refused(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl", fsync=False)
+        journal.close()
+        with pytest.raises(JobsError, match="closed"):
+            journal.append({"event": "run"})
+
+    def test_append_many_preserves_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, fsync=False) as journal:
+            journal.append_many([
+                {"event": "pending", "item": f"i{n}"} for n in range(4)
+            ])
+        items = [json.loads(line)["item"]
+                 for line in path.read_text().splitlines()]
+        assert items == ["i0", "i1", "i2", "i3"]
+
+    def test_reopen_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, {"event": "run"})
+        _write(path, {"event": "run_complete"})
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["run", "run_complete"]
+
+
+class TestReplay:
+    def test_item_lifecycle(self, tmp_path):
+        path = _write(
+            tmp_path / "j.jsonl",
+            {"event": "run", "manifest_sha": "m1"},
+            {"event": "pending", "item": "a", "model": "m/x/x2",
+             "shard": "m/x/x2#0", "input": "in.npy", "output": "out.npy",
+             "input_sha": "s"},
+            {"event": "leased", "item": "a", "worker": 0, "attempt": 0},
+            {"event": "failed", "item": "a", "attempt": 0,
+             "error": "ChaosTransient: flake", "retry_in_s": 0.1},
+            {"event": "leased", "item": "a", "worker": 1, "attempt": 1},
+            {"event": "done", "item": "a", "output_sha": "osha",
+             "seconds": 0.5, "attempt": 1},
+        )
+        state = replay_journal(path)
+        assert state.manifest_sha == "m1"
+        entry = state.items["a"]
+        assert entry.status == "done"
+        assert entry.model == "m/x/x2"
+        assert entry.leases == 2
+        assert entry.failures == 1
+        assert entry.done_events == 1
+        assert entry.output_sha == "osha"
+        assert entry.seconds == [0.5]
+        assert entry.last_error == "ChaosTransient: flake"
+        assert state.counts() == {"done": 1}
+        assert not state.complete
+
+    def test_torn_trailing_line_is_tolerated_and_counted(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "run"},
+                      {"event": "pending", "item": "a"})
+        with open(path, "ab") as fh:
+            fh.write(b'{"event": "done", "item": "a", "outp')  # no newline
+        state = replay_journal(path)
+        assert state.torn_lines == 1
+        # The torn 'done' never happened: the item is still pending.
+        assert state.items["a"].status == "pending"
+        assert any("torn" in finding for finding in audit_journal(state))
+
+    def test_malformed_mid_file_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "run"}\nnot json at all\n'
+                        '{"event": "run_complete"}\n')
+        with pytest.raises(JobsError, match="malformed"):
+            list(replay_journal(path).items)
+
+    def test_non_record_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "run"}\n[1, 2, 3]\n{"event": "run"}\n')
+        with pytest.raises(JobsError, match="not a journal record"):
+            replay_journal(path)
+
+    def test_invalidated_resets_done(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "pending", "item": "a"},
+                      {"event": "done", "item": "a", "output_sha": "x"},
+                      {"event": "invalidated", "item": "a",
+                       "reason": "output missing"},
+                      {"event": "done", "item": "a", "output_sha": "y"})
+        entry = replay_journal(path).items["a"]
+        assert entry.status == "done"
+        assert entry.output_sha == "y"
+        # The redo after invalidation is recovery, not duplication.
+        assert entry.done_events == 1
+
+    def test_pending_never_demotes_done_or_quarantined(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "pending", "item": "a"},
+                      {"event": "done", "item": "a", "output_sha": "x"},
+                      {"event": "quarantined", "item": "b", "error": "p"},
+                      # a resumed run re-announces its items:
+                      {"event": "pending", "item": "a"},
+                      {"event": "pending", "item": "b"})
+        state = replay_journal(path)
+        assert state.items["a"].status == "done"
+        assert state.items["b"].status == "quarantined"
+
+    def test_complete_flag_follows_last_run(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "run", "manifest_sha": "m"},
+                      {"event": "run_complete", "done": 3})
+        assert replay_journal(path).complete
+        _write(path, {"event": "run", "manifest_sha": "m"})
+        state = replay_journal(path)
+        assert not state.complete  # a new run re-opened the journal
+        assert len(state.runs) == 2
+
+
+class TestAudit:
+    def test_duplicate_done_is_flagged(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "pending", "item": "a", "model": "m"},
+                      {"event": "done", "item": "a", "output_sha": "x"},
+                      {"event": "done", "item": "a", "output_sha": "x"})
+        findings = audit_journal(replay_journal(path))
+        assert len(findings) == 1
+        assert "processed more than once" in findings[0]
+
+    def test_clean_journal_has_no_findings(self, tmp_path):
+        path = _write(tmp_path / "j.jsonl",
+                      {"event": "pending", "item": "a"},
+                      {"event": "done", "item": "a", "output_sha": "x"},
+                      {"event": "run_complete"})
+        assert audit_journal(replay_journal(path)) == []
+
+
+class TestRetryPolicy:
+    def test_hash_unit_is_deterministic_and_uniformish(self):
+        values = [hash_unit(7, "retry", f"item{i}", 0) for i in range(64)]
+        assert values == [hash_unit(7, "retry", f"item{i}", 0)
+                          for i in range(64)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) == 64  # distinct keys, distinct draws
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=5.0, jitter=0.0)
+        assert policy.delay_s("a", 0) == 1.0
+        assert policy.delay_s("a", 1) == 2.0
+        assert policy.delay_s("a", 2) == 4.0
+        assert policy.delay_s("a", 3) == 5.0  # capped
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.5, seed=3)
+        delays = {policy.delay_s("a", 1) for _ in range(5)}
+        assert len(delays) == 1  # same (seed, item, attempt) -> same delay
+        delay = delays.pop()
+        assert 1.0 <= delay <= 2.0  # in [2.0 * (1 - 0.5), 2.0]
+
+    def test_exhaustion(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+
+    def test_from_dict_validation(self):
+        assert RetryPolicy.from_dict(None) == RetryPolicy()
+        assert RetryPolicy.from_dict({"max_attempts": 5}).max_attempts == 5
+        with pytest.raises(ValueError, match="unknown retry option"):
+            RetryPolicy.from_dict({"attempts": 5})
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestChaosConfig:
+    def test_inactive_by_default(self):
+        chaos = ChaosConfig()
+        assert not chaos.active
+        chaos.check_infer("a", 0)  # no fault raised
+        assert not chaos.should_crash("a", 1)
+        assert ChaosConfig(kill_after_done=3).active
+        assert ChaosConfig(flaky_rate=0.1).active
+
+    def test_poison_is_attempt_independent(self):
+        chaos = ChaosConfig(seed=1, poison_rate=1.0)
+        assert chaos.is_poison("a")
+        with pytest.raises(ChaosPoisoned):
+            chaos.check_infer("a", 0)
+        with pytest.raises(ChaosPoisoned):
+            chaos.check_infer("a", 99)
+
+    def test_flaky_clears_after_configured_attempts(self):
+        chaos = ChaosConfig(seed=1, flaky_rate=1.0, flaky_attempts=2)
+        with pytest.raises(ChaosTransient):
+            chaos.check_infer("a", 0)
+        with pytest.raises(ChaosTransient):
+            chaos.check_infer("a", 1)
+        chaos.check_infer("a", 2)  # attempts past the budget succeed
+
+    def test_crash_decision_is_per_lease(self):
+        chaos = ChaosConfig(seed=5, crash_rate=0.5)
+        draws = [chaos.should_crash("item", lease) for lease in range(64)]
+        assert draws == [chaos.should_crash("item", lease)
+                         for lease in range(64)]
+        # A fresh lease gets a fresh draw: a crashed lease's
+        # replacement is not doomed to crash at the same point.
+        assert any(draws) and not all(draws)
+
+    def test_to_dict_round_trips(self):
+        chaos = ChaosConfig(seed=9, crash_rate=0.25, kill_after_done=7)
+        assert ChaosConfig(**chaos.to_dict()) == chaos

@@ -1,0 +1,256 @@
+"""JobRunner end-to-end (inline mode) + manifest loading + the CLI.
+
+Inline mode (``workers=0``) runs the full coordinator lifecycle —
+plan, lease, collect, retry, quarantine, resume — sequentially in this
+process, so every assertion here is deterministic.  The
+multi-process pool and the SIGKILL recovery path are exercised by
+``test_soak.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.api import Engine, EngineConfig
+from repro.jobs import (
+    ChaosConfig,
+    JobRunner,
+    JobsError,
+    load_manifest,
+    format_status,
+    replay_journal,
+    audit_journal,
+)
+from repro.jobs.__main__ import main
+
+from .conftest import N_FRAMES, ROUTES
+
+N_ITEMS = N_FRAMES * len(ROUTES)
+
+
+class TestManifest:
+    def test_loads_and_expands_cross_product(self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        assert manifest.models == list(ROUTES)  # requested order kept
+        assert len(manifest.inputs) == N_FRAMES
+        items = manifest.items()
+        assert len(items) == N_ITEMS
+        assert len({item.item_id for item in items}) == N_ITEMS
+        for item in items:
+            flat = item.model.replace("/", "_")
+            assert f"/out/{flat}/" in item.output
+            assert item.shard.startswith(item.model + "#")
+        # shard_size=2 over 5 inputs -> shards #0..#2 per model
+        assert {item.shard.rpartition("#")[2] for item in items} == \
+            {"0", "1", "2"}
+
+    def test_models_default_to_every_artifact(self, make_manifest):
+        manifest = load_manifest(make_manifest(models=None))
+        assert manifest.models == sorted(ROUTES)
+
+    def test_item_identity_tracks_input_content(self, zoo, tmp_path):
+        frame = tmp_path / "frame.npy"
+        np.save(frame, np.zeros((4, 4, 3), np.float32))
+        spec = {"artifacts": str(zoo), "inputs": [str(frame)],
+                "output_dir": str(tmp_path / "out")}
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(spec))
+        first = load_manifest(path).items()[0]
+        np.save(frame, np.ones((4, 4, 3), np.float32))
+        second = load_manifest(path).items()[0]
+        assert first.item_id != second.item_id
+        assert first.output != second.output
+
+    def test_validation_refuses_bad_manifests(self, make_manifest,
+                                              zoo, tmp_path):
+        cases = [
+            (dict(typo_field=1), "unknown field"),
+            (dict(output_dir=None), "missing field 'output_dir'"),
+            (dict(inputs=[str(tmp_path / "nothing_*.npy")]),
+             "matched no files"),
+            (dict(models=["rdn/scales/x2"]), "no artifact for"),
+            (dict(workers=-1), "workers must be >= 0"),
+            (dict(retry={"attempts": 2}), "bad retry block"),
+            (dict(shard_size=0), "shard_size must be >= 1"),
+        ]
+        for overrides, match in cases:
+            path = make_manifest(**overrides)
+            with pytest.raises(JobsError, match=match):
+                load_manifest(path)
+        (tmp_path / "notjson.json").write_text("{nope")
+        with pytest.raises(JobsError, match="not valid JSON"):
+            load_manifest(tmp_path / "notjson.json")
+        with pytest.raises(JobsError, match="not found"):
+            load_manifest(tmp_path / "missing.json")
+
+    def test_manifest_sha_tracks_bytes(self, make_manifest):
+        a = load_manifest(make_manifest("a.json"))
+        b = load_manifest(make_manifest("b.json", shard_size=3))
+        assert a.manifest_sha != b.manifest_sha
+
+
+class TestInlineRun:
+    def test_clean_run_then_resume_skips_everything(self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        runner = JobRunner(manifest, fsync=False)
+        report = runner.run()
+        assert report.complete
+        assert (report.done, report.skipped, report.resumed) == \
+            (N_ITEMS, 0, False)
+        for item in manifest.items():
+            assert np.load(item.output).ndim == 3
+        state = replay_journal(runner.journal_path)
+        assert state.complete
+        assert audit_journal(state) == []
+        # Same command again: everything is skipped by output hash,
+        # nothing is re-run, and the audit still shows zero redone.
+        again = JobRunner(manifest, fsync=False).run()
+        assert again.complete and again.resumed
+        assert (again.done, again.skipped) == (0, N_ITEMS)
+        status = format_status(runner.journal_path)
+        assert "run: complete" in status
+        assert "resumed x1" in status
+        assert "audit: clean" in status
+
+    def test_outputs_bit_identical_to_direct_engine(self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        JobRunner(manifest, fsync=False).run()
+        with G.default_dtype("float32"):
+            for item in manifest.items()[:2]:
+                engine = Engine.from_artifact(
+                    item.artifact,
+                    EngineConfig(dtype="float32", n_threads=1,
+                                 batch_size=manifest.batch_size))
+                expected = engine.infer(np.load(item.input)).unwrap()
+                np.testing.assert_array_equal(np.load(item.output), expected)
+
+    def test_corrupted_output_is_invalidated_and_redone(self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        runner = JobRunner(manifest, fsync=False)
+        runner.run()
+        victim, bystander = manifest.items()[0], manifest.items()[1]
+        original = victim.output and open(victim.output, "rb").read()
+        np.save(victim.output, np.zeros((1, 1, 3), np.float32))
+        report = JobRunner(manifest, fsync=False).run()
+        assert report.complete
+        assert (report.invalidated, report.done) == (1, 1)
+        assert report.skipped == N_ITEMS - 1
+        # The redone output is byte-identical to the first run's.
+        assert open(victim.output, "rb").read() == original
+        assert np.load(bystander.output).ndim == 3
+        # Recovery, not duplication: the audit stays clean.
+        assert audit_journal(replay_journal(runner.journal_path)) == []
+
+    def test_missing_output_is_redone(self, make_manifest):
+        import os
+        manifest = load_manifest(make_manifest())
+        JobRunner(manifest, fsync=False).run()
+        victim = manifest.items()[3]
+        os.unlink(victim.output)
+        report = JobRunner(manifest, fsync=False).run()
+        assert report.complete
+        assert (report.invalidated, report.done) == (1, 1)
+        assert np.load(victim.output).ndim == 3
+
+    def test_edited_manifest_is_refused_without_fresh(self, make_manifest):
+        first = load_manifest(make_manifest())
+        journal = first.output_dir / "journal.jsonl"
+        JobRunner(first, journal_path=journal, fsync=False).run()
+        edited = load_manifest(make_manifest(batch_size=2))
+        runner = JobRunner(edited, journal_path=journal, fsync=False)
+        with pytest.raises(JobsError, match="different manifest"):
+            runner.run()
+        report = runner.run(fresh=True)  # explicit opt-out starts over
+        assert report.complete and not report.resumed
+        assert report.done == N_ITEMS
+
+    def test_flaky_items_retry_with_backoff_then_succeed(self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        chaos = ChaosConfig(seed=3, flaky_rate=1.0, flaky_attempts=1)
+        runner = JobRunner(manifest, chaos=chaos, fsync=False)
+        report = runner.run()
+        assert report.complete
+        assert report.done == N_ITEMS
+        assert report.failures == N_ITEMS  # one journaled retry each
+        state = replay_journal(runner.journal_path)
+        assert all(e.failures == 1 for e in state.items.values())
+        assert audit_journal(state) == []
+
+    def test_poison_is_quarantined_not_wedged(self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        chaos = ChaosConfig(seed=3, poison_rate=1.0)
+        runner = JobRunner(manifest, chaos=chaos, fsync=False)
+        report = runner.run()
+        # Poison fails fatally on first attempt: no retry budget burned.
+        assert report.complete
+        assert (report.done, report.quarantined) == (0, N_ITEMS)
+        assert report.failures == 0
+        status = format_status(runner.journal_path)
+        assert "run: complete" in status
+        assert f"{N_ITEMS} quarantined" in status
+        # Quarantine is sticky across resumes.
+        again = JobRunner(manifest, chaos=chaos, fsync=False).run()
+        assert again.complete and again.quarantined == N_ITEMS
+        assert again.done == 0
+
+    def test_exhausted_retry_budget_quarantines(self, make_manifest):
+        manifest = load_manifest(
+            make_manifest(retry={"max_attempts": 2, "base_delay_s": 0.001}))
+        chaos = ChaosConfig(seed=3, flaky_rate=1.0, flaky_attempts=99)
+        report = JobRunner(manifest, chaos=chaos, fsync=False).run()
+        assert report.complete
+        assert report.quarantined == N_ITEMS
+        assert report.failures == N_ITEMS  # attempt 0 retried once each
+
+    def test_mixed_poison_quarantines_exactly_the_poisoned_set(
+            self, make_manifest):
+        manifest = load_manifest(make_manifest())
+        chaos = ChaosConfig(seed=11, poison_rate=0.4)
+        poisoned = {item.item_id for item in manifest.items()
+                    if chaos.is_poison(item.item_id)}
+        assert 0 < len(poisoned) < N_ITEMS  # seed chosen to mix
+        runner = JobRunner(manifest, chaos=chaos, fsync=False)
+        report = runner.run()
+        assert report.complete
+        assert report.quarantined == len(poisoned)
+        assert report.done == N_ITEMS - len(poisoned)
+        state = replay_journal(runner.journal_path)
+        assert {i for i, e in state.items.items()
+                if e.status == "quarantined"} == poisoned
+
+
+class TestCLI:
+    def test_run_then_status(self, make_manifest, capsys):
+        path = make_manifest()
+        rc = main(["run", str(path), "--workers", "0", "--no-fsync"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"{N_ITEMS} done" in out
+        journal = out.splitlines()[-1].split("journal: ")[1]
+        rc = main(["status", journal])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run: complete" in out
+        assert "audit: clean" in out
+        for route in ROUTES:
+            assert f"{route} (all)" in out
+
+    def test_fresh_and_resume_conflict(self, make_manifest, capsys):
+        rc = main(["run", str(make_manifest()), "--fresh", "--resume"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_jobs_errors_exit_2(self, tmp_path, capsys):
+        rc = main(["run", str(tmp_path / "missing.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_output_dir_override(self, make_manifest, tmp_path, capsys):
+        other = tmp_path / "elsewhere"
+        rc = main(["run", str(make_manifest()), "--workers", "0",
+                   "--no-fsync", "--output-dir", str(other)])
+        assert rc == 0
+        assert (other / "journal.jsonl").is_file()
+        assert any(other.rglob("*.npy"))

@@ -1,0 +1,159 @@
+"""Kill-and-resume soak: SIGKILL a real multi-process run mid-flight,
+resume it, and audit the journal for duplicate work.
+
+This is the acceptance test of the crash-safety story, run end to end
+through the CLI in a subprocess (its own session, so the chaos
+run-kill — ``killpg(SIGKILL)`` — stays inside the run's process
+tree and never touches pytest):
+
+1. a reference run (inline, no chaos) records the expected bytes of
+   every output;
+2. a chaos run (worker pool + deterministic crashes, flaky items,
+   poison, and a run-kill after K completions) dies by SIGKILL;
+3. re-running the same command resumes from the journal and completes.
+
+Afterwards every non-poisoned output must be bit-identical to the
+reference, the journal must replay complete with zero duplicate
+``done`` records, and the poisoned set must be quarantined in the
+status table.
+
+``REPRO_SOAK_ITEMS`` scales the item count (default 12; CI's
+``jobs-soak`` job runs 200).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.jobs import (
+    ChaosConfig,
+    format_status,
+    load_manifest,
+    replay_journal,
+    audit_journal,
+)
+
+N_ITEMS = int(os.environ.get("REPRO_SOAK_ITEMS", "12"))
+CHAOS_SEED = 2
+MODEL = "srresnet/scales/x2"
+SRC_DIR = str(Path(repro.__file__).parents[1])
+TIMEOUT_S = 60 + 3 * N_ITEMS  # wall-clock guard: a hung run fails loudly
+
+
+@pytest.fixture(scope="module")
+def soak_frames(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("soak_frames")
+    rng = np.random.default_rng(7)
+    for i in range(N_ITEMS):
+        np.save(directory / f"frame_{i:04d}.npy",
+                rng.random((8, 8, 3)).astype(np.float32))
+    return directory
+
+
+def _write_manifest(path, zoo, frames, output_dir):
+    path.write_text(
+        '{"artifacts": "%s", "inputs": ["%s/*.npy"], "models": ["%s"],\n'
+        ' "output_dir": "%s", "shard_size": 3, "batch_size": 4,\n'
+        ' "workers": 2, "retry": {"base_delay_s": 0.01, "max_delay_s": 0.1}}'
+        % (zoo, frames, MODEL, output_dir))
+    return path
+
+
+def _cli(manifest, *flags):
+    """Run ``python -m repro.jobs run`` in its own session."""
+    command = [sys.executable, "-m", "repro.jobs", "run", str(manifest),
+               "--no-fsync", *flags]
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    result = subprocess.run(
+        command, env=env, start_new_session=True, timeout=TIMEOUT_S,
+        capture_output=True, text=True)
+    return result
+
+
+def test_kill_mid_run_then_resume_is_exact(zoo, soak_frames, tmp_path):
+    ref_dir = tmp_path / "ref_out"
+    chaos_dir = tmp_path / "chaos_out"
+    manifest_path = _write_manifest(tmp_path / "soak.json", zoo,
+                                    soak_frames, chaos_dir)
+
+    chaos = ChaosConfig(seed=CHAOS_SEED, crash_rate=0.15, flaky_rate=0.3,
+                        poison_rate=0.2)
+    manifest = load_manifest(manifest_path)
+    items = manifest.items()
+    assert len(items) == N_ITEMS
+    poisoned = {i.item_id for i in items if chaos.is_poison(i.item_id)}
+    survivors = N_ITEMS - len(poisoned)
+    assert len(poisoned) >= 1, "chaos seed must poison at least one item"
+    kill_after = max(1, survivors // 3)
+    assert kill_after < survivors  # the kill must fire before completion
+
+    # 1. Reference run: inline, no chaos, different output dir.
+    from repro.jobs import JobRunner
+    ref_report = JobRunner(load_manifest(manifest_path, output_dir=ref_dir),
+                           fsync=False).run(workers=0)
+    assert ref_report.complete and ref_report.done == N_ITEMS
+
+    chaos_flags = ["--chaos-seed", str(CHAOS_SEED),
+                   "--chaos-crash-rate", "0.15",
+                   "--chaos-flaky-rate", "0.3",
+                   "--chaos-poison-rate", "0.2"]
+
+    # 2. Chaos run, SIGKILLed (whole process group) after K completions.
+    phase1 = _cli(manifest_path, *chaos_flags,
+                  "--chaos-kill-after-done", str(kill_after))
+    assert phase1.returncode == -9, (
+        f"expected the run to die by SIGKILL, got rc={phase1.returncode}\n"
+        f"stdout: {phase1.stdout}\nstderr: {phase1.stderr}")
+
+    mid_state = replay_journal(chaos_dir / "journal.jsonl")
+    assert not mid_state.complete
+    assert sum(e.done_events for e in mid_state.items.values()) >= kill_after
+
+    # 3. Resume: same command, no kill. Must finish with rc 0.
+    phase2 = _cli(manifest_path, *chaos_flags, "--resume")
+    assert phase2.returncode == 0, (
+        f"resume failed rc={phase2.returncode}\n"
+        f"stdout: {phase2.stdout}\nstderr: {phase2.stderr}")
+    assert "resumed" in phase2.stdout
+
+    journal = chaos_dir / "journal.jsonl"
+    state = replay_journal(journal)
+    assert state.complete
+    assert len(state.runs) == 2
+
+    # Zero duplicate processing, by journal audit. (A torn trailing
+    # line is legitimate SIGKILL debris; duplicates never are.)
+    findings = audit_journal(state)
+    assert not [f for f in findings if "more than once" in f], findings
+    assert all(e.done_events <= 1 for e in state.items.values())
+
+    # Exactly the poisoned set is quarantined; everything else is done.
+    by_status = {}
+    for item_id, entry in state.items.items():
+        by_status.setdefault(entry.status, set()).add(item_id)
+    assert by_status.get("quarantined", set()) == poisoned
+    assert len(by_status.get("done", set())) == survivors
+
+    # Every surviving output is bit-identical to the reference run's.
+    ref_items = {i.item_id: i for i in load_manifest(
+        manifest_path, output_dir=ref_dir).items()}
+    compared = 0
+    for item in items:
+        if item.item_id in poisoned:
+            assert not Path(item.output).exists()
+            continue
+        expected = Path(ref_items[item.item_id].output).read_bytes()
+        assert Path(item.output).read_bytes() == expected
+        compared += 1
+    assert compared == survivors
+
+    # The status presenter tells the same story.
+    status = format_status(journal)
+    assert "run: complete" in status
+    assert "resumed x1" in status
+    assert f"{len(poisoned)} quarantined" in status

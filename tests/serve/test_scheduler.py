@@ -146,6 +146,19 @@ class TestFlushLifecycle:
         sched.release(KEY_A)
         assert sched.due_keys(now=5.0) == [KEY_A]
 
+    def test_drain_queued_pops_queued_but_not_inflight(self):
+        sched = MicroBatchScheduler(max_batch=1, max_inflight=1)
+        sched.enqueue(_req(KEY_A, now=0.0))
+        taken, _ = sched.take(KEY_A, now=0.0)  # now in flight
+        queued = [_req(KEY_A, now=0.0), _req(KEY_B, now=0.0)]
+        for req in queued:
+            sched.enqueue(req)
+        drained = sched.drain_queued()
+        assert sorted(id(r) for r in drained) == sorted(id(r) for r in queued)
+        assert sched.depth() == 0
+        assert sched.inflight(KEY_A) == 1  # untouched by the sweep
+        assert sched.drain_queued() == []
+
     def test_release_bookkeeping(self):
         sched = MicroBatchScheduler(max_batch=1, max_inflight=2)
         sched.enqueue(_req(KEY_A, now=0.0))

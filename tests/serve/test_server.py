@@ -345,7 +345,70 @@ class TestModelRegistryLRU:
             assert server.telemetry.counter("model_evictions") == 0
 
 
+class _GatedPipeline:
+    """InferencePipeline wrapper whose ``flush`` blocks on an event —
+    a stand-in for a slow batch, so shutdown tests can hold a flush
+    in flight deterministically."""
+
+    started = threading.Event()
+    gate = threading.Event()
+
+    def __init__(self, path, **kwargs):
+        self._inner = InferencePipeline(path, **kwargs)
+
+    def flush(self):
+        type(self).started.set()
+        if not type(self).gate.wait(timeout=10):  # pragma: no cover
+            raise RuntimeError("gate never opened")
+        return self._inner.flush()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
 class TestFailureIsolation:
+    def test_artifact_load_failure_is_typed_and_does_not_poison_registry(
+        self, artifact_dir, monkeypatch
+    ):
+        """A model whose artifact raises mid-load resolves the waiting
+        request with a typed ServeError, leaves the LRU registry clean
+        (no half-loaded entry), keeps other models serving, and loads
+        fine once the fault clears."""
+        fault = {"active": True}
+        real_pipeline = InferencePipeline
+        key_a_path = str(
+            {i.key: i for i in scan_artifact_dir(artifact_dir)[0]}[KEY_A].path
+        )
+
+        def flaky_pipeline(path, **kwargs):
+            if fault["active"] and str(path) == key_a_path:
+                raise RuntimeError("chaos: artifact load failed mid-read")
+            return real_pipeline(path, **kwargs)
+
+        monkeypatch.setattr(
+            "repro.serve.server.InferencePipeline", flaky_pipeline
+        )
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            future = server.submit(_images(SHAPES[0], n=1)[0], KEY_A)
+            server.drain()
+            result = future.result(timeout=5)
+            assert isinstance(result, ServeError)
+            assert result.model == KEY_A
+            assert "artifact load failed" in result.message
+            # The failed load never entered the registry: no poisoned
+            # half-loaded entry for LRU accounting to trip over.
+            assert KEY_A not in server.loaded_models()
+            assert server.telemetry.counter("errors") == 1
+            # Other models are unaffected.
+            good = server.map(_images(SHAPES[1], n=2), KEY_B)
+            assert all(isinstance(out, np.ndarray) for out in good)
+            # Once the fault clears, the same key loads and serves.
+            fault["active"] = False
+            recovered = server.map(_images(SHAPES[0], n=2), KEY_A)
+            assert all(isinstance(out, np.ndarray) for out in recovered)
+            assert KEY_A in server.loaded_models()
+
     def test_bad_request_gets_typed_error_not_poison(self, artifact_dir):
         with G.default_dtype("float32"):
             server = _manual_server(artifact_dir, FakeClock())
@@ -454,6 +517,71 @@ class TestShutdown:
         server = _manual_server(artifact_dir, FakeClock())
         server.close()
         server.close()
+
+    def test_undrained_close_sheds_queued_work_not_strands_it(
+        self, artifact_dir
+    ):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            future = server.submit(_images(SHAPES[0], n=1)[0], KEY_A)
+            assert not future.done()
+            server.close(drain=False)
+            # The queued request was never executed, but its future is
+            # resolved — with a typed refusal, not a hang.
+            assert future.done()
+            result = future.result()
+            assert isinstance(result, ServerBusy)
+            assert result.reason == "server closed"
+            assert server.telemetry.counter("shed") == 1
+
+    def test_graceful_close_settles_queued_work_as_results(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            futures = [
+                server.submit(img, KEY_A) for img in _images(SHAPES[0], n=3)
+            ]
+            server.close()  # drain=True, unbounded
+            for future in futures:
+                assert isinstance(future.result(timeout=5), np.ndarray)
+            assert server.telemetry.counter("shed") == 0
+
+    def test_drain_timeout_sheds_queued_but_settles_inflight(
+        self, artifact_dir, monkeypatch
+    ):
+        """close(drain_timeout_s=...) bounds the graceful phase: work
+        still *queued* past the deadline resolves as typed
+        ServerBusy("server closed"), while the *in-flight* flush gets
+        its bounded settle window and resolves to a real result."""
+        _GatedPipeline.started = threading.Event()
+        _GatedPipeline.gate = threading.Event()
+        monkeypatch.setattr(
+            "repro.serve.server.InferencePipeline", _GatedPipeline
+        )
+        with G.default_dtype("float32"):
+            server = ModelServer(
+                artifact_dir,
+                ServerConfig(
+                    latency_budget_s=0.001, max_batch=8, n_threads=1
+                ),
+            )
+            images = _images(SHAPES[0], n=2)
+            inflight = server.submit(images[0], KEY_A)
+            # Wait until the flush holding `inflight` is blocked inside
+            # the gated pipeline, then queue a second request that the
+            # per-model in-flight cap keeps out of the batch.
+            assert _GatedPipeline.started.wait(timeout=10)
+            queued = server.submit(images[1], KEY_A)
+            opener = threading.Timer(0.5, _GatedPipeline.gate.set)
+            opener.start()
+            try:
+                server.close(drain_timeout_s=0.05)
+            finally:
+                opener.cancel()
+                _GatedPipeline.gate.set()
+            shed = queued.result(timeout=1)
+            assert isinstance(shed, ServerBusy)
+            assert shed.reason == "server closed"
+            assert isinstance(inflight.result(timeout=10), np.ndarray)
 
 
 class TestStatsAndReport:
