@@ -223,7 +223,13 @@ class EngineConfig:
             yield
 
     def to_server_config(self):
-        """The :class:`repro.serve.ServerConfig` these knobs map onto."""
+        """The :class:`repro.serve.ServerConfig` these knobs map onto.
+
+        ``dtype`` rides along: the server applies it as a thread-scoped
+        override around model loads and flushes, so ``Engine.serve`` is
+        bit-identical to ``Engine.infer`` under a non-default dtype
+        without touching the process-wide default.
+        """
         from ..serve.server import ServerConfig
         return ServerConfig(
             latency_budget_s=self.latency_budget_s,
@@ -234,6 +240,7 @@ class EngineConfig:
             cache_bytes=self.cache_bytes,
             clip=self.clip,
             n_threads=self.n_threads,
+            dtype=self.dtype,
             background=self.background,
             poll_interval_s=self.poll_interval_s)
 

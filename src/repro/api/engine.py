@@ -307,6 +307,8 @@ class Engine:
         lifecycle call fails with the usual typed
         :class:`EngineError` for an engine with no model.
         """
+        if self._pipeline is not None:
+            self._pipeline.close()
         self._pipeline = None
         self.compiled = None
         self.model = None
@@ -337,13 +339,12 @@ class Engine:
         :class:`repro.serve.ModelServer` and returns the same
         :class:`InferResult` objects ``Engine.infer`` does.
 
-        Note on dtype: server flushes run on the server's own threads
-        under the *process-wide* default dtype, so served outputs are
-        bit-identical to direct ``infer`` whenever the two share that
-        ambient dtype (the default).  When running a non-default
-        ``config.dtype``, set the process default
-        (:func:`repro.grad.set_default_dtype`) for cross-surface bit
-        parity.
+        Note on dtype: ``config.dtype`` is threaded into the server
+        (:meth:`EngineConfig.to_server_config`), which applies it as a
+        thread-scoped override around every model load and flush — so
+        served outputs are bit-identical to direct ``infer`` under a
+        non-default dtype too, without touching the process-wide
+        default (the cross-surface round-trip tests enforce this).
         """
         from .serving import ServeSession
         self.capability().require("serve")

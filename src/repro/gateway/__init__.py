@@ -1,0 +1,43 @@
+"""`repro.gateway`: the HTTP front door over the serving stack.
+
+The ROADMAP's "network front door + horizontal scale-out" layer: a
+stdlib-only HTTP gateway (:class:`Gateway`) routing requests across a
+pool of worker processes — one :class:`repro.serve.ModelServer` each,
+sharing the artifact zoo — by consistent hashing over the model key,
+with per-client token-bucket quotas, typed shedding mapped onto HTTP
+status codes, liveness-driven re-routing, and graceful SIGTERM drain.
+
+Run one from the shell::
+
+    python -m repro.gateway --artifact-dir zoo/ --workers 2
+
+or in-process::
+
+    from repro.gateway import Gateway, GatewayClient, GatewayConfig
+
+    with Gateway("zoo/", GatewayConfig(n_workers=2)) as gateway:
+        client = GatewayClient(gateway.address)
+        result = client.infer(image, "srresnet/scales/x2")
+        sr = result.unwrap()
+
+See :mod:`repro.gateway.gateway` for the architecture notes and
+:mod:`repro.gateway.wire` for the protocol.
+"""
+
+from .client import GatewayClient, GatewayResult
+from .gateway import Gateway, GatewayConfig
+from .loadgen import LoadgenReport, run_open_loop
+from .quota import QuotaRegistry, TokenBucket
+from .ring import HashRing
+
+__all__ = [
+    "Gateway",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayResult",
+    "HashRing",
+    "LoadgenReport",
+    "QuotaRegistry",
+    "TokenBucket",
+    "run_open_loop",
+]

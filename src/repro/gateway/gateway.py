@@ -1,0 +1,479 @@
+"""The HTTP gateway: a network front door over a worker pool.
+
+This is the ROADMAP's "network front door + horizontal scale-out"
+item: everything below (packed engine, micro-batcher, result cache,
+typed shedding, graceful drain) already existed in-process; this layer
+puts a socket in front of it and fans the zoo out across processes.
+
+Shape of the thing::
+
+    client ──HTTP──▶ Gateway (front door, routing, quotas)
+                       │ consistent hash over (architecture, scheme,
+                       │ scale) — each model's traffic pins to one
+                       ▼ worker, so per-worker LRU/result caches hit
+    worker 0..N-1: spawned processes, one ModelServer each, sharing
+                   the artifact zoo directory (repro.gateway.worker)
+
+Design decisions, and where each came from:
+
+* **Routing by model key, not round-robin.**  A worker's value is its
+  warm state (loaded models, result cache).  Consistent hashing
+  (:mod:`repro.gateway.ring`) keeps each model's traffic on one
+  worker, and moves only the dead worker's share on failure.
+* **Admission control is layered, all of it typed.**  Per-client
+  token buckets (:mod:`repro.gateway.quota`) answer 429 at the front
+  door; a worker's queue-depth bound answers 429 via the serving
+  layer's ``ServerBusy``; drain answers 503.  No request is ever
+  silently dropped — the same never-strand contract ``ModelServer``
+  keeps for futures, kept over HTTP.
+* **Liveness + re-routing reuse the jobs-layer shape.**  The monitor
+  thread is ``jobs/runner.py``'s lease loop in miniature: poll worker
+  processes, respawn the dead (their in-flight requests fail fast at
+  the proxy and re-route to the ring's next owner), and give up on a
+  slot only after ``max_respawns`` consecutive deaths — the fruitless-
+  death guard.  Proxy retries back off via the jobs layer's
+  :class:`~repro.jobs.retry.RetryPolicy`, deterministic jitter and
+  all.
+* **Drain on SIGTERM is the PR 7 path end to end.**  The front door
+  refuses new work (503), workers get SIGTERM and settle every
+  admitted request through ``ModelServer.close(drain=True)``, then
+  everything joins.  An in-flight client sees its result; a late
+  client sees a typed refusal; nobody sees a reset connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Set, Tuple
+
+from ..deploy.registry import classify_recipe
+from ..deploy.serialize import scan_artifact_dir
+from ..jobs.retry import RetryPolicy
+from ..serve.server import ModelKey, ServerConfig, parse_model_key
+from ..serve.telemetry import Telemetry
+from . import wire
+from .quota import QuotaRegistry
+from .ring import HashRing
+from .worker import worker_main
+
+__all__ = ["Gateway", "GatewayConfig"]
+
+
+@dataclass
+class GatewayConfig:
+    """Operational knobs of :class:`Gateway`.
+
+    host / port:
+        Front-door bind address; port ``0`` picks an ephemeral port
+        (read it back from ``Gateway.address``).
+    n_workers:
+        Worker processes in the pool.
+    server:
+        Per-worker :class:`~repro.serve.ServerConfig` (``None`` =
+        defaults).  Its ``drain_timeout_s`` bounds each worker's
+        SIGTERM drain.
+    ring_replicas:
+        Virtual nodes per worker on the hash ring.
+    quota_rate_per_s / quota_burst:
+        Per-client token bucket (``None`` rate disables metering).
+    retry:
+        Backoff between proxy re-route attempts; ``retry.max_attempts``
+        bounds how many distinct workers one request may try.
+    liveness_interval_s:
+        Monitor poll period for dead-worker detection.
+    max_respawns:
+        Consecutive deaths after which a worker slot is abandoned
+        (removed from the ring) instead of respawned forever.
+    worker_start_timeout_s:
+        How long to wait for a spawned worker's ready message.
+    proxy_timeout_s:
+        Socket timeout per proxied request (covers a worker's full
+        queue + flush time, so it sits well above the result timeout).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    n_workers: int = 2
+    server: Optional[ServerConfig] = None
+    ring_replicas: int = 64
+    quota_rate_per_s: Optional[float] = None
+    quota_burst: float = 10.0
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=3, base_delay_s=0.05, max_delay_s=0.5))
+    liveness_interval_s: float = 0.25
+    max_respawns: int = 3
+    worker_start_timeout_s: float = 120.0
+    proxy_timeout_s: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+
+@dataclass
+class _WorkerSlot:
+    """One pool slot: the live process behind a ring node."""
+
+    slot: int
+    process: multiprocessing.process.BaseProcess
+    port: int
+    respawns: int = 0
+    abandoned: bool = False
+
+
+class _FrontHTTPServer(ThreadingHTTPServer):
+    """Front-door HTTP server; handlers reach the gateway through it."""
+
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, gateway: "Gateway") -> None:
+        super().__init__(address, handler)
+        self.gateway = gateway
+
+
+class _FrontHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    server: _FrontHTTPServer
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        gateway = self.server.gateway
+        if self.path == "/healthz":
+            body = wire.dumps(gateway.health())
+            self._reply(503 if gateway.draining else 200, body)
+        elif self.path == "/models":
+            self._reply(200, wire.dumps({
+                "models": ["/".join((a, s, f"x{x}"))
+                           for a, s, x in sorted(gateway.catalog)]}))
+        elif self.path == "/stats":
+            self._reply(200, wire.dumps(gateway.stats()))
+        else:
+            self._reply(404, wire.error_body(
+                "error", f"no route {self.path}")[1])
+
+    def do_POST(self) -> None:
+        if self.path != "/infer":
+            self._reply(404, wire.error_body(
+                "error", f"no route {self.path}")[1])
+            return
+        gateway = self.server.gateway
+        client_id = self.headers.get("X-Client-Id", "anonymous")
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length)
+        self._reply(*gateway.proxy_infer(body, client_id))
+
+
+class Gateway:
+    """Front door + worker pool over an artifact zoo directory.
+
+    Start it, read ``address``, point HTTP clients at it (or use
+    :class:`repro.gateway.GatewayClient`); ``close()`` drains.  Also a
+    context manager.
+    """
+
+    def __init__(self, artifact_dir, config: Optional[GatewayConfig] = None,
+                 ) -> None:
+        self.config = config if config is not None else GatewayConfig()
+        self.artifact_dir = str(artifact_dir)
+        #: Servable zoo keys — the same filter ModelServer applies, so
+        #: the front door's 404s agree with its workers'.
+        self.catalog: Set[ModelKey] = set()
+        infos, _ = scan_artifact_dir(artifact_dir)
+        for info in infos:
+            if classify_recipe(info.recipe).deployable:
+                self.catalog.add(info.key)
+        if not self.catalog:
+            raise ValueError(
+                f"no servable deploy artifacts in {artifact_dir!s}")
+        self.telemetry = Telemetry()
+        self.draining = False
+        self._closed = False
+        self._quotas = QuotaRegistry(self.config.quota_rate_per_s,
+                                     self.config.quota_burst)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._ring = HashRing(replicas=self.config.ring_replicas)
+        self._workers: Dict[int, _WorkerSlot] = {}
+        self._workers_lock = threading.Lock()
+        try:
+            for slot in range(self.config.n_workers):
+                self._start_worker(slot)
+            self._httpd = _FrontHTTPServer(
+                (self.config.host, self.config.port), _FrontHandler, self)
+        except Exception:
+            self._terminate_workers(graceful=False)
+            raise
+        self._front_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="gateway-front",
+            daemon=True)
+        self._front_thread.start()
+        self._monitor_stop = threading.Event()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="gateway-monitor", daemon=True)
+        self._monitor_thread.start()
+
+    # -- worker pool -------------------------------------------------------
+
+    def _spawn(self, slot: int) -> Tuple:
+        """Spawn one worker and block until it reports its port."""
+        parent, child = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(slot, self.artifact_dir, self.config.server, child),
+            name=f"gateway-worker-{slot}", daemon=True)
+        process.start()
+        child.close()
+        if not parent.poll(timeout=self.config.worker_start_timeout_s):
+            process.terminate()
+            raise RuntimeError(
+                f"worker {slot} did not report ready within "
+                f"{self.config.worker_start_timeout_s:g}s")
+        kind, payload = parent.recv()
+        parent.close()
+        if kind != "ready":
+            process.join(timeout=5.0)
+            raise RuntimeError(f"worker {slot} failed to start: {payload}")
+        return process, payload
+
+    def _start_worker(self, slot: int, respawns: int = 0) -> None:
+        process, port = self._spawn(slot)
+        with self._workers_lock:
+            self._workers[slot] = _WorkerSlot(
+                slot=slot, process=process, port=port, respawns=respawns)
+            self._ring.add(slot)
+
+    def _monitor(self) -> None:
+        """Liveness loop — ``jobs/runner.py``'s lease re-dispatch shape:
+        a dead worker's slot leaves the ring (in-flight requests fail
+        fast at the proxy and re-route), gets respawned, and rejoins;
+        a slot that keeps dying is abandoned after ``max_respawns``."""
+        while not self._monitor_stop.wait(self.config.liveness_interval_s):
+            for slot in list(self._workers):
+                with self._workers_lock:
+                    worker = self._workers.get(slot)
+                    if worker is None or worker.abandoned:
+                        continue
+                    if worker.process.is_alive():
+                        continue
+                    # Dead: route around it before anything else.
+                    self._ring.remove(slot)
+                    worker.respawns += 1
+                    abandon = worker.respawns > self.config.max_respawns
+                    worker.abandoned = abandon
+                if self._monitor_stop.is_set():
+                    return
+                if abandon:
+                    self.telemetry.count("workers_abandoned")
+                    continue
+                self.telemetry.count("worker_respawns")
+                try:
+                    self._start_worker(slot, respawns=worker.respawns)
+                except RuntimeError:
+                    # Startup itself failed; the slot's dead entry is
+                    # still in the table, so the next poll tick burns
+                    # another respawn toward the abandonment cap.
+                    self.telemetry.count("worker_respawn_failures")
+
+    def _terminate_workers(self, graceful: bool) -> None:
+        with self._workers_lock:
+            workers = [w for w in self._workers.values() if not w.abandoned]
+        if graceful:
+            for worker in workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()  # SIGTERM → worker drain
+        timeout = 30.0 if graceful else 5.0
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.process.join(
+                timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - stuck drain
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+
+    # -- front-door request handling ---------------------------------------
+
+    def proxy_infer(self, body: bytes, client_id: str) -> Tuple[int, bytes]:
+        """Route one ``/infer`` body to its worker; returns
+        ``(status, response body)``.
+
+        Layered admission first (drain 503, quota 429), then the ring
+        walk: connection failures and worker-drain 503s exclude that
+        worker and try the next ring owner after a jittered backoff,
+        up to ``retry.max_attempts`` distinct workers.  Worker
+        responses are forwarded byte-for-byte.
+        """
+        self.telemetry.count("requests")
+        if self.draining:
+            self.telemetry.count("shed_draining")
+            return 503, wire.error_body(
+                "busy", "gateway draining", retryable=True)[1]
+        if not self._quotas.try_acquire(client_id):
+            self.telemetry.count("shed_quota")
+            return 429, wire.error_body(
+                "busy", f"client {client_id!r} over quota",
+                retryable=True)[1]
+        try:
+            request = wire.loads(body)
+            if not isinstance(request, dict) or "model" not in request:
+                raise wire.WireError(
+                    "request must be an object with 'model' and 'image'")
+            key = parse_model_key(str(request["model"]))
+        except (wire.WireError, ValueError) as exc:
+            return 400, wire.error_body("error", str(exc))[1]
+        if key not in self.catalog:
+            known = ", ".join("/".join((a, s, f"x{x}"))
+                              for a, s, x in sorted(self.catalog))
+            return 404, wire.error_body(
+                "error", f"no artifact for model {key}; available: "
+                f"{known}")[1]
+        route_key = "/".join((key[0], key[1], f"x{key[2]}"))
+        tried: Set[int] = set()
+        last_unavailable: Optional[Tuple[int, bytes]] = None
+        for attempt in range(self.config.retry.max_attempts):
+            with self._workers_lock:
+                slot = self._ring.route(route_key, exclude=tried)
+                port = (self._workers[slot].port
+                        if slot is not None else None)
+            if slot is None:
+                break
+            if attempt > 0:
+                self.telemetry.count("reroutes")
+                time.sleep(self.config.retry.delay_s(route_key, attempt - 1))
+            try:
+                status, payload = self._forward(port, body)
+            except (OSError, http.client.HTTPException):
+                tried.add(slot)
+                last_unavailable = (503, wire.error_body(
+                    "busy", f"worker {slot} unavailable",
+                    retryable=True)[1])
+                continue
+            if status == 503:
+                # The worker is draining or closed: it answered, but it
+                # is on its way out — the next ring owner can serve.
+                tried.add(slot)
+                last_unavailable = (status, payload)
+                continue
+            self.telemetry.count("proxied")
+            return status, payload
+        self.telemetry.count("unrouted")
+        if last_unavailable is not None:
+            return last_unavailable
+        return 503, wire.error_body(
+            "busy", "no live workers", retryable=True)[1]
+
+    def _forward(self, port: int, body: bytes) -> Tuple[int, bytes]:
+        """One proxy attempt against one worker (fresh connection)."""
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", port, timeout=self.config.proxy_timeout_s)
+        try:
+            conn.request("POST", "/infer", body=body, headers={
+                "Content-Type": "application/json",
+                "Content-Length": str(len(body))})
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The front door's bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def health(self) -> Dict:
+        with self._workers_lock:
+            workers = {
+                str(slot): {
+                    "alive": worker.process.is_alive(),
+                    "port": worker.port,
+                    "respawns": worker.respawns,
+                    "abandoned": worker.abandoned,
+                }
+                for slot, worker in sorted(self._workers.items())
+            }
+        return {
+            "status": "draining" if self.draining else "ok",
+            "models": len(self.catalog),
+            "workers": workers,
+        }
+
+    def stats(self) -> Dict:
+        """Gateway counters plus each live worker's ``stats()`` snapshot
+        (which surfaces, among others, the serving layer's ``coalesced``
+        counter)."""
+        stats = {
+            "gateway": {
+                name: self.telemetry.counter(name)
+                for name in ("requests", "proxied", "reroutes",
+                             "shed_quota", "shed_draining", "unrouted",
+                             "worker_respawns", "workers_abandoned")
+            },
+            "clients": self._quotas.clients(),
+            "workers": {},
+        }
+        with self._workers_lock:
+            live = [(slot, w.port) for slot, w in self._workers.items()
+                    if not w.abandoned and w.process.is_alive()]
+        for slot, port in live:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5.0)
+            try:
+                conn.request("GET", "/stats")
+                response = conn.getresponse()
+                stats["workers"][str(slot)] = wire.loads(response.read())
+            except (OSError, http.client.HTTPException, wire.WireError):
+                stats["workers"][str(slot)] = {"error": "unreachable"}
+            finally:
+                conn.close()
+        return stats
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the gateway; with ``drain`` every admitted request is
+        answered before sockets go down.
+
+        Order: flag the front door draining (new ``/infer`` → 503) →
+        stop the monitor (so dead workers are final, not respawned) →
+        SIGTERM the pool (each worker settles its admitted work via
+        ``ModelServer.close(drain=True)`` and exits 0) → join workers →
+        shut the front door, joining its handler threads.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.draining = True
+        self._monitor_stop.set()
+        self._monitor_thread.join(timeout=10.0)
+        self._terminate_workers(graceful=drain)
+        self._httpd.shutdown()
+        self._front_thread.join(timeout=10.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

@@ -1,0 +1,143 @@
+"""Open-loop Poisson load generator for the gateway.
+
+A closed loop (fire, wait, fire again) measures a system *at the pace
+the system sets*: under overload the loop slows down with the server
+and the numbers look fine.  An open loop draws arrival times from a
+Poisson process up front and fires on schedule whether or not earlier
+requests came back — overload shows up as what it really is: queueing,
+shed responses, and a collapsing goodput ratio.  That ratio
+(achieved ok-RPS / offered RPS) is what ``BENCH_gateway.json`` records
+and the perf floor gates: a gateway that keeps absorbing the offered
+rate scores ~1.0, one that chokes scores low.
+
+Arrivals are seeded, so a bench run offers the same trace every time;
+dispatch concurrency is bounded by ``max_workers`` (beyond that many
+outstanding requests, later arrivals queue in the pool — logged in the
+report as ``late_dispatches`` rather than silently absorbed).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .client import GatewayClient
+
+__all__ = ["LoadgenReport", "run_open_loop"]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    at = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[at]
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """One open-loop run, summarized.
+
+    ``goodput_ratio`` is the headline: ok-responses per second over
+    the offered arrival rate.  ``shed`` counts typed refusals (429 /
+    503) — the system protecting itself — separately from ``errors``
+    (5xx and transport failures), which are never acceptable.
+    """
+
+    offered_rps: float
+    duration_s: float
+    sent: int
+    ok: int
+    shed: int
+    errors: int
+    achieved_rps: float
+    goodput_ratio: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    late_dispatches: int
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def run_open_loop(address: Union[str, Tuple[str, int]], model: str,
+                  images: Sequence[np.ndarray], *, rate_rps: float,
+                  duration_s: float, seed: int = 0,
+                  client_id: str = "loadgen",
+                  max_workers: int = 64) -> LoadgenReport:
+    """Offer Poisson traffic at ``rate_rps`` for ``duration_s`` seconds.
+
+    Requests cycle through ``images`` (vary them to defeat the result
+    cache, repeat one to exercise it) against one ``model`` route.
+    Blocks until every fired request completes, then reports.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if not images:
+        raise ValueError("need at least one image")
+    client = GatewayClient(address, client_id=client_id)
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    t = rng.expovariate(rate_rps)
+    while t < duration_s:
+        arrivals.append(t)
+        t += rng.expovariate(rate_rps)
+
+    lock = threading.Lock()
+    latencies_ms: List[float] = []
+    counts = {"ok": 0, "shed": 0, "errors": 0}
+
+    def fire(image: np.ndarray) -> None:
+        t0 = time.monotonic()
+        try:
+            result = client.infer(image, model)
+        except Exception:
+            with lock:
+                counts["errors"] += 1
+            return
+        elapsed_ms = (time.monotonic() - t0) * 1e3
+        with lock:
+            if result.ok:
+                counts["ok"] += 1
+                latencies_ms.append(elapsed_ms)
+            elif result.http_status in (429, 503):
+                counts["shed"] += 1
+            else:
+                counts["errors"] += 1
+
+    late = 0
+    start = time.monotonic()
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        for i, at in enumerate(arrivals):
+            delay = (start + at) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            else:
+                late += 1
+            pool.submit(fire, images[i % len(images)])
+        # __exit__ waits for every outstanding request.
+    wall_s = max(time.monotonic() - start, duration_s)
+
+    latencies_ms.sort()
+    offered = len(arrivals) / duration_s
+    achieved = counts["ok"] / wall_s
+    return LoadgenReport(
+        offered_rps=offered,
+        duration_s=duration_s,
+        sent=len(arrivals),
+        ok=counts["ok"],
+        shed=counts["shed"],
+        errors=counts["errors"],
+        achieved_rps=achieved,
+        goodput_ratio=(achieved / offered) if offered else 0.0,
+        p50_ms=_percentile(latencies_ms, 0.50),
+        p95_ms=_percentile(latencies_ms, 0.95),
+        p99_ms=_percentile(latencies_ms, 0.99),
+        late_dispatches=late,
+    )

@@ -1,0 +1,98 @@
+"""Per-client token-bucket quotas for the gateway front door.
+
+The serving layer's admission control (queue-depth bound → typed
+``ServerBusy``) protects the *system*; quotas protect clients from
+*each other*: one chatty client exhausting the global queue would
+starve everyone behind a fair shed.  The front door meters per client
+id first, so a client over its budget gets 429 before its traffic can
+touch a worker queue.
+
+Classic token bucket: a bucket holds up to ``burst`` tokens and
+refills continuously at ``rate_per_s``; each admitted request spends
+one token.  Short bursts up to the bucket size pass at line rate,
+sustained traffic is capped at the refill rate.  Refill is computed
+lazily from elapsed time on each acquire — no timer thread, and an
+injectable clock makes every decision deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["QuotaRegistry", "TokenBucket"]
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate_per_s`` refill."""
+
+    def __init__(self, rate_per_s: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._refilled_at)
+            self._tokens = min(self.burst,
+                               self._tokens + elapsed * self.rate_per_s)
+            self._refilled_at = now
+            if self._tokens < tokens:
+                return False
+            self._tokens -= tokens
+            return True
+
+    def available(self) -> float:
+        """Tokens spendable right now (refill applied, nothing spent)."""
+        with self._lock:
+            elapsed = max(0.0, self._clock() - self._refilled_at)
+            return min(self.burst, self._tokens + elapsed * self.rate_per_s)
+
+
+class QuotaRegistry:
+    """Lazily-created :class:`TokenBucket` per client id.
+
+    ``rate_per_s=None`` disables metering entirely (every acquire
+    succeeds) — the default for local/bench use, where the queue-depth
+    bound is the only admission control.
+    """
+
+    def __init__(self, rate_per_s=None, burst: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_s is not None
+
+    def try_acquire(self, client_id: str) -> bool:
+        """Admit one request for ``client_id`` (always true when
+        metering is disabled)."""
+        if self.rate_per_s is None:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = self._buckets[client_id] = TokenBucket(
+                    self.rate_per_s, self.burst, self._clock)
+        return bucket.try_acquire()
+
+    def clients(self) -> int:
+        """Distinct client ids seen so far."""
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,117 @@
+"""Consistent-hash ring: stable request→worker routing.
+
+The gateway shards the artifact zoo across workers by model key so
+each worker's :class:`~repro.serve.ModelServer` only ever loads the
+slice of models routed to it — its LRU stays hot and its result cache
+actually hits.  A plain ``hash(key) % n_workers`` would reshuffle
+*every* model when one worker dies; consistent hashing moves only the
+dead worker's share.
+
+Standard construction: every node is hashed onto a circle at
+``replicas`` pseudo-random points (virtual nodes, for load spread), a
+key routes to the first node point at or after the key's own hash,
+wrapping around.  Hashes are SHA-256-derived, so placement is stable
+across processes and Python versions (no ``PYTHONHASHSEED``
+dependence — the gateway and a test asserting routing agree forever).
+
+``route(key, exclude=...)`` is the failover walk: with the dead
+worker's node excluded the walk continues clockwise to the next live
+node, which is exactly where the key lands once the dead node is
+removed from the ring — failover traffic goes where the rebalanced
+ring would put it anyway.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit position on the circle for ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over hashable node ids.
+
+    Parameters
+    ----------
+    replicas:
+        Virtual nodes per real node.  More replicas → smoother key
+        spread and smaller variance in how much of a dead node's share
+        each survivor inherits; 64 is plenty for a handful of workers.
+
+    Not thread-safe by itself; the gateway mutates it only under its
+    own worker-table lock.
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (),
+                 replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []       # sorted circle positions
+        self._owners: List[Hashable] = []  # owner of each position
+        self._nodes: List[Hashable] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """Every node currently on the ring, in insertion order."""
+        return tuple(self._nodes)
+
+    def add(self, node: Hashable) -> None:
+        """Place ``node`` on the ring (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for i in range(self.replicas):
+            point = _point(f"{node!r}#{i}")
+            at = bisect.bisect(self._points, point)
+            self._points.insert(at, point)
+            self._owners.insert(at, node)
+
+    def remove(self, node: Hashable) -> None:
+        """Take ``node`` off the ring (idempotent); only its keys move."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != node]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def route(self, key: Hashable,
+              exclude: Iterable[Hashable] = ()) -> Optional[Hashable]:
+        """The node owning ``key`` — or, with ``exclude``, the next
+        node clockwise not in the excluded set.
+
+        Returns ``None`` when no non-excluded node remains (every
+        worker tried/dead): the caller's signal to give up with 503
+        rather than loop.
+        """
+        if not self._points:
+            return None
+        excluded = set(exclude)
+        start = bisect.bisect(self._points, _point(repr(key)))
+        n = len(self._points)
+        seen = set()
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            if owner not in excluded:
+                return owner
+        return None

@@ -1,0 +1,102 @@
+"""Wire format of the HTTP gateway: JSON with base64 array payloads.
+
+Everything that crosses a gateway socket is a JSON object; image and
+output tensors ride inside it as ``{"shape", "dtype", "data"}`` triples
+with the raw array bytes base64-encoded.  The codec is deliberately
+dumb — no pickling, no framing beyond HTTP's own ``Content-Length`` —
+so any HTTP client in any language can talk to the gateway, and a
+worker can never be made to execute attacker-supplied bytecode.
+
+Status mapping (shared by worker and front door so a proxied response
+forwards byte-for-byte):
+
+====== ==========================================================
+code    meaning
+====== ==========================================================
+200     ``{"status": "ok", "output": {...}}``
+400     malformed request (bad JSON, missing field, bad shape)
+404     unknown model key
+429     shed — per-client quota or the server's queue-depth bound
+503     shed — server/gateway draining or worker unavailable
+500     typed ``ServeError`` from the execution layer
+504     the worker's deadline passed without a result
+====== ==========================================================
+
+429 and 503 both carry ``"retryable": true``: the caller did nothing
+wrong, the system is protecting itself.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WireError",
+    "decode_array",
+    "dumps",
+    "encode_array",
+    "error_body",
+    "loads",
+]
+
+
+class WireError(ValueError):
+    """A payload that does not follow the wire format (maps to 400)."""
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Pack an ndarray as a JSON-safe ``{"shape","dtype","data"}``."""
+    array = np.ascontiguousarray(array)
+    return {
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: Any) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises :class:`WireError` on
+    anything malformed (wrong keys, byte count not matching shape)."""
+    if not isinstance(payload, dict):
+        raise WireError(f"array payload must be an object, got "
+                        f"{type(payload).__name__}")
+    try:
+        shape = tuple(int(n) for n in payload["shape"])
+        dtype = np.dtype(str(payload["dtype"]))
+        data = base64.b64decode(payload["data"], validate=True)
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError(f"bad array payload: {exc}") from exc
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(data) != expected:
+        raise WireError(
+            f"array payload carries {len(data)} bytes but shape {shape} "
+            f"dtype {dtype} needs {expected}")
+    return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+
+
+def dumps(obj: Any) -> bytes:
+    """JSON-encode a wire object to UTF-8 bytes."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def loads(data: bytes) -> Any:
+    """Decode a wire body; raises :class:`WireError` on invalid JSON."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"body is not valid JSON: {exc}") from exc
+
+
+def error_body(status: str, reason: str, *,
+               retryable: bool = False) -> Tuple[Dict[str, Any], bytes]:
+    """A non-200 response body: ``(object, encoded bytes)``."""
+    body = {"status": status, "reason": reason}
+    if retryable:
+        body["retryable"] = True
+    return body, dumps(body)

@@ -173,6 +173,7 @@ class InferencePipeline:
         self.hooks = hooks if hooks is not None else PipelineHooks()
         self._pending: List[Tuple[np.ndarray, PendingResult, float]] = []
         self._queue_lock = threading.Lock()
+        self._closed = False
         #: Counters: submitted/completed images, batches run, largest batch.
         self.stats: Dict[str, int] = {
             "submitted": 0, "completed": 0, "batches": 0, "max_batch": 0}
@@ -197,6 +198,9 @@ class InferencePipeline:
                 f"expected an (H, W, C) image, got shape {lr_image.shape}")
         handle = PendingResult(self)
         with self._queue_lock:
+            if self._closed:
+                raise RuntimeError(
+                    "cannot submit to a closed InferencePipeline")
             self._pending.append((lr_image, handle, time.monotonic()))
         self.stats["submitted"] += 1
         return handle
@@ -325,6 +329,31 @@ class InferencePipeline:
                 # handle marked — never a silent limbo in between.
                 handle._discarded = True
             return before - len(kept)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the pipeline: drop the model, discard queued work.
+
+        The eviction path of layers that cycle many pipelines (the
+        model server's LRU registry, the bulk-jobs engine cache): the
+        model's packed weights and staging buffers become collectable
+        immediately instead of living until the garbage collector finds
+        the cycle.  Any still-queued submission is marked discarded —
+        its ``result()`` raises a typed :class:`DiscardedError` rather
+        than blocking forever — and later ``submit()`` calls raise.
+        Idempotent.
+        """
+        with self._queue_lock:
+            if self._closed:
+                return
+            self._closed = True
+            dropped, self._pending = self._pending, []
+            for _, handle, _ in dropped:
+                handle._discarded = True
+        self.model = None
 
     def map(self, images: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Submit ``images``, flush once, and return results in order."""

@@ -36,9 +36,11 @@ class QueuedRequest:
     """One admitted request waiting to be coalesced into a batch.
 
     ``extra_futures`` carries identical in-flight requests that were
-    deduplicated onto this one (the server's thundering-herd guard):
-    they resolve with the same result, but only this request occupies
-    queue depth and batch space.
+    deduplicated onto this one (the server's thundering-herd guard) as
+    ``(future, enqueued_at)`` pairs: they resolve with the same result,
+    but only this request occupies queue depth and batch space, and
+    each rider's latency is measured from its *own* arrival time, not
+    the primary's.
     """
 
     image: Any
@@ -80,6 +82,10 @@ class MicroBatchScheduler:
             OrderedDict()
         )
         self._inflight: Dict[Hashable, int] = {}
+        # Running total of queued requests, maintained by enqueue/take/
+        # drain_queued: admission control consults it on every submit,
+        # so it must stay O(1) however many models the zoo holds.
+        self._depth = 0
 
     # -- enqueue / inspect -------------------------------------------------
 
@@ -94,19 +100,36 @@ class MicroBatchScheduler:
         racing submitters can never both squeeze past the bound.
         """
         with self._lock:
-            depth = sum(len(q) for q in self._queues.values())
-            if max_depth is not None and depth >= max_depth:
+            if max_depth is not None and self._depth >= max_depth:
                 return -1
             queue = self._queues.get(request.model_key)
             if queue is None:
                 queue = self._queues[request.model_key] = deque()
             queue.append(request)
-            return depth + 1
+            self._depth += 1
+            return self._depth
 
     def depth(self) -> int:
         """Total queued (not yet taken) requests across all models."""
         with self._lock:
-            return sum(len(q) for q in self._queues.values())
+            return self._depth
+
+    def audit_depth(self) -> int:
+        """The depth counter, asserted against a full queue scan.
+
+        The O(1) counter is what admission control trusts; this is the
+        O(#models) ground truth kept for tests and debugging — a drift
+        between the two is a bookkeeping bug, so it raises rather than
+        answering wrong.
+        """
+        with self._lock:
+            scanned = sum(len(q) for q in self._queues.values())
+            if scanned != self._depth:
+                raise AssertionError(
+                    f"depth counter {self._depth} != scanned queue total "
+                    f"{scanned}"
+                )
+            return self._depth
 
     def pending(self, model_key: Hashable) -> int:
         with self._lock:
@@ -195,6 +218,7 @@ class MicroBatchScheduler:
                 reason = "drain"
             taken = list(queue)
             queue.clear()
+            self._depth -= len(taken)
             self._inflight[model_key] = self._inflight.get(model_key, 0) + 1
             return taken, reason
 
@@ -221,6 +245,7 @@ class MicroBatchScheduler:
             for queue in self._queues.values():
                 taken.extend(queue)
                 queue.clear()
+            self._depth -= len(taken)
             return taken
 
     def idle(self) -> bool:

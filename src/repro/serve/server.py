@@ -44,6 +44,7 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from collections import OrderedDict
@@ -54,6 +55,7 @@ import numpy as np
 
 from ..deploy.registry import DeployEntry, classify_recipe
 from ..deploy.serialize import ArtifactInfo, scan_artifact_dir
+from ..grad import thread_default_dtype
 from ..infer.parallel import submit_task
 from ..infer.pipeline import InferencePipeline, PipelineHooks
 from .cache import ResultCache, content_key
@@ -186,6 +188,14 @@ class ServerConfig:
         Result-cache budget (0 disables caching).
     clip / n_threads:
         Passed through to each model's ``InferencePipeline``.
+    dtype:
+        When set (``"float32"`` / ``"float64"``), every model load and
+        flush runs under this default dtype via the thread-scoped
+        override (:func:`repro.grad.thread_default_dtype`), so served
+        outputs are bit-identical to a direct pipeline run under the
+        same dtype even when the process-wide default differs.  ``None``
+        (the default) keeps the pre-existing behaviour: flushes run
+        under the ambient process default.
     background:
         Run the scheduler loop on a daemon thread (the serving mode).
         ``False`` is manual mode: the caller drives ``poll()`` /
@@ -209,6 +219,7 @@ class ServerConfig:
     cache_bytes: int = 64 << 20
     clip: bool = True
     n_threads: Optional[int] = None
+    dtype: Optional[str] = None
     background: bool = True
     poll_interval_s: float = 0.05
     drain_timeout_s: Optional[float] = None
@@ -216,6 +227,10 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.latency_budget_s < 0:
             raise ValueError("latency_budget_s must be >= 0")
+        if self.dtype is not None and str(self.dtype) not in (
+                "float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_models < 1:
@@ -343,6 +358,18 @@ class ModelServer:
 
     # -- model registry (lazy load, LRU) -----------------------------------
 
+    def _dtype_scope(self):
+        """Thread-scoped dtype override for model loads and flushes.
+
+        ``config.dtype`` makes served execution bit-identical to a
+        direct pipeline run under that dtype whatever the process-wide
+        default is — server work happens on scheduler/pool threads, so
+        the override must be per-thread, never the shared global.
+        """
+        if self.config.dtype is None:
+            return contextlib.nullcontext()
+        return thread_default_dtype(self.config.dtype)
+
     def _model(self, key: ModelKey) -> _LoadedModel:
         with self._models_lock:
             loaded = self._models.get(key)
@@ -351,13 +378,14 @@ class ModelServer:
                 return loaded
             info = self._catalog[key]
             t0 = time.monotonic()
-            pipeline = InferencePipeline(
-                str(info.path),
-                batch_size=self.config.max_batch,
-                n_threads=self.config.n_threads,
-                clip=self.config.clip,
-                hooks=_TelemetryHooks(self.telemetry),
-            )
+            with self._dtype_scope():
+                pipeline = InferencePipeline(
+                    str(info.path),
+                    batch_size=self.config.max_batch,
+                    n_threads=self.config.n_threads,
+                    clip=self.config.clip,
+                    hooks=_TelemetryHooks(self.telemetry),
+                )
             self.telemetry.count("model_loads")
             self.telemetry.observe("load_seconds", time.monotonic() - t0)
             loaded = _LoadedModel(
@@ -368,7 +396,14 @@ class ModelServer:
             return loaded
 
     def _evict_over_bound(self, keep: ModelKey) -> None:
-        """Drop LRU models over ``max_models`` (busy models are kept)."""
+        """Drop LRU models over ``max_models`` (busy models are kept).
+
+        An evicted model's pipeline is ``close()``'d, not just
+        dereferenced: its packed weights and any queued handles are
+        released immediately instead of leaking until the cycle
+        collector happens to run (the same close-on-evict contract as
+        the bulk-jobs :class:`repro.jobs.worker.EngineCache`).
+        """
         while len(self._models) > self.config.max_models:
             for candidate in self._models:
                 if candidate == keep:
@@ -377,7 +412,7 @@ class ModelServer:
                     continue
                 if self._scheduler.pending(candidate):
                     continue
-                del self._models[candidate]
+                self._models.pop(candidate).pipeline.close()
                 self.telemetry.count("model_evictions")
                 break
             else:
@@ -406,8 +441,9 @@ class ModelServer:
                 f"expected an (H, W, C) image, got shape {image.shape}"
             )
         if self._stopped:
-            # A closed server refuses explicitly instead of queueing a
-            # request no loop will ever flush.
+            # Fast path: a server known to be closed refuses without
+            # taking any lock.  (The authoritative check happens again
+            # under the wake lock below — this one is advisory.)
             self.telemetry.count("shed")
             return ServeFuture.resolved(
                 ServerBusy(
@@ -439,29 +475,46 @@ class ModelServer:
             deadline=t0 + budget,
             model_key=key,
         )
-        with self._inflight_lock:
-            existing = self._inflight_by_key.get(cache_key)
-            if existing is not None:
-                # Identical request already queued or executing: ride
-                # along on its computation instead of queueing a twin.
-                existing.extra_futures.append(future)
-                self.telemetry.count("coalesced")
-                return future
-            depth = self._scheduler.enqueue(
-                request, max_depth=self.config.max_queue_depth
-            )
-            if depth >= 0:
-                self._inflight_by_key[cache_key] = request
-        if depth < 0:
-            self.telemetry.count("shed")
-            return ServeFuture.resolved(
-                ServerBusy(
-                    model=key,
-                    reason="queue full",
-                    queue_depth=self.config.max_queue_depth,
-                )
-            )
+        # Check-and-enqueue is atomic with respect to close(): the stop
+        # flag is raised under the wake lock, so a submission either
+        # lands in the queue *before* the flag goes up (and close()'s
+        # final drain_queued sweep settles it) or observes the flag and
+        # sheds here.  An unsynchronized check could pass, then enqueue
+        # after the sweep — a future nothing would ever resolve.
         with self._wake:
+            if self._stopped:
+                self.telemetry.count("shed")
+                return ServeFuture.resolved(
+                    ServerBusy(
+                        model=key,
+                        reason="server closed",
+                        queue_depth=self._scheduler.depth(),
+                    )
+                )
+            with self._inflight_lock:
+                existing = self._inflight_by_key.get(cache_key)
+                if existing is not None:
+                    # Identical request already queued or executing:
+                    # ride along on its computation instead of queueing
+                    # a twin.  The rider keeps its own enqueue time so
+                    # its latency is measured from *its* arrival.
+                    existing.extra_futures.append((future, t0))
+                    self.telemetry.count("coalesced")
+                    return future
+                depth = self._scheduler.enqueue(
+                    request, max_depth=self.config.max_queue_depth
+                )
+                if depth >= 0:
+                    self._inflight_by_key[cache_key] = request
+            if depth < 0:
+                self.telemetry.count("shed")
+                return ServeFuture.resolved(
+                    ServerBusy(
+                        model=key,
+                        reason="queue full",
+                        queue_depth=self.config.max_queue_depth,
+                    )
+                )
             self._wake.notify_all()
         return future
 
@@ -502,8 +555,9 @@ class ModelServer:
             dispatched += 1
         return dispatched
 
-    def _settle(self, req: QueuedRequest) -> List[ServeFuture]:
-        """Detach ``req`` from the coalescing map; every future to resolve.
+    def _settle(self, req: QueuedRequest) -> List[Tuple[ServeFuture, float]]:
+        """Detach ``req`` from the coalescing map; every
+        ``(future, enqueued_at)`` pair to resolve.
 
         After this returns, a new identical submission starts a fresh
         computation (or hits the cache) — so no future can attach to a
@@ -511,15 +565,20 @@ class ModelServer:
         """
         with self._inflight_lock:
             self._inflight_by_key.pop(req.cache_key, None)
-            futures = [req.future] + list(req.extra_futures)
+            futures = [(req.future, req.enqueued_at)] + list(
+                req.extra_futures
+            )
         return futures
 
     def _respond(self, req: QueuedRequest, value, done: float) -> None:
         if self.config.cache_bytes:
             self.cache.put(req.cache_key, value)
-        for i, future in enumerate(self._settle(req)):
+        for i, (future, enqueued_at) in enumerate(self._settle(req)):
+            # Each rider's latency runs from its own arrival: charging
+            # the primary's (earlier) enqueue time to every rider would
+            # inflate the request_latency histogram under coalescing.
             self.telemetry.observe(
-                "request_latency", max(0.0, done - req.enqueued_at)
+                "request_latency", max(0.0, done - enqueued_at)
             )
             self.telemetry.count("responses")
             # Coalesced riders get their own copy: a caller mutating
@@ -530,9 +589,12 @@ class ModelServer:
         pipeline = None
         handles: List = []
         try:
-            pipeline = self._model(key).pipeline
-            handles = [(req, pipeline.submit(req.image)) for req in requests]
-            pipeline.flush()
+            with self._dtype_scope():
+                pipeline = self._model(key).pipeline
+                handles = [
+                    (req, pipeline.submit(req.image)) for req in requests
+                ]
+                pipeline.flush()
             done = self._clock()
             for req, handle in handles:
                 self._respond(req, handle.result(), done)
@@ -556,7 +618,7 @@ class ModelServer:
                     self._respond(req, handle.result(), done)
                 else:
                     error = ServeError(model=key, message=message)
-                    for future in self._settle(req):
+                    for future, _ in self._settle(req):
                         self.telemetry.count("errors")
                         future._resolve(error)
         finally:
@@ -604,6 +666,10 @@ class ModelServer:
             "queue_depth": self._scheduler.depth(),
             "inflight": self._scheduler.inflight(),
             "skipped_artifacts": len(self.skipped),
+            # Surfaced for front doors (the HTTP gateway reports it):
+            # how many requests rode along on an identical in-flight
+            # computation instead of occupying queue depth.
+            "coalesced": self.telemetry.counter("coalesced"),
         }
         return stats
 
@@ -671,7 +737,7 @@ class ModelServer:
         # Past the deadline (or an undrained close): shed everything
         # still queued with a typed refusal instead of stranding it.
         for req in self._scheduler.drain_queued():
-            for future in self._settle(req):
+            for future, _ in self._settle(req):
                 self.telemetry.count("shed")
                 future._resolve(ServerBusy(
                     model=req.model_key, reason="server closed",
@@ -689,6 +755,16 @@ class ModelServer:
                 with self._wake:
                     if self._scheduler.inflight():
                         self._wake.wait(timeout=0.01)
+        # Release the loaded models once nothing is executing: the same
+        # close-on-evict contract the LRU applies, at end of life.  If
+        # a flush is somehow still running past the settle window the
+        # pipelines are left alone (it resolves its own futures).
+        if not self._scheduler.inflight():
+            with self._models_lock:
+                released, self._models = list(self._models.values()), (
+                    OrderedDict())
+            for loaded in released:
+                loaded.pipeline.close()
 
     def __enter__(self) -> "ModelServer":
         return self

@@ -252,3 +252,26 @@ class TestTypedErrors:
         # nobody holds
         assert engine.pipeline().pending() == 0
         assert engine.infer(good).ok
+
+
+class TestCrossSurfaceDtypeParity:
+    def test_serve_matches_infer_under_non_default_dtype(self, tmp_path):
+        """The PR 5 parity gap, closed: with ``EngineConfig.dtype``
+        non-default (float32 under the float64 process default),
+        ``Engine.serve`` must be bit-identical to ``Engine.infer`` —
+        the configured dtype rides into the server and scopes every
+        flush thread, instead of flushes running under the ambient
+        process default."""
+        init.seed(0)
+        engine = Engine.from_spec(
+            "srresnet", scheme="scales", scale=2, preset="tiny",
+            config=EngineConfig(dtype="float32", seed=7))
+        engine.export(tmp_path / "parity.rbd.npz")
+        images = _images(seed=9)
+        direct = [r.unwrap() for r in engine.infer_many(images)]
+        assert all(out.dtype == np.float32 for out in direct)
+        with engine.serve() as session:
+            served = [r.unwrap() for r in session.infer_many(images)]
+        for a, b in zip(direct, served):
+            assert b.dtype == np.float32
+            assert np.array_equal(a, b)

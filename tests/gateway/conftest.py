@@ -1,0 +1,37 @@
+"""Shared fixtures for the gateway suite: one tiny artifact zoo.
+
+Building packed artifacts is the expensive part of every gateway test,
+so the zoo is session-scoped; gateways/workers over it are cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.deploy import compile_model
+from repro.models import build_model
+from repro.nn import init
+
+KEY_A = ("srresnet", "scales", 2)
+KEY_B = ("edsr", "e2fif", 2)
+MODEL_A = "srresnet/scales/x2"
+MODEL_B = "edsr/e2fif/x2"
+
+
+@pytest.fixture(scope="session")
+def zoo_dir(tmp_path_factory):
+    """Directory with two tiny packed artifacts (built once per session)."""
+    directory = tmp_path_factory.mktemp("gateway_zoo")
+    with G.default_dtype("float32"):
+        for arch, scheme, scale in (KEY_A, KEY_B):
+            init.seed(0)
+            model = build_model(
+                arch, scale=scale, scheme=scheme, preset="tiny")
+            compile_model(
+                model, freeze=str(directory / f"{arch}_{scheme}.npz"))
+    return directory
+
+
+def images(n=4, shape=(12, 12, 3), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random(shape).astype(np.float32) for _ in range(n)]

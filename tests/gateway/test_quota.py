@@ -1,0 +1,62 @@
+"""Token-bucket quotas under a simulated clock — no sleeps."""
+
+import pytest
+
+from repro.gateway import QuotaRegistry, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=2, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 1 token back at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=100.0, burst=2, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError, match="rate_per_s"):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+
+class TestQuotaRegistry:
+    def test_disabled_metering_always_admits(self):
+        registry = QuotaRegistry(rate_per_s=None)
+        assert not registry.enabled
+        assert all(registry.try_acquire("c") for _ in range(1000))
+        assert registry.clients() == 0
+
+    def test_clients_metered_independently(self):
+        clock = FakeClock()
+        registry = QuotaRegistry(rate_per_s=1.0, burst=2, clock=clock)
+        assert registry.try_acquire("alice") and registry.try_acquire("alice")
+        assert not registry.try_acquire("alice")
+        # Bob's bucket is untouched by Alice exhausting hers.
+        assert registry.try_acquire("bob")
+        assert registry.clients() == 2

@@ -1,0 +1,68 @@
+"""Consistent-hash ring: stability, spread, and minimal-motion removal."""
+
+import pytest
+
+from repro.gateway import HashRing
+
+KEYS = [f"arch{i}/scheme{j}/x{s}"
+        for i in range(10) for j in range(5) for s in (2, 3, 4)]
+
+
+class TestRouting:
+    def test_routing_is_stable_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_every_node_gets_a_share(self):
+        ring = HashRing(range(4))
+        owners = {ring.route(k) for k in KEYS}
+        assert owners == {0, 1, 2, 3}
+
+    def test_same_key_always_same_node(self):
+        ring = HashRing(range(8))
+        for key in KEYS[:20]:
+            assert len({ring.route(key) for _ in range(5)}) == 1
+
+    def test_empty_ring_routes_to_none(self):
+        assert HashRing().route("anything") is None
+
+    def test_all_excluded_routes_to_none(self):
+        ring = HashRing(range(3))
+        assert ring.route("k", exclude={0, 1, 2}) is None
+
+
+class TestMembership:
+    def test_removal_moves_only_the_dead_nodes_keys(self):
+        ring = HashRing(range(5))
+        before = {k: ring.route(k) for k in KEYS}
+        ring.remove(2)
+        for key, owner in before.items():
+            if owner == 2:
+                assert ring.route(key) != 2
+            else:
+                # A surviving node's keys must not reshuffle.
+                assert ring.route(key) == owner
+
+    def test_exclude_agrees_with_removal(self):
+        """The failover walk lands where the rebalanced ring would
+        put the key anyway — failover traffic warms the right cache."""
+        ring = HashRing(range(5))
+        removed = HashRing([n for n in range(5) if n != 3])
+        for key in KEYS:
+            assert ring.route(key, exclude={3}) == removed.route(key)
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing([0, 1])
+        ring.add(1)
+        assert len(ring) == 2
+        ring.remove(7)
+        assert ring.nodes() == (0, 1)
+        ring.remove(0)
+        ring.remove(0)
+        assert ring.nodes() == (1,)
+        assert all(ring.route(k) == 1 for k in KEYS[:10])
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)

@@ -1,0 +1,68 @@
+"""Wire codec round-trips and the result→status mapping."""
+
+import numpy as np
+import pytest
+
+from repro.gateway import wire
+from repro.gateway.worker import classify_result
+from repro.serve import ServeError, ServerBusy
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "uint8"])
+    def test_roundtrip_preserves_bits(self, dtype):
+        rng = np.random.default_rng(0)
+        array = (rng.random((5, 7, 3)) * 100).astype(dtype)
+        decoded = wire.decode_array(wire.encode_array(array))
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(decoded, array)
+
+    def test_noncontiguous_input_encodes(self):
+        array = np.arange(24, dtype=np.float32).reshape(4, 6)[:, ::2]
+        assert np.array_equal(
+            wire.decode_array(wire.encode_array(array)), array)
+
+    def test_byte_count_mismatch_rejected(self):
+        payload = wire.encode_array(np.zeros((2, 2), np.float32))
+        payload["shape"] = [2, 3]
+        with pytest.raises(wire.WireError, match="needs"):
+            wire.decode_array(payload)
+
+    def test_malformed_payloads_rejected(self):
+        for payload in (None, [], {"shape": [1]},
+                        {"shape": [1], "dtype": "nope", "data": ""},
+                        {"shape": [1], "dtype": "float32", "data": "!!!"}):
+            with pytest.raises(wire.WireError):
+                wire.decode_array(payload)
+
+    def test_bad_json_body_rejected(self):
+        with pytest.raises(wire.WireError, match="JSON"):
+            wire.loads(b"{not json")
+
+
+class TestStatusMapping:
+    def test_ok_array_is_200(self):
+        status, body = classify_result(np.ones((2, 2, 3), np.float32))
+        assert status == 200
+        decoded = wire.loads(body)
+        assert decoded["status"] == "ok"
+        assert wire.decode_array(decoded["output"]).shape == (2, 2, 3)
+
+    def test_queue_full_shed_is_429(self):
+        status, body = classify_result(
+            ServerBusy(model=("a", "b", 2), reason="queue full",
+                       queue_depth=9))
+        assert status == 429
+        assert wire.loads(body)["retryable"] is True
+
+    def test_server_closed_shed_is_503(self):
+        status, _ = classify_result(
+            ServerBusy(model=("a", "b", 2), reason="server closed",
+                       queue_depth=0))
+        assert status == 503
+
+    def test_serve_error_is_500(self):
+        status, body = classify_result(
+            ServeError(model=("a", "b", 2), message="boom"))
+        assert status == 500
+        assert wire.loads(body)["reason"] == "boom"

@@ -180,3 +180,62 @@ class TestFlushLifecycle:
         assert not sched.idle()  # in flight
         sched.release(KEY_A)
         assert sched.idle()
+
+
+class TestDepthCounter:
+    """The O(1) depth counter vs the O(#models) scan it replaced.
+
+    ``audit_depth()`` *raises* on drift, so asserting it after every
+    mutation proves the counter tracks the queues exactly through
+    enqueue / refusal / take / drain cycles.
+    """
+
+    def test_counter_tracks_queues_through_mixed_operations(self):
+        sched = MicroBatchScheduler(max_batch=3)
+        assert sched.audit_depth() == 0
+        for _ in range(5):
+            sched.enqueue(_req(KEY_A, 0.0))
+            sched.audit_depth()
+        for _ in range(4):
+            sched.enqueue(_req(KEY_B, 0.0))
+        assert sched.audit_depth() == 9
+        taken, _ = sched.take(KEY_A, now=10.0)
+        assert len(taken) == 5
+        assert sched.audit_depth() == 4
+        sched.release(KEY_A)
+        sched.enqueue(_req(KEY_A, 1.0), max_depth=5)
+        assert sched.audit_depth() == 5
+        # A refusal at the bound must not drift the counter.
+        assert sched.enqueue(_req(KEY_A, 1.0), max_depth=5) == -1
+        assert sched.audit_depth() == 5
+        assert len(sched.drain_queued()) == 5
+        assert sched.audit_depth() == 0
+
+    def test_counter_consistent_under_concurrent_mutation(self):
+        import threading
+
+        sched = MicroBatchScheduler(max_batch=4, max_inflight=8)
+        keys = [KEY_A, KEY_B]
+
+        def churn(key):
+            for i in range(200):
+                sched.enqueue(_req(key, float(i)), max_depth=64)
+                if i % 3 == 0:
+                    sched.take(key, now=1e9)
+                    sched.release(key)
+
+        threads = [threading.Thread(target=churn, args=(k,)) for k in keys]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sched.audit_depth() == sched.depth()
+        sched.drain_queued()
+        assert sched.audit_depth() == 0
+
+    def test_audit_raises_on_drift(self):
+        sched = MicroBatchScheduler(max_batch=3)
+        sched.enqueue(_req(KEY_A, 0.0))
+        sched._depth = 5  # simulate a bookkeeping bug
+        with pytest.raises(AssertionError, match="depth counter"):
+            sched.audit_depth()

@@ -8,6 +8,7 @@ and thread count are execution-strategy details only.
 
 import itertools
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -601,3 +602,103 @@ class TestStatsAndReport:
             assert "cache_hit_rate" in report
             assert "srresnet/scales/x2" in report
             assert "coverage=full" in report
+
+
+class TestSubmitCloseRace:
+    def test_submit_racing_close_is_settled_not_stranded(self, artifact_dir):
+        """A submission that passes the stop-flag check must either land
+        before close()'s final sweep (and be settled by it) or shed —
+        never enqueue after the sweep into a future nobody resolves.
+
+        The race window is forced open deterministically: the racing
+        submit blocks at the enqueue call while close() runs to
+        completion.  Pre-fix, the late enqueue strands its future and
+        ``result(timeout=...)`` times out.
+        """
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            image = _images(SHAPES[0], n=1)[0]
+            entered = threading.Event()
+            proceed = threading.Event()
+            real_enqueue = server._scheduler.enqueue
+
+            def gated_enqueue(request, max_depth=None):
+                entered.set()
+                assert proceed.wait(timeout=10)
+                return real_enqueue(request, max_depth=max_depth)
+
+            server._scheduler.enqueue = gated_enqueue
+            futures = {}
+
+            def racer():
+                futures["f"] = server.submit(image, KEY_A)
+
+            submitter = threading.Thread(target=racer)
+            submitter.start()
+            assert entered.wait(timeout=10)
+            closer = threading.Thread(
+                target=lambda: server.close(drain=False)
+            )
+            closer.start()
+            # Give close() every chance to win: unsynchronized, it
+            # finishes its sweep here (nothing queued yet) and the
+            # enqueue that follows is stranded forever.
+            time.sleep(0.3)
+            proceed.set()
+            submitter.join(timeout=10)
+            closer.join(timeout=10)
+            assert not submitter.is_alive() and not closer.is_alive()
+            result = futures["f"].result(timeout=2)
+            assert isinstance(result, ServerBusy)
+            assert result.reason == "server closed"
+
+
+class TestEvictionReleasesResources:
+    def test_evicted_model_pipeline_is_closed(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock(), max_models=1)
+            server.map(_images(SHAPES[0], n=1), KEY_A)
+            pipeline_a = server._models[KEY_A].pipeline
+            assert not pipeline_a.closed
+            server.map(_images(SHAPES[1], n=1), KEY_B)  # LRU evicts A
+            assert server.loaded_models() == (KEY_B,)
+            assert pipeline_a.closed
+            assert pipeline_a.model is None  # arrays released, not leaked
+            with pytest.raises(RuntimeError, match="closed"):
+                pipeline_a.submit(_images(SHAPES[0], n=1)[0])
+
+    def test_close_releases_loaded_pipelines(self, artifact_dir):
+        with G.default_dtype("float32"):
+            server = _manual_server(artifact_dir, FakeClock())
+            server.map(_images(SHAPES[0], n=1), KEY_A)
+            pipeline = server._models[KEY_A].pipeline
+            server.close()
+            assert pipeline.closed
+            assert server.loaded_models() == ()
+
+
+class TestCoalescedRiderLatency:
+    def test_rider_latency_measured_from_its_own_arrival(self, artifact_dir):
+        """A coalesced rider's request_latency starts at *its* arrival,
+        not the primary's: with 10 fake seconds between the two
+        submissions, the flush settles the primary at ~10 s and the
+        rider at ~0 s (pre-fix, both recorded the primary's 10 s)."""
+        with G.default_dtype("float32"):
+            clock = FakeClock()
+            server = _manual_server(
+                artifact_dir, clock, latency_budget_s=0.5
+            )
+            image = _images(SHAPES[0], n=1)[0]
+            primary = server.submit(image, KEY_A)
+            clock.advance(10.0)
+            rider = server.submit(image.copy(), KEY_A)
+            assert server.telemetry.counter("coalesced") == 1
+            server.drain()
+            assert isinstance(primary.result(timeout=10), np.ndarray)
+            assert isinstance(rider.result(timeout=10), np.ndarray)
+            snap = server.telemetry.stats()["latency"]["request_latency"]
+            assert snap["count"] == 2
+            assert snap["min_ms"] == pytest.approx(0.0, abs=1.0)
+            assert snap["max_ms"] == pytest.approx(10_000.0, rel=0.01)
+            # The coalesced counter is surfaced for front doors.
+            assert server.stats()["server"]["coalesced"] == 1
