@@ -10,21 +10,29 @@ and fails (exit 1) if its speedup ratio is below the floor — so a perf
 regression fails the build even if someone weakens or skips the
 in-test assertion, and the uploaded artifact can never silently decay.
 
+It also schema-validates every ``BENCH_*.json`` it can see (the
+committed trajectories as well as the fresh ones) so a malformed
+recording — the thing every other consumer of these files would trip
+over later — fails loudly at the gate.
+
 Usage::
 
     python benchmarks/check_bench_regression.py [--bench-dir DIR]
-        [--floors FILE] [--require-fresh SECONDS]
+        [--floors FILE] [--require-fresh SECONDS] [--schema-only]
 
 ``--bench-dir`` defaults to the directory the perf run recorded into
 (``REPRO_BENCH_DIR`` or the repo root).  ``--require-fresh`` rejects
 stale entries: CI passes the job runtime so the gate provably checks
-numbers measured in *this* build, not history.
+numbers measured in *this* build, not history.  ``--schema-only``
+validates the files and skips the floor gate (the CI lint-adjacent
+mode that needs no perf run).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -36,12 +44,62 @@ def newest_entry(entries, benchmark):
     return matching[-1] if matching else None
 
 
+def validate_bench_file(path: Path) -> list[str]:
+    """Schema problems of one ``BENCH_*.json`` trajectory (empty = ok).
+
+    The contract every recorder writes and every consumer (this gate,
+    the trend renderer, the uploaded CI artifact) assumes: a top-level
+    object with an ``entries`` list; every entry an object with a
+    string ``benchmark`` and a numeric ``unix_time``; ``speedup``,
+    when present, a finite number.
+    """
+    problems = []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    if not isinstance(data, dict):
+        return [f"{path.name}: top level must be an object, "
+                f"got {type(data).__name__}"]
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        return [f"{path.name}: 'entries' must be a list"]
+    for i, entry in enumerate(entries):
+        where = f"{path.name}: entries[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not isinstance(entry.get("benchmark"), str):
+            problems.append(f"{where}: missing string 'benchmark'")
+        unix_time = entry.get("unix_time")
+        if not isinstance(unix_time, (int, float)) \
+                or isinstance(unix_time, bool):
+            problems.append(f"{where}: missing numeric 'unix_time'")
+        if "speedup" in entry:
+            speedup = entry["speedup"]
+            if not isinstance(speedup, (int, float)) \
+                    or isinstance(speedup, bool) \
+                    or not math.isfinite(speedup):
+                problems.append(
+                    f"{where}: 'speedup' must be a finite number, "
+                    f"got {speedup!r}")
+    return problems
+
+
+def validate_bench_dir(bench_dir: Path) -> list[str]:
+    """Schema problems across every ``BENCH_*.json`` in ``bench_dir``."""
+    problems = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        problems.extend(validate_bench_file(path))
+    return problems
+
+
 def check(bench_dir: Path, floors_path: Path,
           require_fresh: float | None) -> int:
     floors = json.loads(floors_path.read_text())
     floors.pop("_comment", None)
     now = time.time()
-    failures = []
+    failures = validate_bench_dir(bench_dir)
     rows = []
     for family, gates in floors.items():
         path = bench_dir / f"BENCH_{family}.json"
@@ -103,11 +161,28 @@ def main(argv=None) -> int:
                         metavar="SECONDS",
                         help="fail if the newest gated entry is older than "
                              "this (CI passes the job runtime)")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate every BENCH_*.json and exit without "
+                             "gating ratios against floors")
     args = parser.parse_args(argv)
     bench_dir = args.bench_dir
     if bench_dir is None:
         import os
         bench_dir = Path(os.environ.get("REPRO_BENCH_DIR", default_dir))
+    if args.schema_only:
+        problems = validate_bench_dir(bench_dir)
+        files = sorted(bench_dir.glob("BENCH_*.json"))
+        print(f"bench schema check  ({len(files)} trajectory file(s) "
+              f"in {bench_dir})")
+        for failure in problems:
+            print(f"  - {failure}")
+        if not files:
+            print("  - no BENCH_*.json files found")
+            return 1
+        if problems:
+            return 1
+        print("  OK: every trajectory parses and matches the schema")
+        return 0
     return check(bench_dir, args.floors, args.require_fresh)
 
 

@@ -1,0 +1,114 @@
+"""Render the perf trajectory as a markdown trend table.
+
+The nightly CI job measures fresh ``BENCH_*.json`` trajectories, then
+runs this script to publish *where the numbers are going*: for every
+gated benchmark in ``benchmarks/perf_floors.json``, a row with
+
+* the **fresh** speedup ratio measured in this run,
+* the **previous** recorded ratio (the committed trajectory in the
+  repo — the last ratio a human signed off on),
+* the committed **floor**, and
+* a trend marker (the fresh-vs-previous delta).
+
+The output is GitHub-flavoured markdown; CI appends it to
+``$GITHUB_STEP_SUMMARY`` so the trajectory is readable on the run page
+without downloading artifacts.  The script never fails the build —
+gating is :mod:`check_bench_regression`'s job; this one only reports.
+
+Usage::
+
+    python benchmarks/render_bench_trend.py --bench-dir "$RUNNER_TEMP/bench"
+        [--baseline-dir REPO_ROOT] [--floors FILE] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from check_bench_regression import newest_entry, validate_bench_file
+
+
+def _latest_ratio(bench_dir: Path, family: str, benchmark: str):
+    """Newest recorded speedup for one benchmark, or ``None``."""
+    path = bench_dir / f"BENCH_{family}.json"
+    if not path.exists() or validate_bench_file(path):
+        return None
+    entries = json.loads(path.read_text()).get("entries", [])
+    entry = newest_entry(entries, benchmark)
+    if entry is None:
+        return None
+    ratio = entry.get("speedup")
+    return float(ratio) if isinstance(ratio, (int, float)) else None
+
+
+def _cell(ratio) -> str:
+    return f"{ratio:.2f}x" if ratio is not None else "—"
+
+
+def _trend(fresh, previous) -> str:
+    if fresh is None or previous is None:
+        return "—"
+    delta = fresh - previous
+    if abs(delta) < 0.05:
+        return "→ steady"
+    arrow = "↑" if delta > 0 else "↓"
+    return f"{arrow} {delta:+.2f}x"
+
+
+def render(bench_dir: Path, baseline_dir: Path, floors_path: Path) -> str:
+    floors = json.loads(floors_path.read_text())
+    floors.pop("_comment", None)
+    lines = [
+        "## Perf trajectory",
+        "",
+        f"Fresh ratios from `{bench_dir}` vs the committed trajectory "
+        "and floors.",
+        "",
+        "| benchmark | fresh | previous | floor | trend |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for family in sorted(floors):
+        for benchmark in sorted(floors[family]):
+            floor = floors[family][benchmark]
+            fresh = _latest_ratio(bench_dir, family, benchmark)
+            previous = _latest_ratio(baseline_dir, family, benchmark)
+            status = ""
+            if fresh is not None and fresh < floor:
+                status = " ⚠️ below floor"
+            lines.append(
+                f"| {family}/{benchmark} | {_cell(fresh)} "
+                f"| {_cell(previous)} | {floor:.2f}x "
+                f"| {_trend(fresh, previous)}{status} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo_root = Path(__file__).resolve().parent.parent
+    parser.add_argument("--bench-dir", type=Path, required=True,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--baseline-dir", type=Path, default=repo_root,
+                        help="directory holding the previous trajectories "
+                             "(default: the committed repo root)")
+    parser.add_argument("--floors", type=Path,
+                        default=Path(__file__).resolve().parent
+                        / "perf_floors.json")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="append the table here instead of stdout "
+                             "(CI passes $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+    table = render(args.bench_dir, args.baseline_dir, args.floors)
+    if args.output is not None:
+        with open(args.output, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+    else:
+        print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Observe a serving gateway: /metrics scrape, JSON logs, canary rollout.
+
+The operational story on top of ``examples/gateway_serving.py``:
+
+1. export a two-model artifact zoo and start a gateway over it, with
+   structured JSON logging (``repro.api.configure_logging``) so every
+   request leaves a correlatable log line;
+2. fire traffic, then scrape ``GET /metrics`` — Prometheus exposition
+   text merged across the front door and every worker process — and
+   **lint** it (``repro.serve.lint_exposition``): the scrape must
+   parse, and must carry one request-counter series and one p99 series
+   per loaded model, plus the SLO budget/burn series;
+3. drop a *clean* revision 2 of one model next to the incumbent: the
+   gateway shadow-verifies sampled requests against it (clients keep
+   getting incumbent bytes) and auto-promotes after N bit-identical
+   samples — durably, in the zoo's ``revisions.json``;
+4. drop a *perturbed* revision 3: the first sampled verification
+   catches the divergence and demotes it — zero client-visible errors
+   in the whole episode.
+
+CI runs this as the metrics-smoke step.  Run:
+``PYTHONPATH=src python examples/observability.py``
+"""
+
+import http.client
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import grad as G
+from repro.api import Engine, EngineConfig, ModelSpec, configure_logging
+from repro.deploy import CanaryConfig, read_revision_state
+from repro.gateway import Gateway, GatewayClient, GatewayConfig
+from repro.serve import EXPOSITION_CONTENT_TYPE, ServerConfig, lint_exposition
+
+ZOO = (
+    ModelSpec("srresnet", scheme="scales", scale=2),
+    ModelSpec("edsr", scheme="e2fif", scale=2),
+)
+SHAPE = (16, 16, 3)
+PROMOTE_AFTER = 3
+
+
+def export_zoo(directory):
+    print("Exporting the zoo (2 packed artifacts)...")
+    paths = {}
+    for spec in ZOO:
+        engine = Engine.from_spec(
+            spec, config=EngineConfig(seed=0, dtype="float32"))
+        path = engine.export(f"{directory}/{spec.artifact_name()}")
+        engine.close()
+        paths[spec.route] = path
+        print(f"  {spec.route}  ->  {path.name}")
+    return paths
+
+
+def restamp_revision(src, dst, revision, perturb=False):
+    """Copy an artifact at a new deploy revision (optionally perturbed,
+    to demonstrate what canary verification catches)."""
+    with np.load(src) as data:
+        arrays = {name: data[name] for name in data.files}
+    meta = json.loads(str(arrays.pop("__meta__")[()]))
+    meta["revision"] = revision
+    if perturb:
+        for key in [k for k in arrays if k.startswith("state:")]:
+            arrays[key] = arrays[key] + np.float32(0.01)
+    np.savez(dst, __meta__=np.array(json.dumps(meta)), **arrays)
+
+
+def scrape(address):
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        content_type = response.getheader("Content-Type")
+        text = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    assert response.status == 200, f"/metrics answered {response.status}"
+    assert content_type == EXPOSITION_CONTENT_TYPE, content_type
+    return text
+
+
+def series_of(text, family):
+    """The sample lines of one family in an exposition scrape."""
+    return [line for line in text.splitlines()
+            if line.startswith(family) and not line.startswith("#")]
+
+
+def check_scrape(text, routes):
+    problems = lint_exposition(text)
+    assert not problems, "exposition lint failed:\n  " + "\n  ".join(problems)
+    for route in routes:
+        label = f'model="{route}"'
+        requests = [s for s in series_of(text, "repro_serve_requests_total")
+                    if label in s]
+        assert requests, f"no request series for loaded model {route}"
+        p99 = [s for s in series_of(text, "repro_serve_model_latency_seconds")
+               if label in s and 'quantile="0.99"' in s]
+        assert p99, f"no p99 series for loaded model {route}"
+        slo = [s for s in series_of(text, "repro_serve_slo_budget_seconds")
+               if label in s]
+        assert slo, f"no SLO budget series for loaded model {route}"
+    assert series_of(text, "repro_gateway_worker_alive"), \
+        "no worker liveness series"
+    print(f"  scrape OK: {len(text.splitlines())} lines, lint clean, "
+          f"per-model request/p99/SLO series present")
+
+
+def main() -> None:
+    configure_logging()  # every request below emits a JSON log line
+    zoo_dir = Path(tempfile.mkdtemp(prefix="repro_obs_zoo_"))
+    with G.default_dtype("float32"):
+        artifact_paths = export_zoo(zoo_dir)
+    routes = [spec.route for spec in ZOO]
+    canary_route = ZOO[0].route
+    canary_artifact = artifact_paths[canary_route]
+
+    config = GatewayConfig(
+        n_workers=2,
+        server=ServerConfig(n_threads=1, dtype="float32",
+                            slo_default_budget_s=5.0,
+                            drain_timeout_s=10.0),
+        canary=CanaryConfig(sample_fraction=1.0,
+                            promote_after=PROMOTE_AFTER,
+                            restart_workers_on_promote=False),
+    )
+    rng = np.random.default_rng(7)
+    failures = 0
+    with Gateway(zoo_dir, config) as gateway:
+        client = GatewayClient(gateway.address, client_id="observer")
+
+        print("\nPhase 1: traffic + /metrics scrape")
+        for route in routes:
+            for _ in range(5):
+                image = rng.random(SHAPE).astype(np.float32)
+                result = client.infer(image, route)
+                failures += 0 if result.ok else 1
+        check_scrape(scrape(gateway.address), routes)
+
+        print("\nPhase 2: clean revision 2 -> shadow-verify -> promote")
+        restamp_revision(canary_artifact, zoo_dir / "rev2.npz", revision=2)
+        gateway.refresh_revisions()
+        for _ in range(PROMOTE_AFTER):
+            image = rng.random(SHAPE).astype(np.float32)
+            result = client.infer(image, canary_route)
+            failures += 0 if result.ok else 1
+        state = gateway.canary.snapshot()[canary_route]["state"]
+        assert state == "promoted", f"expected promotion, got {state!r}"
+        active = read_revision_state(zoo_dir)[canary_route]
+        assert active == 2, f"revisions.json active is {active}, not 2"
+        print(f"  promoted after {PROMOTE_AFTER} clean samples; "
+              "revisions.json pins revision 2")
+
+        print("\nPhase 3: perturbed revision 3 -> first mismatch demotes")
+        restamp_revision(canary_artifact, zoo_dir / "rev3.npz", revision=3,
+                         perturb=True)
+        gateway.refresh_revisions()
+        image = rng.random(SHAPE).astype(np.float32)
+        result = client.infer(image, canary_route)
+        failures += 0 if result.ok else 1
+        state = gateway.canary.snapshot()[canary_route]["state"]
+        assert state == "demoted", f"expected demotion, got {state!r}"
+        active = read_revision_state(zoo_dir)[canary_route]
+        assert active == 2, f"incumbent not pinned: active={active}"
+        text = scrape(gateway.address)
+        assert series_of(text, "repro_canary_demotions_total"), \
+            "demotion not visible in /metrics"
+        print("  demoted on the first sampled mismatch; incumbent "
+              "still serving")
+
+        status = gateway.revision_status()
+        print(f"\n/revisions: {json.dumps(status['revisions'], indent=2)}")
+
+    assert failures == 0, f"{failures} client-visible errors"
+    print("\nOK: scrape linted, canary promoted and demoted, zero "
+          "client-visible errors")
+
+
+if __name__ == "__main__":
+    main()

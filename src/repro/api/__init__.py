@@ -18,7 +18,10 @@ One coherent surface over the five execution layers that grew under it
   — the merged registry answering "can this cell compile, export,
   serve?" before any work happens;
 * :class:`ServeSession` / :func:`serve_directory` — typed serving
-  over a packed-artifact zoo.
+  over a packed-artifact zoo;
+* :func:`configure_logging` / :func:`log_event` — process-wide
+  structured JSON logging for every ``repro.*`` layer (one JSON
+  object per line; the serving stack's per-request events use it).
 
 The legacy entry points remain supported as the low-level layer this
 facade drives (see the README's Public API table); new cross-layer
@@ -28,6 +31,7 @@ features land here first.
 from .capabilities import Capability, capability, capability_matrix
 from .config import EngineConfig
 from .engine import Engine
+from .logs import configure_logging, log_event
 from .results import EngineError, InferRequest, InferResult
 from .serving import ServeSession, ServeTicket, serve_directory
 from .spec import ModelSpec
@@ -44,5 +48,7 @@ __all__ = [
     "ServeTicket",
     "capability",
     "capability_matrix",
+    "configure_logging",
+    "log_event",
     "serve_directory",
 ]

@@ -27,7 +27,12 @@ linears really do run on ``uint64`` words —
   float binary weights ever touching disk;
 * :mod:`repro.deploy.registry` — the zoo-wide deploy registry mapping
   every ``(architecture, scheme, scale)`` combination to its compile
-  coverage, and the placeholder skeleton builder the loader uses.
+  coverage, and the placeholder skeleton builder the loader uses;
+* :mod:`repro.deploy.revision` — versioned artifact rollout: several
+  revisions of one model on disk, a durable ``revisions.json`` active
+  map (:class:`RevisionStore`), and the :class:`CanaryController`
+  state machine that promotes a candidate after N bit-identical
+  shadow-verified samples or demotes it on the first mismatch.
 
 The deployed model produces outputs numerically identical to the training
 graph (same scales, thresholds, re-scaling branches and skips), which the
@@ -45,12 +50,16 @@ from .engine import (PackedBinaryConv2d, PackedBinaryLinear, TiledInference,
                      compile_model, deployable_layers, get_packed_backend,
                      packed_backend, set_packed_backend)
 from .report import DeploymentReport, artifact_report, deployment_report
-from .serialize import (ARTIFACT_FORMAT, ARTIFACT_VERSION, ArtifactInfo,
-                        artifact_key, default_artifact_name, load_artifact,
-                        read_artifact_meta, save_artifact, scan_artifact_dir)
+from .serialize import (ARTIFACT_FORMAT, ARTIFACT_VERSION,
+                        REVISION_STATE_FILE, ArtifactInfo, artifact_key,
+                        default_artifact_name, key_str, load_artifact,
+                        read_artifact_meta, read_revision_state,
+                        save_artifact, scan_artifact_dir,
+                        scan_artifact_revisions)
 from .registry import (DeployEntry, PlaceholderBinaryLayer, build_entry,
                        build_skeleton, classify_recipe, deploy_registry,
                        deployable_entries, registry_matrix)
+from .revision import CanaryConfig, CanaryController, RevisionStore
 
 __all__ = [
     "pack_signs", "unpack_signs", "popcount_u64", "popcount_u64_lut",
@@ -64,10 +73,13 @@ __all__ = [
     "compile_model", "deployable_layers",
     "get_packed_backend", "packed_backend", "set_packed_backend",
     "DeploymentReport", "artifact_report", "deployment_report",
-    "ARTIFACT_FORMAT", "ARTIFACT_VERSION", "default_artifact_name",
-    "save_artifact", "load_artifact", "read_artifact_meta",
-    "ArtifactInfo", "artifact_key", "scan_artifact_dir",
+    "ARTIFACT_FORMAT", "ARTIFACT_VERSION", "REVISION_STATE_FILE",
+    "default_artifact_name", "save_artifact", "load_artifact",
+    "read_artifact_meta", "read_revision_state",
+    "ArtifactInfo", "artifact_key", "key_str", "scan_artifact_dir",
+    "scan_artifact_revisions",
     "DeployEntry", "PlaceholderBinaryLayer", "build_entry", "build_skeleton",
     "classify_recipe", "deploy_registry", "deployable_entries",
     "registry_matrix",
+    "CanaryConfig", "CanaryController", "RevisionStore",
 ]

@@ -1,0 +1,345 @@
+"""Versioned artifact rollout: revision state, canary verification.
+
+The serving story so far assumed one artifact per zoo key.  This
+module adds the operational half the ROADMAP's rollout item asks for:
+several *revisions* of one model coexisting on disk, exactly one
+serving, and a machine-checked path for moving traffic to a new one.
+
+The pieces:
+
+``RevisionStore``
+    Owns a directory's ``revisions.json`` — the durable record of
+    which revision of each key is *active*.  Promotion/demotion are
+    atomic file replaces (the same crash-safety contract as
+    :func:`repro.deploy.save_artifact`), and
+    :func:`repro.deploy.scan_artifact_dir` reads the same file, so a
+    freshly scanned server always agrees with the store.
+
+``CanaryController``
+    The per-key rollout state machine a front door drives.  While a
+    candidate revision is present, every ``sample_fraction``-th
+    request is *shadow-verified*: the client is answered from the
+    incumbent as always, and the candidate's output for the same input
+    is compared bit-for-bit.  Because served outputs are deterministic
+    (the conformance tests' contract), a healthy candidate matches
+    exactly — so the first mismatch is proof of a bad artifact and
+    demotes it immediately, while ``promote_after`` consecutive clean
+    samples promote it.  Clients never see a candidate's bytes until
+    it has survived verification, and a demotion is invisible to them
+    by construction.
+
+Sampling is deterministic (a per-key counter, not a coin flip): the
+"every N-th request" cadence makes rollout tests exact and rollout
+behaviour reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .serialize import (
+    REVISION_STATE_FILE,
+    ArtifactInfo,
+    key_str,
+    read_revision_state,
+    scan_artifact_revisions,
+)
+
+__all__ = ["RevisionStore", "CanaryConfig", "CanaryController"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class RevisionStore:
+    """Active-revision bookkeeping for one artifact directory.
+
+    ``active_info(key)`` / ``candidate_info(key)`` answer which on-disk
+    revision serves and which (the lowest revision above the active
+    one, if any) is waiting to be verified.  ``promote`` / ``demote``
+    update the durable ``revisions.json`` atomically; ``refresh()``
+    re-scans the directory so artifacts exported after construction
+    are seen.
+
+    Thread-safe: every method takes the store lock.
+    """
+
+    def __init__(self, directory: PathLike, pattern: str = "*.npz") -> None:
+        self.directory = Path(directory)
+        self.pattern = pattern
+        self._lock = threading.RLock()
+        self._catalog: Dict[Tuple[str, str, int], Dict[int, ArtifactInfo]] = {}
+        self.skipped: List[Tuple[Path, str]] = []
+        self._active: Dict[str, int] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-scan the directory and re-read ``revisions.json``."""
+        with self._lock:
+            self._catalog, self.skipped = scan_artifact_revisions(
+                self.directory, self.pattern
+            )
+            self._active = read_revision_state(self.directory)
+
+    def _revisions(self, key: Tuple[str, str, int]) -> Dict[int, ArtifactInfo]:
+        revisions = self._catalog.get(tuple(key))
+        if not revisions:
+            raise KeyError(f"no artifact revisions for key {key}")
+        return revisions
+
+    def keys(self) -> List[Tuple[str, str, int]]:
+        with self._lock:
+            return sorted(self._catalog)
+
+    def active_revision(self, key: Tuple[str, str, int]) -> int:
+        """The revision that serves ``key``: the state-file choice when
+        it exists on disk, else the lowest revision present."""
+        with self._lock:
+            revisions = self._revisions(key)
+            active = self._active.get(key_str(key))
+            if active not in revisions:
+                active = min(revisions)
+            return active
+
+    def active_info(self, key: Tuple[str, str, int]) -> ArtifactInfo:
+        with self._lock:
+            return self._revisions(key)[self.active_revision(key)]
+
+    def candidate_revision(
+        self, key: Tuple[str, str, int]
+    ) -> Optional[int]:
+        """The next revision above the active one, if any is on disk."""
+        with self._lock:
+            revisions = self._revisions(key)
+            active = self.active_revision(key)
+            above = [r for r in revisions if r > active]
+            return min(above) if above else None
+
+    def candidate_info(
+        self, key: Tuple[str, str, int]
+    ) -> Optional[ArtifactInfo]:
+        with self._lock:
+            candidate = self.candidate_revision(key)
+            if candidate is None:
+                return None
+            return self._revisions(key)[candidate]
+
+    def _write_state(self) -> None:
+        payload = json.dumps(
+            {"active": dict(sorted(self._active.items()))}, indent=2
+        )
+        # Atomic replace: a crash mid-promotion leaves the previous
+        # state file, never a truncated one that would silently reset
+        # every key to its lowest revision.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.directory),
+            prefix=REVISION_STATE_FILE + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.directory / REVISION_STATE_FILE)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def promote(self, key: Tuple[str, str, int], revision: int) -> None:
+        """Durably mark ``revision`` as the active one for ``key``."""
+        with self._lock:
+            revisions = self._revisions(key)
+            if revision not in revisions:
+                raise ValueError(
+                    f"cannot promote revision {revision} of {key}: not on "
+                    f"disk (have {sorted(revisions)})"
+                )
+            self._active[key_str(key)] = int(revision)
+            self._write_state()
+
+    def demote(self, key: Tuple[str, str, int]) -> None:
+        """Durably pin the current active revision for ``key``.
+
+        Called when a candidate fails verification: recording the
+        incumbent explicitly means a later scan can never fall back to
+        "lowest revision" semantics that might differ, and the demoted
+        candidate stays on disk for diagnosis without ever serving.
+        """
+        with self._lock:
+            self._active[key_str(key)] = self.active_revision(key)
+            self._write_state()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Per-key rollout state for ``/revisions`` and ``stats()``."""
+        with self._lock:
+            out: Dict[str, Dict] = {}
+            for key in self.keys():
+                revisions = self._revisions(key)
+                out[key_str(key)] = {
+                    "revisions": sorted(revisions),
+                    "active": self.active_revision(key),
+                    "candidate": self.candidate_revision(key),
+                }
+            return out
+
+
+@dataclass
+class CanaryConfig:
+    """Rollout policy knobs.
+
+    sample_fraction:
+        Fraction of a model's requests that are shadow-verified against
+        the candidate while one is present (deterministically: every
+        ``round(1 / fraction)``-th request; ``1.0`` verifies every
+        request, ``0`` disables canarying).
+    promote_after:
+        Consecutive clean samples required to promote a candidate.
+    restart_workers_on_promote:
+        Whether a front door should roll its worker pool after a
+        promotion so live traffic picks up the new active revision
+        (the gateway honours this; in-process servers re-scan).
+    """
+
+    sample_fraction: float = 0.25
+    promote_after: int = 20
+    restart_workers_on_promote: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in [0, 1], got "
+                f"{self.sample_fraction}"
+            )
+        if self.promote_after < 1:
+            raise ValueError(
+                f"promote_after must be >= 1, got {self.promote_after}"
+            )
+
+    @property
+    def sample_every(self) -> Optional[int]:
+        """Verify every N-th request (``None`` when canarying is off)."""
+        if self.sample_fraction <= 0.0:
+            return None
+        return max(1, int(round(1.0 / self.sample_fraction)))
+
+
+@dataclass
+class _KeyRollout:
+    candidate: int
+    clean: int = 0
+    seen: int = 0
+    state: str = "verifying"
+    detail: str = ""
+
+
+class CanaryController:
+    """Per-key canary state machine over a :class:`RevisionStore`.
+
+    The front door calls :meth:`should_sample` per request (cheap,
+    counter-based) and, for sampled requests, :meth:`record` with the
+    bit-parity verdict.  Transitions:
+
+    * ``verifying`` --(mismatch)--> ``demoted``: the store durably pins
+      the incumbent; the candidate never serves.
+    * ``verifying`` --(``promote_after`` consecutive clean)-->
+      ``promoted``: the store durably activates the candidate.
+
+    A candidate that appears on disk later (``RevisionStore.refresh``)
+    re-arms the controller for that key.  Thread-safe.
+    """
+
+    def __init__(
+        self, store: RevisionStore, config: Optional[CanaryConfig] = None
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else CanaryConfig()
+        self._lock = threading.Lock()
+        self._rollouts: Dict[Tuple[str, str, int], _KeyRollout] = {}
+        self._counters: Dict[Tuple[str, str, int], int] = {}
+
+    def _rollout(
+        self, key: Tuple[str, str, int]
+    ) -> Optional[_KeyRollout]:
+        """Current rollout for ``key`` (re-armed on a new candidate)."""
+        candidate = self.store.candidate_revision(key)
+        rollout = self._rollouts.get(key)
+        if candidate is None:
+            return rollout if rollout and rollout.state != "verifying" else None
+        if rollout is None or (
+            rollout.state != "verifying" and rollout.candidate != candidate
+        ):
+            rollout = self._rollouts[key] = _KeyRollout(candidate=candidate)
+        return rollout
+
+    def should_sample(self, key: Tuple[str, str, int]) -> bool:
+        """Whether this request of ``key`` should be shadow-verified."""
+        every = self.config.sample_every
+        if every is None:
+            return False
+        key = tuple(key)
+        with self._lock:
+            rollout = self._rollout(key)
+            if rollout is None or rollout.state != "verifying":
+                return False
+            count = self._counters.get(key, 0) + 1
+            self._counters[key] = count
+            return count % every == 0
+
+    def candidate_info(
+        self, key: Tuple[str, str, int]
+    ) -> Optional[ArtifactInfo]:
+        """The candidate artifact under verification for ``key``."""
+        key = tuple(key)
+        with self._lock:
+            rollout = self._rollout(key)
+            if rollout is None or rollout.state != "verifying":
+                return None
+        return self.store.candidate_info(key)
+
+    def record(
+        self, key: Tuple[str, str, int], matched: bool, detail: str = ""
+    ) -> str:
+        """File one sampled verification verdict; returns the rollout
+        state after it (``verifying`` / ``promoted`` / ``demoted``)."""
+        key = tuple(key)
+        with self._lock:
+            rollout = self._rollout(key)
+            if rollout is None or rollout.state != "verifying":
+                return rollout.state if rollout else "idle"
+            rollout.seen += 1
+            if not matched:
+                rollout.state = "demoted"
+                rollout.detail = detail or "bit-parity mismatch"
+                self.store.demote(key)
+                return rollout.state
+            rollout.clean += 1
+            if rollout.clean >= self.config.promote_after:
+                rollout.state = "promoted"
+                rollout.detail = (
+                    f"{rollout.clean} consecutive clean samples"
+                )
+                self.store.promote(key, rollout.candidate)
+            return rollout.state
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Per-key rollout progress for ``/revisions`` and metrics."""
+        with self._lock:
+            out: Dict[str, Dict] = {}
+            for key, rollout in self._rollouts.items():
+                out[key_str(key)] = {
+                    "candidate": rollout.candidate,
+                    "state": rollout.state,
+                    "clean": rollout.clean,
+                    "seen": rollout.seen,
+                    "detail": rollout.detail,
+                }
+            return out

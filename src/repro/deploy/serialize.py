@@ -66,12 +66,19 @@ from ..nn.norm import BatchNorm2d
 from .engine import PackedBinaryConv2d, PackedBinaryLinear, TiledInference
 from .packing import unpack_signs
 
-__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "save_artifact",
-           "load_artifact", "read_artifact_meta", "default_artifact_name",
-           "ArtifactInfo", "artifact_key", "scan_artifact_dir"]
+__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "REVISION_STATE_FILE",
+           "save_artifact", "load_artifact", "read_artifact_meta",
+           "default_artifact_name", "ArtifactInfo", "artifact_key",
+           "key_str", "scan_artifact_dir", "scan_artifact_revisions",
+           "read_revision_state"]
 
 ARTIFACT_FORMAT = "repro-packed-deploy"
 ARTIFACT_VERSION = 1
+
+#: Per-directory rollout state (see :mod:`repro.deploy.revision`):
+#: ``{"active": {"arch/scheme/xN": revision, ...}}``.  When present it
+#: decides which revision of each key :func:`scan_artifact_dir` serves.
+REVISION_STATE_FILE = "revisions.json"
 
 PathLike = Union[str, os.PathLike]
 
@@ -152,7 +159,8 @@ def _layer_entry(i: int, path: str, layer: Module, arrays: Dict) -> Dict:
 
 
 def save_artifact(model: Module, path: Optional[PathLike] = None,
-                  recipe: Optional[Dict] = None) -> Path:
+                  recipe: Optional[Dict] = None,
+                  revision: Optional[int] = None) -> Path:
     """Serialize a compiled model to a single ``.npz`` deploy artifact.
 
     Parameters
@@ -169,9 +177,20 @@ def save_artifact(model: Module, path: Optional[PathLike] = None,
         ``models.build_model`` stamps on its outputs (surviving the
         ``compile_model`` deep copy).  Artifacts saved without a recipe
         need an explicit ``skeleton`` at load time.
+    revision:
+        Deploy revision stamped into the artifact meta (>= 1; default
+        1).  Several revisions of one zoo key may coexist in a
+        directory; the rollout machinery in :mod:`repro.deploy.revision`
+        decides which one serves and :func:`scan_artifact_dir` honours
+        that choice.
 
     Returns the path written.
     """
+    if revision is None:
+        revision = 1
+    revision = int(revision)
+    if revision < 1:
+        raise ValueError(f"revision must be >= 1, got {revision}")
     inner, tiling = _unwrap(model)
     recipe = recipe if recipe is not None else getattr(inner, "build_recipe",
                                                        None)
@@ -203,7 +222,7 @@ def save_artifact(model: Module, path: Optional[PathLike] = None,
     dtype = str(params[0][1].data.dtype) if params else "float64"
     meta = {"format": ARTIFACT_FORMAT, "version": ARTIFACT_VERSION,
             "dtype": dtype, "recipe": recipe, "tiling": tiling,
-            "layers": layers}
+            "revision": revision, "layers": layers}
     try:
         meta_json = json.dumps(meta)
     except TypeError as exc:
@@ -251,6 +270,8 @@ def read_artifact_meta(path: PathLike) -> Dict:
         raise ValueError(
             f"{path}: artifact version {meta['version']} is newer than this "
             f"library supports ({ARTIFACT_VERSION})")
+    # Artifacts written before deploy revisions existed are revision 1.
+    meta["revision"] = int(meta.get("revision", 1))
     return meta
 
 
@@ -262,6 +283,13 @@ def artifact_key(recipe: Dict) -> Tuple[str, str, int]:
     except (KeyError, TypeError, ValueError) as exc:
         raise ValueError(
             f"recipe does not identify a zoo cell: {recipe!r}") from exc
+
+
+def key_str(key: Tuple[str, str, int]) -> str:
+    """Canonical ``"architecture/scheme/xN"`` string of a zoo key —
+    what the revision state file and metric labels use."""
+    architecture, scheme, scale = key
+    return f"{architecture}/{scheme}/x{int(scale)}"
 
 
 @dataclass(frozen=True)
@@ -281,27 +309,43 @@ class ArtifactInfo:
     tiling: Optional[Dict]
     n_packed_layers: int
     size_bytes: int
+    #: deploy revision stamped at export (pre-revision artifacts: 1)
+    revision: int = 1
 
 
-def scan_artifact_dir(
+def read_revision_state(directory: PathLike) -> Dict[str, int]:
+    """The ``{key_str: active_revision}`` map of a directory's
+    ``revisions.json`` — empty when absent or unreadable (a corrupt
+    state file must degrade to the default rollout policy, not take
+    the zoo down)."""
+    state_path = Path(directory) / REVISION_STATE_FILE
+    try:
+        with open(state_path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        active = raw.get("active", {})
+        return {str(k): int(v) for k, v in active.items()}
+    except (OSError, ValueError, TypeError, AttributeError):
+        return {}
+
+
+def scan_artifact_revisions(
         directory: PathLike,
-        pattern: str = "*.npz") -> Tuple[List[ArtifactInfo], List[Tuple[Path, str]]]:
-    """Probe a directory for deploy artifacts — metadata only.
+        pattern: str = "*.npz") -> Tuple[
+            Dict[Tuple[str, str, int], Dict[int, ArtifactInfo]],
+            List[Tuple[Path, str]]]:
+    """Probe a directory for deploy artifacts, keeping every revision.
 
-    Every file matching ``pattern`` is opened just far enough to read
-    its ``__meta__`` block (:func:`read_artifact_meta`); no weight
-    arrays are decompressed.  Returns ``(artifacts, skipped)`` where
-    ``skipped`` pairs each rejected path with a reason: not an
-    artifact, unsupported version, recipe-less (cannot be keyed into
-    the zoo), or a duplicate of an earlier file with the same key.
-
-    Artifacts come back sorted by key so the scan order — and anything
-    keyed off it, like a server's model listing — is deterministic.
+    The revision-aware ground truth under :func:`scan_artifact_dir`:
+    returns ``(catalog, skipped)`` where ``catalog`` maps each zoo key
+    to its ``{revision: ArtifactInfo}`` revisions, and ``skipped``
+    pairs each rejected path with a reason (not an artifact,
+    unsupported version, recipe-less, or a duplicate of an earlier
+    file with the same key *and* revision).
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise FileNotFoundError(f"artifact directory {directory} not found")
-    artifacts: Dict[Tuple[str, str, int], ArtifactInfo] = {}
+    catalog: Dict[Tuple[str, str, int], Dict[int, ArtifactInfo]] = {}
     skipped: List[Tuple[Path, str]] = []
     for path in sorted(directory.glob(pattern)):
         try:
@@ -318,15 +362,54 @@ def scan_artifact_dir(
                 (path, "no build recipe: cannot be keyed into the zoo"))
             continue
         key = artifact_key(recipe)
-        if key in artifacts:
+        revision = meta["revision"]
+        revisions = catalog.setdefault(key, {})
+        if revision in revisions:
             skipped.append(
-                (path, f"duplicate of {artifacts[key].path.name} "
-                       f"for key {key}"))
+                (path, f"duplicate of {revisions[revision].path.name} "
+                       f"for key {key} revision {revision}"))
             continue
-        artifacts[key] = ArtifactInfo(
+        revisions[revision] = ArtifactInfo(
             path=path, key=key, recipe=recipe, tiling=meta.get("tiling"),
             n_packed_layers=len(meta.get("layers", [])),
-            size_bytes=path.stat().st_size)
+            size_bytes=path.stat().st_size, revision=revision)
+    return catalog, skipped
+
+
+def scan_artifact_dir(
+        directory: PathLike,
+        pattern: str = "*.npz") -> Tuple[List[ArtifactInfo], List[Tuple[Path, str]]]:
+    """Probe a directory for deploy artifacts — metadata only.
+
+    Every file matching ``pattern`` is opened just far enough to read
+    its ``__meta__`` block (:func:`read_artifact_meta`); no weight
+    arrays are decompressed.  Returns ``(artifacts, skipped)`` with one
+    artifact per zoo key — the *active* revision — and ``skipped``
+    pairing each unserved path with a reason.
+
+    Which revision is active: the directory's ``revisions.json`` entry
+    for the key when present and on disk (the rollout machinery's
+    promotion record), else the lowest revision — a candidate dropped
+    next to an incumbent never serves by accident.  Other revisions of
+    the same key are skipped as inactive.
+
+    Artifacts come back sorted by key so the scan order — and anything
+    keyed off it, like a server's model listing — is deterministic.
+    """
+    catalog, skipped = scan_artifact_revisions(directory, pattern)
+    state = read_revision_state(directory)
+    artifacts: Dict[Tuple[str, str, int], ArtifactInfo] = {}
+    for key, revisions in catalog.items():
+        active = state.get(key_str(key))
+        if active not in revisions:
+            active = min(revisions)
+        artifacts[key] = revisions[active]
+        for revision in sorted(revisions):
+            if revision != active:
+                skipped.append(
+                    (revisions[revision].path,
+                     f"inactive revision {revision} of key {key} "
+                     f"(active: {active})"))
     return [artifacts[key] for key in sorted(artifacts)], skipped
 
 

@@ -44,17 +44,36 @@ Design decisions, and where each came from:
 from __future__ import annotations
 
 import http.client
+import itertools
+import logging
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..deploy.registry import classify_recipe
+from ..deploy.revision import CanaryConfig, CanaryController, RevisionStore
 from ..deploy.serialize import scan_artifact_dir
+from ..grad import thread_default_dtype
+from ..infer.pipeline import InferencePipeline
 from ..jobs.retry import RetryPolicy
-from ..serve.server import ModelKey, ServerConfig, parse_model_key
+from ..serve.metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    families_from_dump,
+    render_families,
+)
+from ..serve.server import (
+    ModelKey,
+    ServerConfig,
+    model_label,
+    parse_model_key,
+)
 from ..serve.telemetry import Telemetry
 from . import wire
 from .quota import QuotaRegistry
@@ -62,6 +81,12 @@ from .ring import HashRing
 from .worker import worker_main
 
 __all__ = ["Gateway", "GatewayConfig"]
+
+#: Structured gateway events (see :mod:`repro.api.logs`).
+_LOG = logging.getLogger("repro.gateway")
+
+#: ``repro_canary_state`` gauge encoding.
+_CANARY_STATES = {"idle": 0, "verifying": 1, "promoted": 2, "demoted": -1}
 
 
 @dataclass
@@ -94,6 +119,11 @@ class GatewayConfig:
     proxy_timeout_s:
         Socket timeout per proxied request (covers a worker's full
         queue + flush time, so it sits well above the result timeout).
+    canary:
+        Rollout policy (:class:`repro.deploy.CanaryConfig`).  Canary
+        verification only runs while a candidate revision of a served
+        model sits in the artifact directory, so the default-on policy
+        costs nothing in the common single-revision case.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +139,7 @@ class GatewayConfig:
     max_respawns: int = 3
     worker_start_timeout_s: float = 120.0
     proxy_timeout_s: float = 90.0
+    canary: CanaryConfig = field(default_factory=CanaryConfig)
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -147,9 +178,10 @@ class _FrontHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
 
-    def _reply(self, status: int, body: bytes) -> None:
+    def _reply(self, status: int, body: bytes,
+               content_type: str = "application/json") -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -165,6 +197,11 @@ class _FrontHandler(BaseHTTPRequestHandler):
                            for a, s, x in sorted(gateway.catalog)]}))
         elif self.path == "/stats":
             self._reply(200, wire.dumps(gateway.stats()))
+        elif self.path == "/metrics":
+            self._reply(200, gateway.metrics_text().encode("utf-8"),
+                        content_type=EXPOSITION_CONTENT_TYPE)
+        elif self.path == "/revisions":
+            self._reply(200, wire.dumps(gateway.revision_status()))
         else:
             self._reply(404, wire.error_body(
                 "error", f"no route {self.path}")[1])
@@ -176,9 +213,11 @@ class _FrontHandler(BaseHTTPRequestHandler):
             return
         gateway = self.server.gateway
         client_id = self.headers.get("X-Client-Id", "anonymous")
+        request_id = self.headers.get("X-Request-Id") or None
         length = int(self.headers.get("Content-Length", "0"))
         body = self.rfile.read(length)
-        self._reply(*gateway.proxy_infer(body, client_id))
+        self._reply(*gateway.proxy_infer(body, client_id,
+                                         request_id=request_id))
 
 
 class Gateway:
@@ -204,6 +243,15 @@ class Gateway:
             raise ValueError(
                 f"no servable deploy artifacts in {artifact_dir!s}")
         self.telemetry = Telemetry()
+        self.metrics = MetricsRegistry()
+        #: Durable revision bookkeeping + the canary state machine over
+        #: it (versioned rollout; see :mod:`repro.deploy.revision`).
+        self.revisions = RevisionStore(artifact_dir)
+        self.canary = CanaryController(self.revisions, self.config.canary)
+        self._canary_lock = threading.Lock()
+        self._canary_pipelines: Dict[Tuple[ModelKey, int],
+                                     InferencePipeline] = {}
+        self._request_seq = itertools.count()
         self.draining = False
         self._closed = False
         self._quotas = QuotaRegistry(self.config.quota_rate_per_s,
@@ -212,6 +260,9 @@ class Gateway:
         self._ring = HashRing(replicas=self.config.ring_replicas)
         self._workers: Dict[int, _WorkerSlot] = {}
         self._workers_lock = threading.Lock()
+        self._monitor_pause = threading.Event()
+        self._rollout_threads: List[threading.Thread] = []
+        self._init_metrics()
         try:
             for slot in range(self.config.n_workers):
                 self._start_worker(slot)
@@ -228,6 +279,107 @@ class Gateway:
         self._monitor_thread = threading.Thread(
             target=self._monitor, name="gateway-monitor", daemon=True)
         self._monitor_thread.start()
+
+    # -- metrics -----------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        """Register the ``repro_gateway_*`` / ``repro_canary_*`` families.
+
+        Front-door totals the telemetry already counts are published as
+        scrape-time callbacks; canary lifecycle events increment their
+        counters inline where they happen.  Worker-pool liveness is a
+        per-slot gauge so a scraper sees exactly which slot died.
+        """
+        for name, help in (
+            ("requests", "Requests arriving at the front door."),
+            ("proxied", "Requests answered by a worker."),
+            ("reroutes", "Retry attempts against another ring owner."),
+            ("unrouted", "Requests that exhausted every live worker."),
+        ):
+            self.metrics.func(
+                f"repro_gateway_{name}_total", help, "counter",
+                (lambda n: lambda: self.telemetry.counter(n))(name))
+        self.metrics.func(
+            "repro_gateway_shed_total",
+            "Requests refused at the front door, by reason.",
+            "counter",
+            lambda: [
+                ({"reason": "draining"},
+                 self.telemetry.counter("shed_draining")),
+                ({"reason": "quota"}, self.telemetry.counter("shed_quota")),
+            ])
+        self.metrics.func(
+            "repro_gateway_worker_respawns_total",
+            "Dead workers respawned by the monitor.", "counter",
+            lambda: self.telemetry.counter("worker_respawns"))
+        self.metrics.func(
+            "repro_gateway_workers_abandoned_total",
+            "Worker slots abandoned after repeated deaths.", "counter",
+            lambda: self.telemetry.counter("workers_abandoned"))
+
+        def worker_alive():
+            with self._workers_lock:
+                return [
+                    ({"worker": str(slot)},
+                     1.0 if (not w.abandoned and w.process.is_alive())
+                     else 0.0)
+                    for slot, w in sorted(self._workers.items())
+                ]
+
+        self.metrics.func(
+            "repro_gateway_worker_alive",
+            "Per-slot worker liveness (1 = alive, 0 = dead/abandoned).",
+            "gauge", worker_alive)
+        self._m_canary_samples = self.metrics.counter(
+            "repro_canary_samples_total",
+            "Requests shadow-verified against a candidate revision.",
+            ("model",))
+        self._m_canary_mismatches = self.metrics.counter(
+            "repro_canary_mismatches_total",
+            "Shadow verifications where the candidate diverged.",
+            ("model",))
+        self._m_canary_promotions = self.metrics.counter(
+            "repro_canary_promotions_total",
+            "Candidate revisions promoted to active.", ("model",))
+        self._m_canary_demotions = self.metrics.counter(
+            "repro_canary_demotions_total",
+            "Candidate revisions demoted on a parity mismatch.",
+            ("model",))
+
+        def canary_state():
+            return [
+                ({"model": label}, _CANARY_STATES.get(entry["state"], 0))
+                for label, entry in sorted(self.canary.snapshot().items())
+            ]
+
+        self.metrics.func(
+            "repro_canary_state",
+            "Rollout state per model (0 idle, 1 verifying, 2 promoted, "
+            "-1 demoted).", "gauge", canary_state)
+
+    def metrics_text(self) -> str:
+        """The merged ``/metrics`` exposition text: the gateway's own
+        families plus every live worker's, each worker's samples tagged
+        ``worker="<slot>"`` so per-process series stay distinguishable
+        under one ``# TYPE`` block per family."""
+        families = list(self.metrics.collect())
+        with self._workers_lock:
+            live = [(slot, w.port) for slot, w in sorted(self._workers.items())
+                    if not w.abandoned and w.process.is_alive()]
+        for slot, port in live:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5.0)
+            try:
+                conn.request("GET", "/metrics.json")
+                response = conn.getresponse()
+                dump = wire.loads(response.read())
+                families.extend(
+                    families_from_dump(dump, {"worker": str(slot)}))
+            except (OSError, http.client.HTTPException, wire.WireError,
+                    ValueError):
+                continue  # a dying worker must not break the scrape
+            finally:
+                conn.close()
+        return render_families(families)
 
     # -- worker pool -------------------------------------------------------
 
@@ -265,6 +417,11 @@ class Gateway:
         fast at the proxy and re-route), gets respawned, and rejoins;
         a slot that keeps dying is abandoned after ``max_respawns``."""
         while not self._monitor_stop.wait(self.config.liveness_interval_s):
+            if self._monitor_pause.is_set():
+                # A rolling restart is deliberately cycling workers;
+                # respawning them here would race it (two processes
+                # for one slot).
+                continue
             for slot in list(self._workers):
                 with self._workers_lock:
                     worker = self._workers.get(slot)
@@ -309,7 +466,8 @@ class Gateway:
 
     # -- front-door request handling ---------------------------------------
 
-    def proxy_infer(self, body: bytes, client_id: str) -> Tuple[int, bytes]:
+    def proxy_infer(self, body: bytes, client_id: str,
+                    request_id: Optional[str] = None) -> Tuple[int, bytes]:
         """Route one ``/infer`` body to its worker; returns
         ``(status, response body)``.
 
@@ -318,7 +476,17 @@ class Gateway:
         worker and try the next ring owner after a jittered backoff,
         up to ``retry.max_attempts`` distinct workers.  Worker
         responses are forwarded byte-for-byte.
+
+        While a candidate revision of the requested model is under
+        rollout, a sampled fraction of successful requests is
+        shadow-verified: the client's bytes still come from the
+        incumbent, and the candidate's output for the same input is
+        compared bit-for-bit after the fact — so a bad candidate is
+        demoted without any client ever seeing its output or an error.
         """
+        t0 = time.monotonic()
+        if request_id is None:
+            request_id = f"gw-{os.getpid():x}-{next(self._request_seq):06x}"
         self.telemetry.count("requests")
         if self.draining:
             self.telemetry.count("shed_draining")
@@ -343,7 +511,7 @@ class Gateway:
             return 404, wire.error_body(
                 "error", f"no artifact for model {key}; available: "
                 f"{known}")[1]
-        route_key = "/".join((key[0], key[1], f"x{key[2]}"))
+        route_key = model_label(key)
         tried: Set[int] = set()
         last_unavailable: Optional[Tuple[int, bytes]] = None
         for attempt in range(self.config.retry.max_attempts):
@@ -357,7 +525,7 @@ class Gateway:
                 self.telemetry.count("reroutes")
                 time.sleep(self.config.retry.delay_s(route_key, attempt - 1))
             try:
-                status, payload = self._forward(port, body)
+                status, payload = self._forward(port, body, request_id)
             except (OSError, http.client.HTTPException):
                 tried.add(slot)
                 last_unavailable = (503, wire.error_body(
@@ -371,25 +539,204 @@ class Gateway:
                 last_unavailable = (status, payload)
                 continue
             self.telemetry.count("proxied")
+            if status == 200 and self.canary.should_sample(key):
+                self._verify_canary(key, request, payload, request_id)
+            _LOG.info("proxy", extra={"repro_fields": {
+                "request_id": request_id,
+                "model": route_key,
+                "client_id": client_id,
+                "worker": slot,
+                "status": status,
+                "attempts": attempt + 1,
+                "total_s": round(time.monotonic() - t0, 6),
+            }})
             return status, payload
         self.telemetry.count("unrouted")
+        _LOG.info("proxy", extra={"repro_fields": {
+            "request_id": request_id,
+            "model": route_key,
+            "client_id": client_id,
+            "status": 503,
+            "outcome": "unrouted",
+            "attempts": len(tried),
+        }})
         if last_unavailable is not None:
             return last_unavailable
         return 503, wire.error_body(
             "busy", "no live workers", retryable=True)[1]
 
-    def _forward(self, port: int, body: bytes) -> Tuple[int, bytes]:
+    def _forward(self, port: int, body: bytes,
+                 request_id: Optional[str] = None) -> Tuple[int, bytes]:
         """One proxy attempt against one worker (fresh connection)."""
+        headers = {"Content-Type": "application/json",
+                   "Content-Length": str(len(body))}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         conn = http.client.HTTPConnection(
             "127.0.0.1", port, timeout=self.config.proxy_timeout_s)
         try:
-            conn.request("POST", "/infer", body=body, headers={
-                "Content-Type": "application/json",
-                "Content-Length": str(len(body))})
+            conn.request("POST", "/infer", body=body, headers=headers)
             response = conn.getresponse()
             return response.status, response.read()
         finally:
             conn.close()
+
+    # -- canary rollout ----------------------------------------------------
+
+    def refresh_revisions(self) -> None:
+        """Re-scan the artifact directory for new revisions (e.g. after
+        an export dropped a candidate next to the incumbent)."""
+        self.revisions.refresh()
+
+    def _canary_pipeline(self, key: ModelKey,
+                         revision: int, path) -> InferencePipeline:
+        """The cached in-gateway pipeline for one candidate revision."""
+        cache_key = (key, revision)
+        pipeline = self._canary_pipelines.get(cache_key)
+        if pipeline is None:
+            pipeline = InferencePipeline(
+                str(path),
+                clip=(self.config.server.clip
+                      if self.config.server is not None else True))
+            self._canary_pipelines[cache_key] = pipeline
+        return pipeline
+
+    def _drop_canary_pipelines(self, key: ModelKey) -> None:
+        for cache_key in [k for k in self._canary_pipelines if k[0] == key]:
+            self._canary_pipelines.pop(cache_key).close()
+
+    def _verify_canary(self, key: ModelKey, request: Dict,
+                       payload: bytes, request_id: str) -> None:
+        """Shadow-verify one sampled request against the candidate.
+
+        The client's response (``payload``, from the incumbent) is
+        already decided; this compares the candidate's output for the
+        same input bit-for-bit and drives the rollout state machine.
+        Served outputs are deterministic, so any divergence — different
+        bytes, shape, dtype, or the candidate failing to run at all —
+        is proof of a bad artifact and demotes it on the spot.  Errors
+        here never propagate to the request path.
+        """
+        label = model_label(key)
+        try:
+            with self._canary_lock:
+                info = self.canary.candidate_info(key)
+                if info is None:
+                    return
+                image = wire.decode_array(request["image"])
+                served = wire.decode_array(wire.loads(payload)["output"])
+                dtype = (self.config.server.dtype
+                         if self.config.server is not None else None)
+                # Same dtype scope the workers' ModelServer uses, over
+                # both load and execution, so parity means parity.
+                if dtype is not None:
+                    with thread_default_dtype(dtype):
+                        pipeline = self._canary_pipeline(
+                            key, info.revision, info.path)
+                        candidate = pipeline(image)
+                else:
+                    pipeline = self._canary_pipeline(
+                        key, info.revision, info.path)
+                    candidate = pipeline(image)
+                matched = (candidate.shape == served.shape
+                           and candidate.dtype == served.dtype
+                           and np.array_equal(candidate, served))
+                detail = ("" if matched else
+                          f"candidate revision {info.revision} diverged "
+                          f"from incumbent on request {request_id}")
+        except Exception as exc:
+            # A candidate that cannot even be loaded/run is a bad
+            # artifact by definition: demote it rather than sampling
+            # forever.  The client already has its (incumbent) answer.
+            matched = False
+            info = self.canary.candidate_info(key)
+            if info is None:
+                return
+            detail = (f"candidate revision {info.revision} failed "
+                      f"verification: {type(exc).__name__}: {exc}")
+        self._m_canary_samples.labels(model=label).inc()
+        state = self.canary.record(key, matched, detail)
+        if not matched:
+            self._m_canary_mismatches.labels(model=label).inc()
+        if state == "demoted":
+            self._m_canary_demotions.labels(model=label).inc()
+            self._drop_canary_pipelines(key)
+            _LOG.warning("canary_demoted", extra={"repro_fields": {
+                "request_id": request_id, "model": label,
+                "candidate": info.revision, "detail": detail,
+            }})
+        elif state == "promoted":
+            self._m_canary_promotions.labels(model=label).inc()
+            self._drop_canary_pipelines(key)
+            _LOG.info("canary_promoted", extra={"repro_fields": {
+                "request_id": request_id, "model": label,
+                "candidate": info.revision,
+            }})
+            if self.config.canary.restart_workers_on_promote:
+                thread = threading.Thread(
+                    target=self._rolling_restart,
+                    name="gateway-rollout", daemon=True)
+                self._rollout_threads.append(thread)
+                thread.start()
+
+    def _rolling_restart(self) -> None:
+        """Cycle the worker pool one slot at a time so live traffic
+        picks up a newly promoted revision.
+
+        Each slot leaves the ring, drains via SIGTERM (every admitted
+        request is answered), and is respawned — the rest of the pool
+        keeps serving throughout, so a promotion is invisible to
+        clients beyond briefly re-routed traffic.
+        """
+        self._monitor_pause.set()
+        try:
+            for slot in sorted(self._workers):
+                if self._monitor_stop.is_set():
+                    return
+                with self._workers_lock:
+                    worker = self._workers.get(slot)
+                    if worker is None or worker.abandoned:
+                        continue
+                    self._ring.remove(slot)
+                process = worker.process
+                if process.is_alive():
+                    process.terminate()  # SIGTERM → graceful drain
+                process.join(timeout=30.0)
+                if process.is_alive():  # pragma: no cover - stuck drain
+                    process.kill()
+                    process.join(timeout=5.0)
+                try:
+                    self._start_worker(slot, respawns=worker.respawns)
+                except RuntimeError:
+                    # The monitor's respawn accounting takes over once
+                    # unpaused; the slot's dead entry stays visible.
+                    self.telemetry.count("worker_respawn_failures")
+            self.telemetry.count("rollouts_completed")
+            _LOG.info("rollout_complete", extra={"repro_fields": {
+                "workers": len(self._workers)}})
+        finally:
+            self._monitor_pause.clear()
+
+    def rollout_complete(self, timeout: Optional[float] = None) -> bool:
+        """Block until any in-progress post-promotion rolling restart
+        finishes; returns ``False`` on timeout."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        for thread in list(self._rollout_threads):
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            thread.join(timeout=remaining)
+            if thread.is_alive():
+                return False
+        return True
+
+    def revision_status(self) -> Dict:
+        """Rollout state for ``/revisions``: on-disk revisions, the
+        active one, and canary progress per model."""
+        return {
+            "revisions": self.revisions.snapshot(),
+            "canary": self.canary.snapshot(),
+        }
 
     # -- observability -----------------------------------------------------
 
@@ -432,6 +779,8 @@ class Gateway:
                              "worker_respawns", "workers_abandoned")
             },
             "clients": self._quotas.clients(),
+            "revisions": self.revisions.snapshot(),
+            "canary": self.canary.snapshot(),
             "workers": {},
         }
         with self._workers_lock:
@@ -466,11 +815,20 @@ class Gateway:
         self._closed = True
         self.draining = True
         self._monitor_stop.set()
+        # A rolling restart mid-close would race worker teardown;
+        # rollout threads check _monitor_stop between slots, so this
+        # join is bounded by one worker drain.
+        for thread in self._rollout_threads:
+            thread.join(timeout=60.0)
         self._monitor_thread.join(timeout=10.0)
         self._terminate_workers(graceful=drain)
         self._httpd.shutdown()
         self._front_thread.join(timeout=10.0)
         self._httpd.server_close()
+        with self._canary_lock:
+            for pipeline in self._canary_pipelines.values():
+                pipeline.close()
+            self._canary_pipelines.clear()
 
     def __enter__(self) -> "Gateway":
         return self

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..serve.metrics import EXPOSITION_CONTENT_TYPE
 from ..serve.server import ModelServer, ServeError, ServerBusy, ServerConfig
 from . import wire
 
@@ -87,9 +88,10 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # workers are spawned in tests; stderr chatter is noise
 
-    def _reply(self, status: int, body: bytes) -> None:
+    def _reply(self, status: int, body: bytes,
+               content_type: str = "application/json") -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -104,6 +106,16 @@ class _Handler(BaseHTTPRequestHandler):
             }))
         elif self.path == "/stats":
             self._reply(200, wire.dumps(self.server.model_server.stats()))
+        elif self.path == "/metrics":
+            # The worker's own scrape surface (exposition text); the
+            # front door aggregates /metrics.json instead so families
+            # merge across the pool under one TYPE block each.
+            text = self.server.model_server.metrics.render()
+            self._reply(200, text.encode("utf-8"),
+                        content_type=EXPOSITION_CONTENT_TYPE)
+        elif self.path == "/metrics.json":
+            self._reply(
+                200, wire.dumps(self.server.model_server.metrics.dump()))
         else:
             self._reply(404, wire.error_body(
                 "error", f"no route {self.path}")[1])
@@ -132,9 +144,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, wire.error_body("error", str(exc))[1])
             return
         server = self.server.model_server
+        # Correlation id threaded from the front door (or the client):
+        # the worker's structured request log lines carry the same id
+        # as the gateway's proxy line for the same request.
+        request_id = self.headers.get("X-Request-Id") or None
         try:
             future = server.submit(image, str(request["model"]),
-                                   deadline_s=deadline_s)
+                                   deadline_s=deadline_s,
+                                   request_id=request_id)
         except KeyError as exc:
             self._reply(404, wire.error_body("error", str(exc))[1])
             return

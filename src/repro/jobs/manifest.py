@@ -203,8 +203,9 @@ def load_manifest(path: PathLike,
             route = f"{a}/{s}/x{x}"
             if route not in available:
                 raise JobsError(
-                    f"manifest model {spec!r}: no artifact for {route} in "
-                    f"{artifact_dir} (available: {', '.join(sorted(available))})")
+                    f"manifest model {spec!r}: no artifact for {route} "
+                    f"in {artifact_dir} (available: "
+                    f"{', '.join(sorted(available))})")
             models.append(route)
     artifacts = {route: available[route] for route in models}
 

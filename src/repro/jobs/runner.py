@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..serve.metrics import MetricsRegistry
 from .chaos import ChaosConfig
 from .journal import JobsError, Journal, replay_journal
 from .manifest import JobItem, Manifest, sha256_file
@@ -100,6 +101,21 @@ class JobRunner:
                              else manifest.output_dir / "journal.jsonl")
         self.chaos = chaos if chaos is not None else ChaosConfig()
         self.fsync = fsync
+        #: The runner's scrape surface (same registry type the serving
+        #: layer publishes into); counters track every item outcome the
+        #: :class:`RunReport` tallies, over this runner's lifetime.
+        self.metrics = MetricsRegistry()
+        self._m_items = self.metrics.counter(
+            "repro_jobs_items_total",
+            "Item outcomes observed by this runner "
+            "(done/skipped/failed/quarantined/invalidated).",
+            ("outcome",))
+        self._m_lost_leases = self.metrics.counter(
+            "repro_jobs_lost_leases_total",
+            "Leases lost to worker deaths and re-dispatched.")
+        self._m_item_seconds = self.metrics.histogram(
+            "repro_jobs_item_seconds",
+            "Per-item processing time as reported by workers.")
 
     # -- planning ----------------------------------------------------------
 
@@ -144,18 +160,21 @@ class JobRunner:
                 continue
             if prior.status == "quarantined":
                 report.quarantined += 1
+                self._m_items.labels(outcome="quarantined").inc()
                 continue
             if prior.status == "done":
                 output = Path(item.output)
                 if output.is_file() \
                         and sha256_file(output) == prior.output_sha:
                     report.skipped += 1
+                    self._m_items.labels(outcome="skipped").inc()
                     continue
                 reason = ("output missing" if not output.is_file()
                           else "output hash mismatch")
                 records.append({"event": "invalidated",
                                 "item": item.item_id, "reason": reason})
                 report.invalidated += 1
+                self._m_items.labels(outcome="invalidated").inc()
                 runnable.append(_Tracked(item, attempt=prior.failures,
                                          lease=prior.leases))
                 continue
@@ -241,6 +260,8 @@ class JobRunner:
                         "output_sha": output_sha, "seconds": seconds,
                         "attempt": attempt})
         report.done += 1
+        self._m_items.labels(outcome="done").inc()
+        self._m_item_seconds.observe(seconds)
         self.chaos.maybe_kill_run(report.done)
 
     def _handle_fail(self, t: _Tracked, attempt: int, error: str,
@@ -252,6 +273,7 @@ class JobRunner:
             journal.append({"event": "quarantined", "item": t.item.item_id,
                             "attempts": attempt + 1, "error": error})
             report.quarantined += 1
+            self._m_items.labels(outcome="quarantined").inc()
             return
         delay = policy.delay_s(t.item.item_id, attempt)
         t.status = "waiting"
@@ -260,6 +282,7 @@ class JobRunner:
                         "attempt": attempt, "error": error,
                         "retry_in_s": round(delay, 6)})
         report.failures += 1
+        self._m_items.labels(outcome="failed").inc()
         seq[0] += 1
         heapq.heappush(retry_heap,
                        (time.monotonic() + delay, seq[0], t.item.item_id))
@@ -416,6 +439,7 @@ class JobRunner:
                                 if t.status == "leased"]
                         if lost:
                             report.lost_leases += len(lost)
+                            self._m_lost_leases.inc(len(lost))
                             for t in lost:
                                 t.status = "ready"
                             ready.append(lost)

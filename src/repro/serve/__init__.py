@@ -16,7 +16,13 @@ of those artifacts into a *server* —
   byte-size LRU eviction (repeat inputs never touch the engine);
 * :mod:`repro.serve.telemetry` — counters and log-bucketed latency
   histograms (p50/p95/p99, batch occupancy, cache hit-rate) behind
-  ``stats()`` and a plain-text ``report()``.
+  ``stats()`` and a plain-text ``report()``;
+* :mod:`repro.serve.metrics`   — Prometheus-style
+  :class:`MetricsRegistry` (exposition text, cross-process merging,
+  format lint) that the server, the jobs runner and the HTTP gateway
+  publish into;
+* :mod:`repro.serve.slo`       — declared per-model latency budgets
+  with rolling p99-vs-budget burn counters (:class:`SloTracker`).
 
 Served outputs are bit-identical to direct ``InferencePipeline`` runs
 of the same artifact — scheduling, batching and caching are execution
@@ -24,6 +30,13 @@ of the same artifact — scheduling, batching and caching are execution
 """
 
 from .cache import ResultCache, content_key
+from .metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    families_from_dump,
+    lint_exposition,
+    render_families,
+)
 from .scheduler import MicroBatchScheduler, QueuedRequest
 from .server import (
     ModelKey,
@@ -32,13 +45,20 @@ from .server import (
     ServeFuture,
     ServerBusy,
     ServerConfig,
+    model_label,
     parse_model_key,
 )
-from .telemetry import LatencyHistogram, Telemetry
+from .slo import SloTracker
+from .telemetry import BUCKET_BOUNDS, LatencyHistogram, Telemetry
 
 __all__ = [
     "ResultCache",
     "content_key",
+    "EXPOSITION_CONTENT_TYPE",
+    "MetricsRegistry",
+    "families_from_dump",
+    "lint_exposition",
+    "render_families",
     "MicroBatchScheduler",
     "QueuedRequest",
     "ModelKey",
@@ -47,7 +67,10 @@ __all__ = [
     "ServeFuture",
     "ServerBusy",
     "ServerConfig",
+    "model_label",
     "parse_model_key",
+    "SloTracker",
+    "BUCKET_BOUNDS",
     "LatencyHistogram",
     "Telemetry",
 ]

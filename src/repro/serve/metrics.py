@@ -1,0 +1,668 @@
+"""Prometheus-style metrics: registry, exposition text, and a linter.
+
+:mod:`repro.serve.telemetry` answers "what is this process doing" to a
+human (``stats()`` dicts, aligned text reports).  This module is the
+*machine* read side the ROADMAP's observability item asks for: a
+:class:`MetricsRegistry` that :class:`repro.serve.ModelServer`,
+:class:`repro.jobs.JobRunner` and the HTTP gateway publish into, and
+that renders to the Prometheus plain-text exposition format (the
+``text/plain; version=0.0.4`` dialect every scraper understands).
+
+Design notes
+------------
+
+* **Four metric kinds.**  ``counter`` (monotone totals), ``gauge``
+  (point-in-time values), ``histogram`` (log-bucketed latency
+  distributions reusing :data:`repro.serve.telemetry.BUCKET_BOUNDS`,
+  rendered as cumulative ``_bucket``/``_sum``/``_count`` samples) and
+  ``summary`` (pre-computed ``quantile`` samples — the per-model
+  p50/p95/p99 series the SLO work reads).
+* **Callback families.**  :meth:`MetricsRegistry.func` registers a
+  family whose samples are computed at scrape time from a callable —
+  queue depth, loaded-model count and SLO burn state are read straight
+  from their owners instead of being double-booked on every request.
+* **Cross-process merging.**  A gateway aggregates its workers by
+  fetching each worker's :meth:`MetricsRegistry.dump` (JSON-safe),
+  relabelling it via :func:`families_from_dump` (``worker="0"``) and
+  rendering everything in one pass with :func:`render_families` — one
+  scrape surface over N processes, one ``# TYPE`` block per family.
+* **A linter, not just a renderer.**  :func:`lint_exposition` parses
+  exposition text back and checks the invariants scrapers rely on
+  (sample/family name agreement, label syntax, cumulative bucket
+  monotonicity, ``+Inf`` == ``_count``).  CI's metrics-smoke job and
+  the unit tests both gate on it, so the rendered text can never
+  silently drift from the format.
+
+Everything is thread-safe: families and children take locks around
+mutation, and ``collect()``/``render()`` work on snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .telemetry import BUCKET_BOUNDS, LatencyHistogram
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Summary",
+    "MetricsRegistry",
+    "families_from_dump",
+    "lint_exposition",
+    "render_families",
+]
+
+#: What a ``/metrics`` endpoint should put in ``Content-Type``.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantiles every ``summary`` family exposes (p50 / p95 / p99).
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+_KINDS = ("counter", "gauge", "histogram", "summary")
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: Label names the exposition format itself owns.
+_RESERVED_LABELS = ("le", "quantile")
+
+#: ``(sample name, labels, value)`` — one exposition line.
+Sample = Tuple[str, Dict[str, str], float]
+#: ``(family name, kind, help, samples)`` — one ``# TYPE`` block.
+FamilySnapshot = Tuple[str, str, str, List[Sample]]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    """Canonical ``le=`` rendering of a bucket upper bound."""
+    return format(bound, "g")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Iterable[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for name in names:
+        if not _LABEL_RE.match(name) or name.startswith("__"):
+            raise ValueError(f"invalid label name {name!r}")
+        if name in _RESERVED_LABELS:
+            raise ValueError(
+                f"label name {name!r} is reserved by the exposition format"
+            )
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names}")
+    return names
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; inc({n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _HistogramChild:
+    """One labeled histogram/summary series over a
+    :class:`~repro.serve.telemetry.LatencyHistogram` (same buckets, so
+    telemetry percentiles and scraped histograms always agree)."""
+
+    __slots__ = ("_lock", "hist")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hist = LatencyHistogram()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.hist.record(seconds)
+
+    def snapshot(self) -> LatencyHistogram:
+        with self._lock:
+            copy = LatencyHistogram()
+            copy.merge(self.hist)
+            return copy
+
+
+class Family:
+    """One metric family: a name, a kind, a help line, labeled children.
+
+    ``labels(**labels)`` resolves (creating on first use) the child for
+    one label-value combination; the no-label convenience methods on
+    the concrete kinds (``inc`` / ``set`` / ``observe``) address the
+    single unlabeled child.
+    """
+
+    kind = "untyped"
+    _child_type: Optional[type] = None
+
+    def __init__(
+        self, name: str, help: str, labelnames: Iterable[str] = ()
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = str(help)
+        self.labelnames = _check_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: str):
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._child_type()
+            return child
+
+    def _items(self) -> List[Tuple[Dict[str, str], object]]:
+        with self._lock:
+            return [
+                (dict(zip(self.labelnames, key)), child)
+                for key, child in self._children.items()
+            ]
+
+    def collect(self) -> List[Sample]:
+        raise NotImplementedError
+
+
+class Counter(Family):
+    kind = "counter"
+    _child_type = _CounterChild
+
+    def inc(self, n: float = 1) -> None:
+        self.labels().inc(n)
+
+    def collect(self) -> List[Sample]:
+        return [
+            (self.name, labels, child.value)
+            for labels, child in self._items()
+        ]
+
+
+class Gauge(Family):
+    kind = "gauge"
+    _child_type = _GaugeChild
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def collect(self) -> List[Sample]:
+        return [
+            (self.name, labels, child.value)
+            for labels, child in self._items()
+        ]
+
+
+class Histogram(Family):
+    """Log-bucketed latency histogram family (cumulative exposition)."""
+
+    kind = "histogram"
+    _child_type = _HistogramChild
+
+    def observe(self, seconds: float) -> None:
+        self.labels().observe(seconds)
+
+    def collect(self) -> List[Sample]:
+        samples: List[Sample] = []
+        for labels, child in self._items():
+            hist = child.snapshot()
+            acc = 0
+            for bound, count in zip(BUCKET_BOUNDS, hist.counts):
+                acc += count
+                samples.append(
+                    (
+                        f"{self.name}_bucket",
+                        {**labels, "le": _format_bound(bound)},
+                        acc,
+                    )
+                )
+            samples.append(
+                (f"{self.name}_bucket", {**labels, "le": "+Inf"}, hist.count)
+            )
+            samples.append((f"{self.name}_sum", labels, hist.total))
+            samples.append((f"{self.name}_count", labels, hist.count))
+        return samples
+
+
+class Summary(Family):
+    """Quantile summary family — the per-model p50/p95/p99 series."""
+
+    kind = "summary"
+    _child_type = _HistogramChild
+
+    def observe(self, seconds: float) -> None:
+        self.labels().observe(seconds)
+
+    def collect(self) -> List[Sample]:
+        samples: List[Sample] = []
+        for labels, child in self._items():
+            hist = child.snapshot()
+            for quantile in SUMMARY_QUANTILES:
+                samples.append(
+                    (
+                        self.name,
+                        {**labels, "quantile": _format_bound(quantile)},
+                        hist.percentile(quantile * 100.0),
+                    )
+                )
+            samples.append((f"{self.name}_sum", labels, hist.total))
+            samples.append((f"{self.name}_count", labels, hist.count))
+        return samples
+
+
+class _FuncFamily(Family):
+    """A family whose samples are computed by a callback at scrape time.
+
+    The callback returns either a bare number (one unlabeled sample) or
+    an iterable of ``(labels_dict, value)`` pairs.  Exceptions are the
+    callback owner's bug — they propagate, because a scrape silently
+    dropping a family is exactly the failure mode this module exists
+    to prevent.
+    """
+
+    def __init__(
+        self, name: str, help: str, kind: str, fn: Callable
+    ) -> None:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"func families are counter/gauge, not {kind}")
+        super().__init__(name, help)
+        self.kind = kind
+        self._fn = fn
+
+    def labels(self, **labels):
+        raise TypeError(f"{self.name} is computed by a callback")
+
+    def collect(self) -> List[Sample]:
+        produced = self._fn()
+        if isinstance(produced, (int, float)):
+            return [(self.name, {}, float(produced))]
+        samples: List[Sample] = []
+        for labels, value in produced:
+            for name in labels:
+                _check_labelnames((name,))
+            samples.append((self.name, dict(labels), float(value)))
+        return samples
+
+
+class MetricsRegistry:
+    """The process-local set of metric families behind ``/metrics``.
+
+    ``counter`` / ``gauge`` / ``histogram`` / ``summary`` register (or
+    return the already-registered, identically-shaped) family;
+    ``func`` registers a scrape-time callback family.  ``render()``
+    produces the exposition text; ``dump()`` a JSON-safe snapshot a
+    front door can merge across processes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, Family] = {}
+
+    def _register(self, family: Family) -> Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+            if (
+                type(existing) is not type(family)
+                or existing.kind != family.kind
+                or existing.labelnames != family.labelnames
+            ):
+                raise ValueError(
+                    f"metric {family.name!r} already registered as "
+                    f"{existing.kind} with labels {existing.labelnames}"
+                )
+            return existing
+
+    def counter(
+        self, name: str, help: str, labelnames: Iterable[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labelnames))
+
+    def gauge(
+        self, name: str, help: str, labelnames: Iterable[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help, labelnames))
+
+    def histogram(
+        self, name: str, help: str, labelnames: Iterable[str] = ()
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames))
+
+    def summary(
+        self, name: str, help: str, labelnames: Iterable[str] = ()
+    ) -> Summary:
+        return self._register(Summary(name, help, labelnames))
+
+    def func(
+        self, name: str, help: str, kind: str, fn: Callable
+    ) -> Family:
+        return self._register(_FuncFamily(name, help, kind, fn))
+
+    def collect(self) -> List[FamilySnapshot]:
+        with self._lock:
+            families = list(self._families.values())
+        return [
+            (family.name, family.kind, family.help, family.collect())
+            for family in families
+        ]
+
+    def render(self) -> str:
+        return render_families(self.collect())
+
+    def dump(self) -> Dict:
+        """JSON-safe snapshot: what a worker hands its front door."""
+        return {
+            "families": [
+                {
+                    "name": name,
+                    "kind": kind,
+                    "help": help,
+                    "samples": [
+                        [sample_name, labels, value]
+                        for sample_name, labels, value in samples
+                    ],
+                }
+                for name, kind, help, samples in self.collect()
+            ]
+        }
+
+
+def families_from_dump(
+    dump: Dict, extra_labels: Optional[Dict[str, str]] = None
+) -> List[FamilySnapshot]:
+    """Rehydrate :meth:`MetricsRegistry.dump` output into family
+    snapshots, attaching ``extra_labels`` (e.g. ``worker="0"``) to
+    every sample so merged processes stay distinguishable."""
+    extra = {
+        str(k): str(v) for k, v in (extra_labels or {}).items()
+    }
+    for name in extra:
+        _check_labelnames((name,))
+    families: List[FamilySnapshot] = []
+    for family in dump.get("families", []):
+        name = _check_name(str(family["name"]))
+        kind = str(family["kind"])
+        if kind not in _KINDS:
+            raise ValueError(f"dump family {name!r} has unknown kind {kind!r}")
+        samples: List[Sample] = []
+        for sample_name, labels, value in family.get("samples", []):
+            merged = {str(k): str(v) for k, v in dict(labels).items()}
+            merged.update(extra)
+            samples.append((str(sample_name), merged, float(value)))
+        families.append((name, kind, str(family.get("help", "")), samples))
+    return families
+
+
+def render_families(families: Iterable[FamilySnapshot]) -> str:
+    """Render family snapshots as exposition text.
+
+    Families with the same name (one per merged process) are folded
+    into a single ``# TYPE`` block — the format forbids repeating one —
+    after checking their kinds agree.
+    """
+    merged: "Dict[str, Tuple[str, str, List[Sample]]]" = {}
+    for name, kind, help, samples in families:
+        entry = merged.get(name)
+        if entry is None:
+            merged[name] = (kind, help, list(samples))
+            continue
+        if entry[0] != kind:
+            raise ValueError(
+                f"family {name!r} merged with conflicting kinds "
+                f"{entry[0]!r} and {kind!r}"
+            )
+        entry[2].extend(samples)
+    lines: List[str] = []
+    for name, (kind, help, samples) in merged.items():
+        lines.append(f"# HELP {name} {_escape_help(help)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample_name, labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(str(labels[key]))}"'
+                    for key in sorted(labels)
+                )
+                lines.append(
+                    f"{sample_name}{{{rendered}}} {_format_value(value)}"
+                )
+            else:
+                lines.append(f"{sample_name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Exposition lint
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?[ \t]+(\S+)(?:[ \t]+(\S+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)'
+)
+
+
+def _parse_labels(raw: str) -> Optional[Dict[str, str]]:
+    """Parse a ``k="v",...`` label body; ``None`` when malformed."""
+    labels: Dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL_PAIR_RE.match(rest)
+        if match is None:
+            return None
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            return None
+        labels[name] = value
+        rest = rest[match.end():]
+    return labels
+
+
+def _sample_suffixes(kind: str) -> Tuple[str, ...]:
+    if kind == "histogram":
+        return ("_bucket", "_sum", "_count", "")
+    if kind == "summary":
+        return ("_sum", "_count", "")
+    return ("",)
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Validate exposition text; returns problem strings (empty = ok).
+
+    Checks the invariants a scraper depends on: HELP/TYPE syntax,
+    known kinds, sample lines grouped under their family's TYPE block,
+    sample-name suffixes legal for the kind, label syntax, parseable
+    values, no duplicate series, counters non-negative, histogram
+    buckets cumulative with a ``+Inf`` bucket equal to ``_count``.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    current_family: Optional[str] = None
+    seen: set = set()
+    buckets: Dict[Tuple[str, Tuple], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                if parts[1:2] and parts[1] in ("HELP", "TYPE"):
+                    problems.append(f"line {lineno}: truncated {parts[1]}")
+                continue  # plain comment
+            _, directive, name = parts[:3]
+            if not _NAME_RE.match(name):
+                problems.append(
+                    f"line {lineno}: bad family name {name!r} in {directive}"
+                )
+                continue
+            if directive == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _KINDS + ("untyped",):
+                    problems.append(
+                        f"line {lineno}: unknown TYPE {kind!r} for {name}"
+                    )
+                    continue
+                if name in typed:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for {name}"
+                    )
+                typed[name] = kind
+                current_family = name
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        sample_name, raw_labels, raw_value, _timestamp = match.groups()
+        labels = _parse_labels(raw_labels) if raw_labels else {}
+        if labels is None:
+            problems.append(
+                f"line {lineno}: malformed labels {{{raw_labels}}}"
+            )
+            continue
+        try:
+            value = float(raw_value)
+        except ValueError:
+            problems.append(
+                f"line {lineno}: unparseable value {raw_value!r}"
+            )
+            continue
+        family = None
+        if current_family is not None:
+            kind = typed[current_family]
+            for suffix in _sample_suffixes(kind):
+                if sample_name == current_family + suffix:
+                    family = current_family
+                    break
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {sample_name!r} is not grouped "
+                f"under a matching # TYPE block"
+            )
+            continue
+        kind = typed[family]
+        series = (sample_name, tuple(sorted(labels.items())))
+        if series in seen:
+            problems.append(
+                f"line {lineno}: duplicate series {sample_name}{labels}"
+            )
+        seen.add(series)
+        if kind == "counter" and value < 0:
+            problems.append(
+                f"line {lineno}: counter {sample_name} is negative"
+            )
+        if kind == "histogram":
+            child = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if sample_name == family + "_bucket":
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: bucket sample without le label"
+                    )
+                    continue
+                try:
+                    bound = float(labels["le"])
+                except ValueError:
+                    problems.append(
+                        f"line {lineno}: bad le value {labels['le']!r}"
+                    )
+                    continue
+                buckets.setdefault((family, child), []).append(
+                    (bound, value)
+                )
+            elif sample_name == family + "_count":
+                counts[(family, child)] = value
+
+    for (family, child), pairs in buckets.items():
+        bounds = [bound for bound, _ in pairs]
+        if bounds != sorted(bounds):
+            problems.append(f"{family}{dict(child)}: le bounds not sorted")
+        values = [value for _, value in pairs]
+        if values != sorted(values):
+            problems.append(
+                f"{family}{dict(child)}: bucket counts not cumulative"
+            )
+        if not pairs or not math.isinf(pairs[-1][0]):
+            problems.append(f"{family}{dict(child)}: missing +Inf bucket")
+        elif (family, child) in counts and (
+            pairs[-1][1] != counts[(family, child)]
+        ):
+            problems.append(
+                f"{family}{dict(child)}: +Inf bucket "
+                f"{pairs[-1][1]} != _count {counts[(family, child)]}"
+            )
+    return problems

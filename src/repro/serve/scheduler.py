@@ -37,10 +37,14 @@ class QueuedRequest:
 
     ``extra_futures`` carries identical in-flight requests that were
     deduplicated onto this one (the server's thundering-herd guard) as
-    ``(future, enqueued_at)`` pairs: they resolve with the same result,
-    but only this request occupies queue depth and batch space, and
-    each rider's latency is measured from its *own* arrival time, not
-    the primary's.
+    ``(future, enqueued_at, request_id)`` triples: they resolve with
+    the same result, but only this request occupies queue depth and
+    batch space, and each rider's latency is measured from its *own*
+    arrival time, not the primary's.
+
+    ``request_id`` is the correlation id threaded through structured
+    logs and (when the request came over HTTP) the ``X-Request-Id``
+    header; the server assigns one when the caller didn't.
     """
 
     image: Any
@@ -50,6 +54,7 @@ class QueuedRequest:
     deadline: float
     model_key: Hashable = None
     extra_futures: List[Any] = field(default_factory=list)
+    request_id: Optional[str] = None
 
 
 class MicroBatchScheduler:

@@ -45,6 +45,9 @@ Typical use::
 from __future__ import annotations
 
 import contextlib
+import itertools
+import logging
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -59,7 +62,9 @@ from ..grad import thread_default_dtype
 from ..infer.parallel import submit_task
 from ..infer.pipeline import InferencePipeline, PipelineHooks
 from .cache import ResultCache, content_key
+from .metrics import MetricsRegistry
 from .scheduler import MicroBatchScheduler, QueuedRequest
+from .slo import SloTracker
 from .telemetry import Telemetry
 
 __all__ = [
@@ -69,11 +74,26 @@ __all__ = [
     "ServeFuture",
     "ServerBusy",
     "ServerConfig",
+    "model_label",
     "parse_model_key",
 ]
 
 #: ``(architecture, scheme, scale)`` — how the zoo names a model.
 ModelKey = Tuple[str, str, int]
+
+#: Structured per-request events (see :mod:`repro.api.logs`): emitted
+#: through plain stdlib logging so this module never imports the api
+#: package that imports it.
+_LOG = logging.getLogger("repro.serve")
+
+
+def model_label(key: ModelKey) -> str:
+    """Canonical ``"architecture/scheme/xN"`` rendering of a zoo key —
+    the ``model=`` label value on every serve-layer metric series and
+    the key :class:`~repro.serve.slo.SloTracker` budgets are declared
+    under."""
+    architecture, scheme, scale = key
+    return f"{architecture}/{scheme}/x{scale}"
 
 
 def parse_model_key(spec: Union[ModelKey, Sequence, str]) -> ModelKey:
@@ -209,6 +229,14 @@ class ServerConfig:
         queues before shedding what remains as typed
         ``ServerBusy("server closed")``.  ``None`` (the default)
         drains without a bound, as before.
+    slo_default_budget_s / slo_budgets / slo_window:
+        Per-model SLO declaration (:class:`repro.serve.slo.SloTracker`):
+        every served request's end-to-end latency is judged against the
+        budget for its model — ``slo_budgets`` maps
+        ``"architecture/scheme/xN"`` labels to budget seconds, with
+        ``slo_default_budget_s`` covering undeclared models — and the
+        rolling window-p99 burn counters land in ``stats()["slo"]`` and
+        the ``repro_serve_slo_*`` metric series.
     """
 
     latency_budget_s: float = 0.02
@@ -223,6 +251,9 @@ class ServerConfig:
     background: bool = True
     poll_interval_s: float = 0.05
     drain_timeout_s: Optional[float] = None
+    slo_default_budget_s: float = 0.5
+    slo_budgets: Optional[Dict[str, float]] = None
+    slo_window: int = 128
 
     def __post_init__(self) -> None:
         if self.latency_budget_s < 0:
@@ -284,6 +315,13 @@ class ModelServer:
         self.config = config if config is not None else ServerConfig()
         self._clock = clock
         self.telemetry = Telemetry(batch_capacity=self.config.max_batch)
+        self.metrics = MetricsRegistry()
+        self.slo = SloTracker(
+            default_budget_s=self.config.slo_default_budget_s,
+            budgets=self.config.slo_budgets,
+            window=self.config.slo_window,
+        )
+        self._request_seq = itertools.count()
         self.cache = ResultCache(self.config.cache_bytes)
         self._scheduler = MicroBatchScheduler(
             self.config.max_batch, self.config.max_inflight_per_model
@@ -314,6 +352,7 @@ class ModelServer:
             )
         self._models: "OrderedDict[ModelKey, _LoadedModel]" = OrderedDict()
         self._models_lock = threading.Lock()
+        self._init_metrics()
         # In-flight coalescing: cache_key -> the QueuedRequest computing
         # it.  An identical request arriving while one is queued or
         # executing attaches its future instead of recomputing — the
@@ -328,6 +367,145 @@ class ModelServer:
                 target=self._serve_loop, name="repro-serve", daemon=True
             )
             self._thread.start()
+
+    # -- metrics -----------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        """Register the ``repro_serve_*`` families on ``self.metrics``.
+
+        Request-path families are incremented inline; point-in-time
+        state (queue depth, loaded models) and the totals telemetry
+        already counts are published as scrape-time callbacks so the
+        hot path never double-books them.  The SLO families read the
+        tracker's snapshot the same way.
+        """
+        metrics = self.metrics
+        self._m_requests = metrics.counter(
+            "repro_serve_requests_total",
+            "Requests admitted to the serving layer.",
+            ("model",),
+        )
+        self._m_responses = metrics.counter(
+            "repro_serve_responses_total",
+            "Requests resolved with an output array.",
+            ("model",),
+        )
+        self._m_shed = metrics.counter(
+            "repro_serve_shed_total",
+            "Requests refused by admission control.",
+            ("model", "reason"),
+        )
+        self._m_errors = metrics.counter(
+            "repro_serve_errors_total",
+            "Requests resolved with a typed ServeError.",
+            ("model",),
+        )
+        self._m_cache = metrics.counter(
+            "repro_serve_cache_total",
+            "Result-cache lookups by outcome (hit/miss).",
+            ("model", "outcome"),
+        )
+        self._m_coalesced = metrics.counter(
+            "repro_serve_coalesced_total",
+            "Requests that rode along on an identical in-flight one.",
+            ("model",),
+        )
+        self._m_latency = metrics.histogram(
+            "repro_serve_request_latency_seconds",
+            "End-to-end request latency (admission to resolution).",
+            ("model",),
+        )
+        self._m_model_latency = metrics.summary(
+            "repro_serve_model_latency_seconds",
+            "Per-model request latency quantiles (p50/p95/p99).",
+            ("model",),
+        )
+        metrics.func(
+            "repro_serve_queue_depth",
+            "Requests admitted but not yet executing.",
+            "gauge",
+            lambda: self._scheduler.depth(),
+        )
+        metrics.func(
+            "repro_serve_inflight_flushes",
+            "Micro-batch flushes currently executing.",
+            "gauge",
+            lambda: self._scheduler.inflight(),
+        )
+        metrics.func(
+            "repro_serve_loaded_models",
+            "Models currently resident in the LRU registry.",
+            "gauge",
+            lambda: len(self.loaded_models()),
+        )
+        metrics.func(
+            "repro_serve_available_models",
+            "Servable models in the artifact catalog.",
+            "gauge",
+            lambda: len(self._catalog),
+        )
+        metrics.func(
+            "repro_serve_model_loads_total",
+            "Lazy model loads performed.",
+            "counter",
+            lambda: self.telemetry.counter("model_loads"),
+        )
+        metrics.func(
+            "repro_serve_model_evictions_total",
+            "Models evicted by the LRU bound.",
+            "counter",
+            lambda: self.telemetry.counter("model_evictions"),
+        )
+        metrics.func(
+            "repro_serve_cache_evictions_total",
+            "Result-cache entries evicted by the byte budget.",
+            "counter",
+            lambda: self.cache.stats()["evictions"],
+        )
+
+        def _slo_series(field):
+            def produce():
+                return [
+                    ({"model": key}, values[field])
+                    for key, values in sorted(self.slo.snapshot().items())
+                ]
+
+            return produce
+
+        metrics.func(
+            "repro_serve_slo_budget_seconds",
+            "Declared latency budget per model.",
+            "gauge",
+            _slo_series("budget_s"),
+        )
+        metrics.func(
+            "repro_serve_slo_p99_seconds",
+            "Rolling-window p99 latency per model.",
+            "gauge",
+            _slo_series("p99_s"),
+        )
+        metrics.func(
+            "repro_serve_slo_burn_ratio",
+            "Rolling p99 divided by the declared budget (>1 = burning).",
+            "gauge",
+            _slo_series("burn_ratio"),
+        )
+        metrics.func(
+            "repro_serve_slo_breaches_total",
+            "Individual requests that exceeded their model's budget.",
+            "counter",
+            _slo_series("breaches"),
+        )
+        metrics.func(
+            "repro_serve_slo_burn_total",
+            "Observations filed while the rolling p99 was over budget.",
+            "counter",
+            _slo_series("burn"),
+        )
+
+    def _request_id(self) -> str:
+        """Process-unique correlation id: ``"<pid hex>-<seq hex>"``."""
+        return f"{os.getpid():x}-{next(self._request_seq):06x}"
 
     # -- catalog -----------------------------------------------------------
 
@@ -420,11 +598,36 @@ class ModelServer:
 
     # -- request path ------------------------------------------------------
 
+    def _shed(
+        self, key: ModelKey, reason: str, depth: int, request_id: str
+    ) -> ServeFuture:
+        """Refuse one request with a typed :class:`ServerBusy` value,
+        counting and logging the admission decision."""
+        label = model_label(key)
+        self.telemetry.count("shed")
+        self._m_shed.labels(model=label, reason=reason).inc()
+        _LOG.info(
+            "request",
+            extra={
+                "repro_fields": {
+                    "request_id": request_id,
+                    "model": label,
+                    "outcome": "shed",
+                    "reason": reason,
+                    "queue_depth": depth,
+                }
+            },
+        )
+        return ServeFuture.resolved(
+            ServerBusy(model=key, reason=reason, queue_depth=depth)
+        )
+
     def submit(
         self,
         image: np.ndarray,
         model: Union[ModelKey, str],
         deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> ServeFuture:
         """Admit one ``(H, W, C)`` image for ``model``; never blocks.
 
@@ -433,8 +636,14 @@ class ModelServer:
         otherwise — or to :class:`ServerBusy` when the queue-depth
         bound sheds the request.  ``deadline_s`` overrides the
         configured latency budget for this request alone.
+        ``request_id`` is the correlation id stamped on this request's
+        structured log lines (a front door passes its ``X-Request-Id``
+        through); the server assigns one when omitted.
         """
         key = self._resolve_key(model)
+        label = model_label(key)
+        if request_id is None:
+            request_id = self._request_id()
         image = np.asarray(image)
         if image.ndim != 3:
             raise ValueError(
@@ -444,25 +653,40 @@ class ModelServer:
             # Fast path: a server known to be closed refuses without
             # taking any lock.  (The authoritative check happens again
             # under the wake lock below — this one is advisory.)
-            self.telemetry.count("shed")
-            return ServeFuture.resolved(
-                ServerBusy(
-                    model=key,
-                    reason="server closed",
-                    queue_depth=self._scheduler.depth(),
-                )
+            return self._shed(
+                key, "server closed", self._scheduler.depth(), request_id
             )
         t0 = self._clock()
         self.telemetry.count("requests")
+        self._m_requests.labels(model=label).inc()
         cache_key = content_key(key, image)
         if self.config.cache_bytes:
             cached = self.cache.get(cache_key)
             if cached is not None:
+                elapsed = self._clock() - t0
                 self.telemetry.count("cache_hits")
                 self.telemetry.count("responses")
-                self.telemetry.observe("request_latency", self._clock() - t0)
+                self.telemetry.observe("request_latency", elapsed)
+                self._m_cache.labels(model=label, outcome="hit").inc()
+                self._m_responses.labels(model=label).inc()
+                self._m_latency.labels(model=label).observe(elapsed)
+                self._m_model_latency.labels(model=label).observe(elapsed)
+                self.slo.observe(label, elapsed)
+                _LOG.info(
+                    "request",
+                    extra={
+                        "repro_fields": {
+                            "request_id": request_id,
+                            "model": label,
+                            "outcome": "ok",
+                            "cache": "hit",
+                            "total_s": round(elapsed, 6),
+                        }
+                    },
+                )
                 return ServeFuture.resolved(cached)
             self.telemetry.count("cache_misses")
+            self._m_cache.labels(model=label, outcome="miss").inc()
         budget = (
             self.config.latency_budget_s if deadline_s is None else deadline_s
         )
@@ -474,6 +698,7 @@ class ModelServer:
             enqueued_at=t0,
             deadline=t0 + budget,
             model_key=key,
+            request_id=request_id,
         )
         # Check-and-enqueue is atomic with respect to close(): the stop
         # flag is raised under the wake lock, so a submission either
@@ -483,13 +708,8 @@ class ModelServer:
         # after the sweep — a future nothing would ever resolve.
         with self._wake:
             if self._stopped:
-                self.telemetry.count("shed")
-                return ServeFuture.resolved(
-                    ServerBusy(
-                        model=key,
-                        reason="server closed",
-                        queue_depth=self._scheduler.depth(),
-                    )
+                return self._shed(
+                    key, "server closed", self._scheduler.depth(), request_id
                 )
             with self._inflight_lock:
                 existing = self._inflight_by_key.get(cache_key)
@@ -498,8 +718,9 @@ class ModelServer:
                     # ride along on its computation instead of queueing
                     # a twin.  The rider keeps its own enqueue time so
                     # its latency is measured from *its* arrival.
-                    existing.extra_futures.append((future, t0))
+                    existing.extra_futures.append((future, t0, request_id))
                     self.telemetry.count("coalesced")
+                    self._m_coalesced.labels(model=label).inc()
                     return future
                 depth = self._scheduler.enqueue(
                     request, max_depth=self.config.max_queue_depth
@@ -507,13 +728,11 @@ class ModelServer:
                 if depth >= 0:
                     self._inflight_by_key[cache_key] = request
             if depth < 0:
-                self.telemetry.count("shed")
-                return ServeFuture.resolved(
-                    ServerBusy(
-                        model=key,
-                        reason="queue full",
-                        queue_depth=self.config.max_queue_depth,
-                    )
+                return self._shed(
+                    key,
+                    "queue full",
+                    self.config.max_queue_depth,
+                    request_id,
                 )
             self._wake.notify_all()
         return future
@@ -555,9 +774,11 @@ class ModelServer:
             dispatched += 1
         return dispatched
 
-    def _settle(self, req: QueuedRequest) -> List[Tuple[ServeFuture, float]]:
+    def _settle(
+        self, req: QueuedRequest
+    ) -> List[Tuple[ServeFuture, float, str]]:
         """Detach ``req`` from the coalescing map; every
-        ``(future, enqueued_at)`` pair to resolve.
+        ``(future, enqueued_at, request_id)`` triple to resolve.
 
         After this returns, a new identical submission starts a fresh
         computation (or hits the cache) — so no future can attach to a
@@ -565,29 +786,81 @@ class ModelServer:
         """
         with self._inflight_lock:
             self._inflight_by_key.pop(req.cache_key, None)
-            futures = [(req.future, req.enqueued_at)] + list(
-                req.extra_futures
-            )
+            futures = [
+                (req.future, req.enqueued_at, req.request_id)
+            ] + list(req.extra_futures)
         return futures
 
-    def _respond(self, req: QueuedRequest, value, done: float) -> None:
+    def _respond(
+        self,
+        req: QueuedRequest,
+        value,
+        done: float,
+        started: Optional[float] = None,
+    ) -> None:
+        """Resolve ``req`` (and its coalesced riders) with ``value``.
+
+        ``started`` is the moment the flush began executing; when
+        known, each request's latency splits into queue time (arrival
+        to flush start) and exec time (flush start to resolution) on
+        its structured log line.
+        """
+        label = model_label(req.model_key)
         if self.config.cache_bytes:
             self.cache.put(req.cache_key, value)
-        for i, (future, enqueued_at) in enumerate(self._settle(req)):
+        for i, (future, enqueued_at, request_id) in enumerate(
+            self._settle(req)
+        ):
             # Each rider's latency runs from its own arrival: charging
             # the primary's (earlier) enqueue time to every rider would
             # inflate the request_latency histogram under coalescing.
-            self.telemetry.observe(
-                "request_latency", max(0.0, done - enqueued_at)
-            )
+            total = max(0.0, done - enqueued_at)
+            self.telemetry.observe("request_latency", total)
             self.telemetry.count("responses")
+            self._m_responses.labels(model=label).inc()
+            self._m_latency.labels(model=label).observe(total)
+            self._m_model_latency.labels(model=label).observe(total)
+            self.slo.observe(label, total)
+            fields = {
+                "request_id": request_id,
+                "model": label,
+                "outcome": "ok",
+                "cache": "coalesced" if i else "miss",
+                "total_s": round(total, 6),
+            }
+            if started is not None:
+                fields["queue_s"] = round(
+                    max(0.0, started - enqueued_at), 6
+                )
+                fields["exec_s"] = round(max(0.0, done - started), 6)
+            _LOG.info("request", extra={"repro_fields": fields})
             # Coalesced riders get their own copy: a caller mutating
             # its result in place must never corrupt another caller's.
             future._resolve(value if i == 0 else value.copy())
 
+    def _fail(self, req: QueuedRequest, error: ServeError) -> None:
+        """Resolve ``req`` and its riders with a typed error."""
+        label = model_label(req.model_key)
+        for future, _, request_id in self._settle(req):
+            self.telemetry.count("errors")
+            self._m_errors.labels(model=label).inc()
+            _LOG.info(
+                "request",
+                extra={
+                    "repro_fields": {
+                        "request_id": request_id,
+                        "model": label,
+                        "outcome": "error",
+                        "message": error.message,
+                    }
+                },
+            )
+            future._resolve(error)
+
     def _run_flush(self, key: ModelKey, requests: List[QueuedRequest]) -> None:
         pipeline = None
         handles: List = []
+        started = self._clock()
         try:
             with self._dtype_scope():
                 pipeline = self._model(key).pipeline
@@ -597,7 +870,7 @@ class ModelServer:
                 pipeline.flush()
             done = self._clock()
             for req, handle in handles:
-                self._respond(req, handle.result(), done)
+                self._respond(req, handle.result(), done, started)
         except Exception as exc:
             # A failed flush must not poison the model: pull our
             # unprocessed submissions back out of the pipeline queue,
@@ -615,12 +888,9 @@ class ModelServer:
                     continue
                 handle = completed.get(id(req))
                 if handle is not None:
-                    self._respond(req, handle.result(), done)
+                    self._respond(req, handle.result(), done, started)
                 else:
-                    error = ServeError(model=key, message=message)
-                    for future, _ in self._settle(req):
-                        self.telemetry.count("errors")
-                        future._resolve(error)
+                    self._fail(req, ServeError(model=key, message=message))
         finally:
             self._scheduler.release(key)
             with self._wake:
@@ -657,9 +927,10 @@ class ModelServer:
     # -- observability / lifecycle -----------------------------------------
 
     def stats(self) -> Dict:
-        """Machine-readable snapshot: telemetry + cache + registry."""
+        """Machine-readable snapshot: telemetry + cache + registry + SLO."""
         stats = self.telemetry.stats()
         stats["cache"] = self.cache.stats()
+        stats["slo"] = self.slo.snapshot()
         stats["server"] = {
             "available_models": len(self._catalog),
             "loaded_models": len(self.loaded_models()),
@@ -737,8 +1008,12 @@ class ModelServer:
         # Past the deadline (or an undrained close): shed everything
         # still queued with a typed refusal instead of stranding it.
         for req in self._scheduler.drain_queued():
-            for future, _ in self._settle(req):
+            for future, _, _ in self._settle(req):
                 self.telemetry.count("shed")
+                self._m_shed.labels(
+                    model=model_label(req.model_key),
+                    reason="server closed",
+                ).inc()
                 future._resolve(ServerBusy(
                     model=req.model_key, reason="server closed",
                     queue_depth=0))

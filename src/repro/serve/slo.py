@@ -1,0 +1,130 @@
+"""Per-model SLO tracking: latency budgets vs rolling p99.
+
+The ISSUE's observability tentpole asks for *declared* latency budgets
+per model key — an ``(architecture, scheme, scale)`` string like
+``"srresnet/scales/x2"`` — and burn counters that say how the live
+tail latency compares to them.  :class:`SloTracker` is that bookkeeping:
+
+* ``budget(key)`` — the declared budget for a key, falling back to the
+  tracker-wide default when no per-key entry exists.
+* ``observe(key, seconds)`` — file one end-to-end request latency.
+  Each observation lands in a bounded rolling window (exact, not
+  bucketed — windows are small), bumps a ``breaches`` counter when the
+  single request exceeded the budget, recomputes the window p99, and
+  bumps a ``burn`` counter when that p99 is over budget.  "Burn" is
+  deliberately a monotone counter rather than a boolean: scrapers rate()
+  it, and a model that repeatedly dips in and out of violation shows a
+  sloped line instead of a flapping gauge.
+* ``snapshot()`` — the per-key dict that ``ModelServer.stats()`` embeds
+  and the ``/metrics`` func-families read at scrape time.
+
+Thread-safe; one lock, snapshot reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["SloTracker"]
+
+
+def _window_percentile(window: "Deque[float]", p: float) -> float:
+    """Exact p-th percentile of a small rolling window."""
+    ordered = sorted(window)
+    if not ordered:
+        return 0.0
+    rank = max(1, int(round(len(ordered) * p / 100.0)))
+    return ordered[rank - 1]
+
+
+class _KeyState:
+    __slots__ = ("window", "breaches", "burn", "observed")
+
+    def __init__(self, window: int) -> None:
+        self.window: Deque[float] = deque(maxlen=window)
+        self.breaches = 0
+        self.burn = 0
+        self.observed = 0
+
+
+class SloTracker:
+    """Latency budgets and rolling p99 burn counters per model key.
+
+    Parameters
+    ----------
+    default_budget_s:
+        Budget applied to keys without an explicit entry.
+    budgets:
+        Optional ``{model_key: budget_seconds}`` overrides.
+    window:
+        Rolling window length (observations) for the p99 estimate.
+    """
+
+    def __init__(
+        self,
+        default_budget_s: float = 0.5,
+        budgets: Optional[Dict[str, float]] = None,
+        window: int = 128,
+    ) -> None:
+        if default_budget_s <= 0:
+            raise ValueError(
+                f"default_budget_s must be positive, got {default_budget_s}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._default = float(default_budget_s)
+        self._budgets = {
+            str(key): float(value) for key, value in (budgets or {}).items()
+        }
+        for key, value in self._budgets.items():
+            if value <= 0:
+                raise ValueError(f"budget for {key!r} must be positive")
+        self._window = int(window)
+        self._lock = threading.Lock()
+        self._keys: Dict[str, _KeyState] = {}
+
+    def budget(self, key: str) -> float:
+        return self._budgets.get(key, self._default)
+
+    def observe(self, key: str, seconds: float) -> None:
+        """Record one request latency against ``key``'s budget."""
+        seconds = max(0.0, float(seconds))
+        budget = self.budget(key)
+        with self._lock:
+            state = self._keys.get(key)
+            if state is None:
+                state = self._keys[key] = _KeyState(self._window)
+            state.window.append(seconds)
+            state.observed += 1
+            if seconds > budget:
+                state.breaches += 1
+            if _window_percentile(state.window, 99.0) > budget:
+                state.burn += 1
+
+    def p99(self, key: str) -> float:
+        with self._lock:
+            state = self._keys.get(key)
+            if state is None:
+                return 0.0
+            return _window_percentile(state.window, 99.0)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-key dict: budget, rolling p99, burn state, counters."""
+        with self._lock:
+            keys = {key: state for key, state in self._keys.items()}
+            out: Dict[str, Dict[str, float]] = {}
+            for key, state in keys.items():
+                budget = self.budget(key)
+                p99 = _window_percentile(state.window, 99.0)
+                out[key] = {
+                    "budget_s": budget,
+                    "p99_s": p99,
+                    "burn_ratio": p99 / budget,
+                    "burning": p99 > budget,
+                    "breaches": state.breaches,
+                    "burn": state.burn,
+                    "observed": state.observed,
+                }
+        return out

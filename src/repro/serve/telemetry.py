@@ -26,10 +26,13 @@ import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional
 
-__all__ = ["LatencyHistogram", "Telemetry"]
+__all__ = ["BUCKET_BOUNDS", "LatencyHistogram", "Telemetry"]
 
 #: Geometric bucket upper bounds (seconds): 1 us doubling up to ~134 s.
-_BUCKET_BOUNDS: List[float] = [1e-6 * (2.0**i) for i in range(28)]
+#: Shared with :mod:`repro.serve.metrics`, whose exposition histograms
+#: reuse the same log-bucketed layout.
+BUCKET_BOUNDS: List[float] = [1e-6 * (2.0**i) for i in range(28)]
+_BUCKET_BOUNDS = BUCKET_BOUNDS
 
 
 class LatencyHistogram:

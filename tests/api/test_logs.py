@@ -1,0 +1,107 @@
+"""Structured JSON logging: formatter, wiring, idempotency."""
+
+import io
+import json
+import logging
+
+from repro.api import configure_logging, log_event
+from repro.api.logs import JsonLineFormatter
+
+
+def _reset():
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)
+
+
+class TestJsonLineFormatter:
+    def _format(self, **kwargs):
+        record = logging.LogRecord(
+            name="repro.serve", level=logging.INFO, pathname=__file__,
+            lineno=1, msg=kwargs.pop("msg", "request"), args=(),
+            exc_info=kwargs.pop("exc_info", None))
+        for key, value in kwargs.items():
+            setattr(record, key, value)
+        return json.loads(JsonLineFormatter().format(record))
+
+    def test_envelope_and_fields(self):
+        payload = self._format(repro_fields={
+            "request_id": "gw-1-000001", "model": "a/b/x2",
+            "total_s": 0.012})
+        assert payload["event"] == "request"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.serve"
+        assert payload["request_id"] == "gw-1-000001"
+        assert payload["total_s"] == 0.012
+        assert isinstance(payload["ts"], float)
+
+    def test_envelope_wins_on_collision(self):
+        payload = self._format(repro_fields={"event": "spoofed"})
+        assert payload["event"] == "request"
+
+    def test_unserialisable_field_degrades_to_str(self):
+        payload = self._format(repro_fields={"weird": object()})
+        assert "object object" in payload["weird"]
+
+    def test_exception_is_included(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            payload = self._format(exc_info=sys.exc_info())
+        assert "ValueError: boom" in payload["exception"]
+
+    def test_output_is_one_line(self):
+        record = logging.LogRecord(
+            name="repro", level=logging.INFO, pathname=__file__,
+            lineno=1, msg="x", args=(), exc_info=None)
+        assert "\n" not in JsonLineFormatter().format(record)
+
+
+class TestConfigureLogging:
+    def test_events_come_out_as_json_lines(self):
+        _reset()
+        try:
+            stream = io.StringIO()
+            logger = configure_logging(stream=stream)
+            log_event(logging.getLogger("repro.gateway"), "proxy",
+                      request_id="gw-0-000000", status=200)
+            lines = stream.getvalue().strip().splitlines()
+            assert len(lines) == 1
+            payload = json.loads(lines[0])
+            assert payload["event"] == "proxy"
+            assert payload["status"] == 200
+            assert logger.propagate is False
+        finally:
+            _reset()
+
+    def test_reconfigure_replaces_not_stacks(self):
+        _reset()
+        try:
+            first, second = io.StringIO(), io.StringIO()
+            configure_logging(stream=first)
+            configure_logging(stream=second)
+            log_event(logging.getLogger("repro.serve"), "request")
+            assert first.getvalue() == ""
+            assert len(second.getvalue().strip().splitlines()) == 1
+            assert len(logging.getLogger("repro").handlers) == 1
+        finally:
+            _reset()
+
+    def test_level_filters(self):
+        _reset()
+        try:
+            stream = io.StringIO()
+            configure_logging(level=logging.WARNING, stream=stream)
+            log_event(logging.getLogger("repro.serve"), "request")
+            assert stream.getvalue() == ""
+            logging.getLogger("repro.serve").warning(
+                "slow", extra={"repro_fields": {"total_s": 9.0}})
+            payload = json.loads(stream.getvalue())
+            assert payload["level"] == "warning"
+            assert payload["total_s"] == 9.0
+        finally:
+            _reset()

@@ -1,0 +1,229 @@
+"""Versioned rollout: revision scans, the store, the canary machine."""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.deploy import (CanaryConfig, CanaryController, RevisionStore,
+                          compile_model, load_artifact,
+                          read_artifact_meta, read_revision_state,
+                          save_artifact, scan_artifact_dir,
+                          scan_artifact_revisions)
+from repro.models import build_model
+from repro.nn import init
+
+KEY = ("srresnet", "scales", 2)
+LABEL = "srresnet/scales/x2"
+
+
+@pytest.fixture(scope="module")
+def compiled_model():
+    with G.default_dtype("float32"):
+        init.seed(7)
+        model = build_model("srresnet", scale=2, scheme="scales",
+                            preset="tiny")
+        return compile_model(model)
+
+
+@pytest.fixture(scope="module")
+def revision_dir(tmp_path_factory, compiled_model):
+    """A directory holding revisions 1 and 2 of one tiny artifact."""
+    directory = tmp_path_factory.mktemp("revzoo")
+    with G.default_dtype("float32"):
+        save_artifact(compiled_model, directory / "m_rev1.npz", revision=1)
+        save_artifact(compiled_model, directory / "m_rev2.npz", revision=2)
+    return directory
+
+
+@pytest.fixture()
+def zoo(revision_dir, tmp_path):
+    """A writable copy of the two-revision directory (no state file)."""
+    for name in ("m_rev1.npz", "m_rev2.npz"):
+        shutil.copy(revision_dir / name, tmp_path / name)
+    return tmp_path
+
+
+class TestRevisionMetadata:
+    def test_default_revision_is_one(self, zoo):
+        assert read_artifact_meta(zoo / "m_rev1.npz")["revision"] == 1
+        assert read_artifact_meta(zoo / "m_rev2.npz")["revision"] == 2
+
+    def test_revision_must_be_positive(self, compiled_model, tmp_path):
+        with G.default_dtype("float32"):
+            with pytest.raises(ValueError):
+                save_artifact(compiled_model, tmp_path / "bad.npz",
+                              revision=0)
+
+    def test_scan_revisions_groups_by_key(self, zoo):
+        catalog, skipped = scan_artifact_revisions(zoo)
+        assert skipped == []
+        assert sorted(catalog) == [KEY]
+        assert sorted(catalog[KEY]) == [1, 2]
+
+    def test_duplicate_revision_skipped(self, zoo):
+        shutil.copy(zoo / "m_rev2.npz", zoo / "m_rev2_copy.npz")
+        catalog, skipped = scan_artifact_revisions(zoo)
+        assert sorted(catalog[KEY]) == [1, 2]
+        assert len(skipped) == 1
+        assert "duplicate" in skipped[0][1]
+
+
+class TestScanActiveSelection:
+    def test_lowest_revision_serves_without_state(self, zoo):
+        infos, skipped = scan_artifact_dir(zoo)
+        assert [info.revision for info in infos] == [1]
+        assert any("inactive revision 2" in reason
+                   for _, reason in skipped)
+
+    def test_state_file_picks_the_active_revision(self, zoo):
+        (zoo / "revisions.json").write_text(
+            json.dumps({"active": {LABEL: 2}}))
+        infos, _ = scan_artifact_dir(zoo)
+        assert [info.revision for info in infos] == [2]
+
+    def test_stale_state_falls_back_to_lowest(self, zoo):
+        (zoo / "revisions.json").write_text(
+            json.dumps({"active": {LABEL: 9}}))
+        infos, _ = scan_artifact_dir(zoo)
+        assert [info.revision for info in infos] == [1]
+
+    def test_corrupt_state_file_is_ignored(self, zoo):
+        (zoo / "revisions.json").write_text("{not json")
+        assert read_revision_state(zoo) == {}
+        infos, _ = scan_artifact_dir(zoo)
+        assert [info.revision for info in infos] == [1]
+
+
+class TestRevisionStore:
+    def test_active_and_candidate(self, zoo):
+        store = RevisionStore(zoo)
+        assert store.keys() == [KEY]
+        assert store.active_revision(KEY) == 1
+        assert store.candidate_revision(KEY) == 2
+        assert store.candidate_info(KEY).revision == 2
+
+    def test_promote_is_durable(self, zoo):
+        RevisionStore(zoo).promote(KEY, 2)
+        assert read_revision_state(zoo) == {LABEL: 2}
+        fresh = RevisionStore(zoo)
+        assert fresh.active_revision(KEY) == 2
+        assert fresh.candidate_revision(KEY) is None
+
+    def test_promote_missing_revision_raises(self, zoo):
+        store = RevisionStore(zoo)
+        with pytest.raises(ValueError):
+            store.promote(KEY, 9)
+
+    def test_demote_pins_the_incumbent(self, zoo):
+        store = RevisionStore(zoo)
+        store.demote(KEY)
+        assert read_revision_state(zoo) == {LABEL: 1}
+        # The demoted candidate stays on disk, visible but not serving.
+        assert store.candidate_revision(KEY) == 2
+
+    def test_refresh_sees_new_artifacts(self, revision_dir, tmp_path):
+        shutil.copy(revision_dir / "m_rev1.npz", tmp_path / "m_rev1.npz")
+        store = RevisionStore(tmp_path)
+        assert store.candidate_revision(KEY) is None
+        shutil.copy(revision_dir / "m_rev2.npz", tmp_path / "m_rev2.npz")
+        store.refresh()
+        assert store.candidate_revision(KEY) == 2
+
+    def test_snapshot(self, zoo):
+        snap = RevisionStore(zoo).snapshot()
+        assert snap[LABEL] == {
+            "revisions": [1, 2], "active": 1, "candidate": 2}
+
+    def test_unknown_key_raises(self, zoo):
+        with pytest.raises(KeyError):
+            RevisionStore(zoo).active_revision(("edsr", "e2fif", 4))
+
+
+class TestCanaryConfig:
+    def test_sample_every(self):
+        assert CanaryConfig(sample_fraction=1.0).sample_every == 1
+        assert CanaryConfig(sample_fraction=0.25).sample_every == 4
+        assert CanaryConfig(sample_fraction=0.0).sample_every is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CanaryConfig(sample_fraction=1.5)
+        with pytest.raises(ValueError):
+            CanaryConfig(promote_after=0)
+
+
+class TestCanaryController:
+    def _controller(self, zoo, **kwargs):
+        kwargs.setdefault("sample_fraction", 1.0)
+        kwargs.setdefault("promote_after", 3)
+        store = RevisionStore(zoo)
+        return store, CanaryController(store, CanaryConfig(**kwargs))
+
+    def test_sampling_cadence_is_deterministic(self, zoo):
+        _, canary = self._controller(zoo, sample_fraction=0.5)
+        picks = [canary.should_sample(KEY) for _ in range(6)]
+        assert picks == [False, True, False, True, False, True]
+
+    def test_no_candidate_means_no_sampling(self, revision_dir, tmp_path):
+        shutil.copy(revision_dir / "m_rev1.npz", tmp_path / "m_rev1.npz")
+        store = RevisionStore(tmp_path)
+        canary = CanaryController(store, CanaryConfig(sample_fraction=1.0))
+        assert not canary.should_sample(KEY)
+        assert canary.candidate_info(KEY) is None
+        assert canary.record(KEY, True) == "idle"
+
+    def test_clean_samples_promote(self, zoo):
+        store, canary = self._controller(zoo, promote_after=3)
+        assert canary.record(KEY, True) == "verifying"
+        assert canary.record(KEY, True) == "verifying"
+        assert canary.record(KEY, True) == "promoted"
+        assert store.active_revision(KEY) == 2
+        assert read_revision_state(zoo) == {LABEL: 2}
+        # Promotion is terminal: no further sampling, verdicts are no-ops.
+        assert not canary.should_sample(KEY)
+        assert canary.record(KEY, False) == "promoted"
+
+    def test_first_mismatch_demotes(self, zoo):
+        store, canary = self._controller(zoo, promote_after=3)
+        assert canary.record(KEY, True) == "verifying"
+        assert canary.record(KEY, False, "bytes diverged") == "demoted"
+        assert store.active_revision(KEY) == 1
+        assert read_revision_state(zoo) == {LABEL: 1}
+        assert not canary.should_sample(KEY)
+        snap = canary.snapshot()[LABEL]
+        assert snap["state"] == "demoted"
+        assert snap["detail"] == "bytes diverged"
+        assert snap["seen"] == 2 and snap["clean"] == 1
+
+    def test_new_candidate_rearms_after_promotion(
+            self, zoo, compiled_model):
+        store, canary = self._controller(zoo, promote_after=1)
+        assert canary.record(KEY, True) == "promoted"
+        # A revision 3 appears on disk: the controller re-arms.
+        with G.default_dtype("float32"):
+            save_artifact(compiled_model, zoo / "m_rev3.npz", revision=3)
+        store.refresh()
+        assert canary.should_sample(KEY)
+        assert canary.candidate_info(KEY).revision == 3
+        assert canary.record(KEY, True) == "promoted"
+        assert store.active_revision(KEY) == 3
+
+    def test_promoted_artifact_serves_bit_identically(self, zoo):
+        # End of the story: after promotion a fresh scan loads rev 2,
+        # and its outputs match rev 1 bit-for-bit (same weights here).
+        RevisionStore(zoo).promote(KEY, 2)
+        with G.default_dtype("float32"):
+            infos, _ = scan_artifact_dir(zoo)
+            assert infos[0].revision == 2
+            rev2 = load_artifact(infos[0].path)
+            rev1 = load_artifact(zoo / "m_rev1.npz")
+            rev1.eval(), rev2.eval()
+            x = np.random.default_rng(0).random((1, 3, 8, 8))
+            x = x.astype(np.float32)
+            with G.no_grad():
+                a = rev1(G.Tensor(x)).data
+                b = rev2(G.Tensor(x)).data
+        np.testing.assert_array_equal(a, b)

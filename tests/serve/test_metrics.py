@@ -1,0 +1,252 @@
+"""The /metrics registry: families, rendering, linting, merging."""
+
+import math
+
+import pytest
+
+from repro.serve import (
+    BUCKET_BOUNDS,
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    lint_exposition,
+)
+from repro.serve.metrics import families_from_dump, render_families
+
+
+class TestValidation:
+    def test_bad_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("2bad", "starts with a digit")
+        with pytest.raises(ValueError):
+            registry.counter("has-dash", "dashes are not allowed")
+
+    def test_bad_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "help", ("bad-label",))
+
+    def test_reserved_label_names_rejected(self):
+        registry = MetricsRegistry()
+        for reserved in ("le", "quantile"):
+            with pytest.raises(ValueError):
+                registry.counter("ok_total", "help", (reserved,))
+
+    def test_register_is_idempotent_same_shape(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help", ("model",))
+        b = registry.counter("x_total", "help", ("model",))
+        assert a is b
+
+    def test_register_conflicting_shape_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help", ("model",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "help", ("model",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "help", ("other",))
+
+    def test_wrong_labels_on_use_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "help", ("model",))
+        with pytest.raises(ValueError):
+            family.labels(nope="y")
+        with pytest.raises(ValueError):
+            family.labels()
+
+
+class TestFamilies:
+    def test_counter_counts_and_refuses_negative(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", "help", ("model",))
+        family.labels(model="a").inc()
+        family.labels(model="a").inc(4)
+        family.labels(model="b").inc()
+        with pytest.raises(ValueError):
+            family.labels(model="a").inc(-1)
+        samples = dict(
+            ((name, labels["model"]), value)
+            for name, labels, value in family.collect()
+        )
+        assert samples[("hits_total", "a")] == 5
+        assert samples[("hits_total", "b")] == 1
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("depth", "help")
+        family.labels().set(7)
+        family.labels().inc(2)
+        family.labels().dec(4)
+        ((_, _, value),) = family.collect()
+        assert value == 5
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", "help")
+        for seconds in (1e-6, 0.001, 0.1, 200.0):
+            family.observe(seconds)
+        samples = family.collect()
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name == "lat_seconds_bucket"
+        ]
+        assert buckets[-1][0] == "+Inf"
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)  # cumulative
+        count = next(
+            value for name, _, value in samples
+            if name == "lat_seconds_count"
+        )
+        total = next(
+            value for name, _, value in samples
+            if name == "lat_seconds_sum"
+        )
+        assert buckets[-1][1] == count == 4
+        assert total == pytest.approx(1e-6 + 0.001 + 0.1 + 200.0)
+        assert len(buckets) == len(BUCKET_BOUNDS) + 1
+
+    def test_summary_quantiles_bracket_observations(self):
+        registry = MetricsRegistry()
+        family = registry.summary("model_seconds", "help", ("model",))
+        for i in range(100):
+            family.labels(model="a").observe(0.001 * (i + 1))
+        samples = family.collect()
+        quantiles = {
+            labels["quantile"]: value
+            for name, labels, value in samples
+            if name == "model_seconds"
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99"}
+        assert 0.001 <= quantiles["0.5"] <= quantiles["0.99"] <= 0.1
+
+    def test_func_family_scalar_and_labelled(self):
+        registry = MetricsRegistry()
+        registry.func("depth", "help", "gauge", lambda: 3)
+        registry.func(
+            "alive", "help", "gauge",
+            lambda: [({"worker": "0"}, 1.0), ({"worker": "1"}, 0.0)])
+        text = registry.render()
+        assert "depth 3" in text
+        assert 'alive{worker="0"} 1' in text
+        assert 'alive{worker="1"} 0' in text
+
+    def test_func_family_rejects_histogram_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.func("h", "help", "histogram", lambda: 0)
+
+
+class TestRenderAndLint:
+    def _populated(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_requests_total", "Requests.", ("model",))
+        counter.labels(model="srresnet/scales/x2").inc(3)
+        hist = registry.histogram(
+            "repro_latency_seconds", "Latency.", ("model",))
+        hist.labels(model="srresnet/scales/x2").observe(0.01)
+        registry.gauge("repro_queue_depth", "Depth.").labels().set(2)
+        return registry
+
+    def test_render_passes_lint(self):
+        text = self._populated().render()
+        assert lint_exposition(text) == []
+        assert text.endswith("\n")
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# HELP repro_latency_seconds Latency." in text
+
+    def test_content_type_pins_exposition_version(self):
+        assert "version=0.0.4" in EXPOSITION_CONTENT_TYPE
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "help", ("model",))
+        family.labels(model='we"ird\\na\nme').inc()
+        text = registry.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert lint_exposition(text) == []
+
+    def test_special_float_values_rendered(self):
+        registry = MetricsRegistry()
+        registry.func("weird", "help", "gauge", lambda: float("nan"))
+        registry.func("hot", "help", "gauge", lambda: float("inf"))
+        text = registry.render()
+        assert "weird NaN" in text
+        assert "hot +Inf" in text
+
+    def test_lint_flags_sample_without_type(self):
+        problems = lint_exposition("orphan_metric 1\n")
+        assert problems
+
+    def test_lint_flags_duplicate_series(self):
+        text = (
+            "# HELP x_total help\n"
+            "# TYPE x_total counter\n"
+            'x_total{model="a"} 1\n'
+            'x_total{model="a"} 2\n'
+        )
+        assert any("duplicate" in p for p in lint_exposition(text))
+
+    def test_lint_flags_negative_counter(self):
+        text = (
+            "# HELP x_total help\n"
+            "# TYPE x_total counter\n"
+            "x_total -1\n"
+        )
+        assert any("negative" in p for p in lint_exposition(text))
+
+    def test_lint_flags_illegal_suffix_for_kind(self):
+        text = (
+            "# HELP x help\n"
+            "# TYPE x gauge\n"
+            'x_bucket{le="+Inf"} 1\n'
+        )
+        assert lint_exposition(text)
+
+
+class TestDumpAndMerge:
+    def test_dump_roundtrip_renders_identically(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help", ("model",)) \
+            .labels(model="a").inc(2)
+        registry.histogram("lat_seconds", "help").observe(0.02)
+        direct = registry.render()
+        rehydrated = render_families(
+            families_from_dump(registry.dump(), {}))
+        assert rehydrated == direct
+
+    def test_worker_labels_merge_under_one_type_block(self):
+        def worker(n):
+            registry = MetricsRegistry()
+            registry.counter("x_total", "help", ("model",)) \
+                .labels(model="a").inc(n)
+            return registry.dump()
+
+        families = []
+        for slot, n in enumerate((2, 5)):
+            families.extend(
+                families_from_dump(worker(n), {"worker": str(slot)}))
+        text = render_families(families)
+        assert lint_exposition(text) == []
+        assert text.count("# TYPE x_total counter") == 1
+        assert 'worker="0"' in text and 'worker="1"' in text
+
+    def test_merge_conflicting_kinds_raises(self):
+        a = MetricsRegistry()
+        a.counter("x", "help").inc()
+        b = MetricsRegistry()
+        b.gauge("x", "help").labels().set(1)
+        families = list(families_from_dump(a.dump(), {})) + list(
+            families_from_dump(b.dump(), {}))
+        with pytest.raises(ValueError):
+            render_families(families)
+
+    def test_dump_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", "help").observe(0.5)
+        encoded = json.dumps(registry.dump())
+        assert "lat_seconds" in encoded
+        assert not math.isnan(len(encoded))

@@ -1,0 +1,81 @@
+"""SLO tracking: budgets, rolling p99, breach and burn counters."""
+
+import pytest
+
+from repro.serve import SloTracker
+
+
+class TestBudgets:
+    def test_default_and_override(self):
+        tracker = SloTracker(
+            default_budget_s=0.5, budgets={"a/b/x2": 0.1})
+        assert tracker.budget("a/b/x2") == pytest.approx(0.1)
+        assert tracker.budget("anything/else/x4") == pytest.approx(0.5)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker(default_budget_s=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(budgets={"a/b/x2": -1.0})
+        with pytest.raises(ValueError):
+            SloTracker(window=0)
+
+
+class TestObservation:
+    def test_within_budget_never_burns(self):
+        tracker = SloTracker(default_budget_s=1.0)
+        for _ in range(50):
+            tracker.observe("a/b/x2", 0.01)
+        snap = tracker.snapshot()["a/b/x2"]
+        assert snap["breaches"] == 0
+        assert snap["burn"] == 0
+        assert not snap["burning"]
+        assert snap["observed"] == 50
+
+    def test_single_breach_counts_but_tail_decides_burn(self):
+        # One slow request in a large window: the breach counter sees
+        # it, but the window p99 stays under budget, so no burn.
+        tracker = SloTracker(default_budget_s=1.0, window=128)
+        for _ in range(127):
+            tracker.observe("a/b/x2", 0.01)
+        tracker.observe("a/b/x2", 5.0)
+        snap = tracker.snapshot()["a/b/x2"]
+        assert snap["breaches"] == 1
+        assert snap["burn"] == 0
+
+    def test_sustained_slowness_burns(self):
+        tracker = SloTracker(default_budget_s=0.1, window=16)
+        for _ in range(16):
+            tracker.observe("a/b/x2", 0.5)
+        snap = tracker.snapshot()["a/b/x2"]
+        assert snap["breaches"] == 16
+        assert snap["burn"] == 16
+        assert snap["burning"]
+        assert snap["burn_ratio"] == pytest.approx(5.0)
+
+    def test_window_bounds_the_p99(self):
+        # After the slow spell scrolls out of the window, p99 recovers
+        # (the rolling window forgets), while the counters keep the
+        # history (monotone, rate()-able).
+        tracker = SloTracker(default_budget_s=0.1, window=8)
+        for _ in range(8):
+            tracker.observe("a/b/x2", 1.0)
+        burned = tracker.snapshot()["a/b/x2"]["burn"]
+        assert burned == 8
+        for _ in range(8):
+            tracker.observe("a/b/x2", 0.01)
+        snap = tracker.snapshot()["a/b/x2"]
+        assert snap["p99_s"] == pytest.approx(0.01)
+        assert not snap["burning"]
+        # Burned only while a 1.0s sample lingered in the window (7 of
+        # the 8 fast observations still saw one); then it stopped.
+        assert snap["burn"] == burned + 7
+
+    def test_negative_latency_clamped(self):
+        tracker = SloTracker()
+        tracker.observe("a/b/x2", -3.0)
+        assert tracker.p99("a/b/x2") == 0.0
+
+    def test_unknown_key_p99_is_zero(self):
+        assert SloTracker().p99("never/seen/x2") == 0.0
+        assert SloTracker().snapshot() == {}

@@ -51,6 +51,85 @@ class TestLatencyHistogram:
         hist.record(-0.5)
         assert hist.min == 0.0
 
+    def test_empty_histogram_every_percentile_is_zero(self):
+        hist = LatencyHistogram()
+        for p in (0, 50, 99, 100):
+            assert hist.percentile(p) == 0.0
+        assert hist.mean == 0.0
+        assert hist.max == 0.0
+
+    def test_single_sample_lands_in_exactly_one_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.003)
+        assert sum(hist.counts) == 1
+        assert hist.counts.count(1) == 1
+        # ... and in the right one: the first bound >= the observation.
+        from repro.serve import BUCKET_BOUNDS
+
+        index = hist.counts.index(1)
+        assert BUCKET_BOUNDS[index] >= 0.003
+        assert index == 0 or BUCKET_BOUNDS[index - 1] < 0.003
+
+    def test_overflow_sample_lands_in_final_bucket(self):
+        hist = LatencyHistogram()
+        from repro.serve import BUCKET_BOUNDS
+
+        hist.record(BUCKET_BOUNDS[-1] * 10)  # beyond every bound
+        assert hist.counts[-1] == 1
+        assert hist.percentile(99) == pytest.approx(
+            BUCKET_BOUNDS[-1] * 10)
+
+    def test_merge_disjoint_bucket_ranges(self):
+        fast, slow = LatencyHistogram(), LatencyHistogram()
+        for _ in range(90):
+            fast.record(1e-6)  # all in the first bucket
+        for _ in range(10):
+            slow.record(100.0)  # all near the last
+        merged = LatencyHistogram().merge(fast).merge(slow)
+        assert merged.count == 100
+        assert merged.min == pytest.approx(1e-6)
+        assert merged.max == pytest.approx(100.0)
+        assert merged.total == pytest.approx(90 * 1e-6 + 10 * 100.0)
+        # The p50 comes from the fast mass, the p99 from the slow tail.
+        assert merged.percentile(50) == pytest.approx(1e-6)
+        assert merged.percentile(99) == pytest.approx(100.0)
+
+    def test_merge_empty_into_empty_stays_empty(self):
+        merged = LatencyHistogram().merge(LatencyHistogram())
+        assert merged.count == 0
+        assert merged.percentile(99) == 0.0
+        assert merged.snapshot() == {"count": 0}
+
+    def test_merge_returns_self_for_reduce(self):
+        import functools
+
+        parts = []
+        for seconds in (0.001, 0.01, 0.1):
+            hist = LatencyHistogram()
+            hist.record(seconds)
+            parts.append(hist)
+        total = functools.reduce(
+            lambda a, b: a.merge(b), parts, LatencyHistogram())
+        assert total.count == 3
+
+    def test_counter_overflow_beyond_64_bits_is_exact(self):
+        # Python ints never wrap: a merged fleet-wide count past 2**63
+        # stays exact, and percentile() still terminates (bucket walk
+        # is over counts, not observations).
+        hist = LatencyHistogram()
+        hist.record(0.001)
+        big = LatencyHistogram()
+        big.counts[5] = 2**63
+        big.count = 2**63
+        big.total = 1e12
+        big.min, big.max = 1e-5, 2e-5
+        hist.merge(big)
+        assert hist.count == 2**63 + 1
+        assert hist.count > 0  # no wraparound to negative
+        from repro.serve import BUCKET_BOUNDS
+
+        assert hist.percentile(50) == pytest.approx(BUCKET_BOUNDS[5])
+
 
 class TestTelemetry:
     def test_counters(self):
