@@ -33,6 +33,9 @@ Subpackages
     Crash-safe bulk inference: manifests, write-ahead journal,
     retry/backoff + quarantine, deterministic fault injection,
     kill-and-resume recovery (``python -m repro.jobs``).
+``repro.stream``
+    Video SR streaming: ordered per-stream sessions, cross-frame
+    tile reuse, frame-deadline scheduling (drop-late / best-effort).
 ``repro.perf``
     Benchmark timing and BENCH_*.json trajectory recording.
 ``repro.viz``
@@ -43,12 +46,12 @@ Subpackages
 
 from . import (analysis, api, binarize, cost, data, deploy, experiments,
                grad, infer, jobs, metrics, models, nn, optim, perf, serve,
-               train, viz)
+               stream, train, viz)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "analysis", "api", "binarize", "cost", "data", "deploy", "experiments",
     "grad", "infer", "jobs", "metrics", "models", "nn", "optim", "perf",
-    "serve", "train", "viz", "__version__",
+    "serve", "stream", "train", "viz", "__version__",
 ]

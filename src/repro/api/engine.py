@@ -357,6 +357,37 @@ class Engine:
             artifact_dir, config if config is not None else self.config,
             default_model=self.spec.key)
 
+    def stream(self, stream_config=None, *, session=None,
+               stream_id: Optional[str] = None):
+        """Open a :class:`repro.stream.StreamSession` for video SR.
+
+        Frames submitted to the returned session are tile-delta
+        planned against a per-stream tile cache, dirty tiles are
+        served through this engine's artifact, and results are
+        delivered strictly in sequence.  With no ``session`` the
+        engine opens (and owns) a :meth:`serve` session — closing the
+        stream closes it.  Pass an existing :class:`ServeSession` to
+        share one server across many concurrent streams.
+
+        ``stream_config`` is a :class:`repro.stream.StreamConfig`;
+        when omitted, the stream's tile geometry follows the engine's
+        ``config.tile`` / ``config.tile_overlap``, which is exactly
+        the geometry that makes streamed frames bit-identical to
+        one-shot :meth:`infer` with tiling enabled.
+        """
+        from ..stream import StreamConfig, StreamSession
+        owns = session is None
+        if session is None:
+            session = self.serve()
+        if stream_config is None:
+            kwargs = {"overlap": self.config.tile_overlap}
+            if self.config.tile is not None:
+                kwargs["tile"] = self.config.tile
+            stream_config = StreamConfig(**kwargs)
+        return StreamSession(
+            session, self.spec.key, self.spec.scale, stream_config,
+            stream_id=stream_id, owns_backend=owns)
+
     # -- evaluation --------------------------------------------------------
 
     def evaluate(self, pairs, shave: Optional[int] = None):

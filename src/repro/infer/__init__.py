@@ -23,12 +23,13 @@ from .parallel import (get_num_threads, num_threads, parallel_map,
                        set_num_threads, submit_task)
 from .pipeline import (DiscardedError, InferencePipeline, PendingResult,
                        PipelineHooks)
-from .tiling import TilePlan, TileSpec, plan_tiles, tiled_super_resolve
+from .tiling import (TilePlan, TileSpec, plan_tiles, tile_view,
+                     tiled_super_resolve)
 from .tta import DIHEDRAL_TRANSFORMS, self_ensemble
 
 __all__ = [
     "DIHEDRAL_TRANSFORMS", "self_ensemble", "tiled_super_resolve",
-    "TilePlan", "TileSpec", "plan_tiles",
+    "TilePlan", "TileSpec", "plan_tiles", "tile_view",
     "DiscardedError", "InferencePipeline", "PendingResult", "PipelineHooks",
     "get_num_threads", "set_num_threads", "num_threads", "parallel_map",
     "submit_task",

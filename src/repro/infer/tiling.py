@@ -28,7 +28,7 @@ from ..nn import Module
 from .parallel import get_num_threads, parallel_map
 
 __all__ = ["TileSpec", "TilePlan", "plan_tiles", "tiled_super_resolve",
-           "iter_tile_batches", "TileStitcher"]
+           "iter_tile_batches", "TileStitcher", "tile_view"]
 
 
 def _tile_starts(full: int, tile: int, stride: int) -> list:
@@ -106,6 +106,18 @@ def plan_tiles(height: int, width: int, tile: int, overlap: int = 8,
                 right=trim if x0 + tile_w < width else 0))
     return TilePlan(height=height, width=width, tile_h=tile_h, tile_w=tile_w,
                     overlap=overlap, trim=trim, tiles=tuple(specs))
+
+
+def tile_view(image: np.ndarray, spec: TileSpec, tile_h: int,
+              tile_w: int) -> np.ndarray:
+    """Zero-copy view of one tile of a leading-(H, W) ``image``.
+
+    Slices the first two axes at ``spec``'s origin, so it works for
+    HWC frames and (H, W) planes alike.  The result is a *strided
+    view* — callers hashing it (the streaming tile-delta planner does)
+    rely on ``serve.cache.content_key`` normalizing contiguity.
+    """
+    return image[spec.y0:spec.y0 + tile_h, spec.x0:spec.x0 + tile_w]
 
 
 def iter_tile_batches(model, data: np.ndarray, plan: TilePlan,

@@ -29,7 +29,7 @@ of the same artifact — scheduling, batching and caching are execution
 -strategy details, never numerics.
 """
 
-from .cache import ResultCache, content_key
+from .cache import ResultCache, TileReuseCache, content_key
 from .metrics import (
     EXPOSITION_CONTENT_TYPE,
     MetricsRegistry,
@@ -53,6 +53,7 @@ from .telemetry import BUCKET_BOUNDS, LatencyHistogram, Telemetry
 
 __all__ = [
     "ResultCache",
+    "TileReuseCache",
     "content_key",
     "EXPOSITION_CONTENT_TYPE",
     "MetricsRegistry",

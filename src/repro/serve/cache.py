@@ -16,6 +16,12 @@ a value larger than the whole budget is simply not cached.
 Stored and returned arrays are **copies**: a caller mutating a served
 output must never poison later cache hits, and the engine reusing an
 output buffer must never mutate a stored value.
+
+:class:`TileReuseCache` extends the same byte-LRU to *tile*
+granularity for the streaming layer: consecutive video frames are
+largely static, so keying individual input tiles by content hash lets
+a stream serve unchanged regions from cache and pay inference only
+for dirty tiles.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ResultCache", "content_key"]
+__all__ = ["ResultCache", "TileReuseCache", "content_key"]
 
 
 def content_key(model_key, image: np.ndarray) -> str:
@@ -36,6 +42,13 @@ def content_key(model_key, image: np.ndarray) -> str:
     The digest covers the model key, dtype, shape and raw bytes, so two
     byte-identical images collide (that is the point) and any single
     changed pixel, dtype or layout yields a different key.
+
+    ``image`` is normalized with ``np.ascontiguousarray`` before
+    hashing: non-contiguous views (tile slices of a frame, transposed
+    or negative-stride arrays) must hash identically to their packed
+    copies, otherwise logically identical inputs would miss the cache
+    — or worse, ``tobytes()`` of a strided view would serialize in a
+    different order than its copy and silently split the key space.
     """
     image = np.ascontiguousarray(image)
     digest = hashlib.sha256()
@@ -131,3 +144,42 @@ class ResultCache:
         """Current keys in LRU order (oldest first) — for tests."""
         with self._lock:
             return tuple(self._entries)
+
+
+class TileReuseCache(ResultCache):
+    """Tile-granular byte-LRU for cross-frame reuse in streams.
+
+    The streaming tile-delta planner keys each *input* tile of a frame
+    by ``content_key(model_key, tile_view)`` and stores the tile's
+    *super-resolved* output here.  Storage, eviction and copy-isolation
+    semantics are inherited unchanged from :class:`ResultCache`; this
+    subclass adds reuse accounting: a planner hit means a tile of real
+    inference work was avoided entirely (not merely served from a
+    whole-image dedupe), so reused/computed tiles are tracked apart
+    from the raw hit/miss counters, which also see probe traffic.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        super().__init__(max_bytes)
+        self.reused_tiles = 0
+        self.computed_tiles = 0
+
+    def record_frame(self, reused: int, computed: int) -> None:
+        """Fold one frame's planner outcome into the lifetime totals."""
+        with self._lock:
+            self.reused_tiles += int(reused)
+            self.computed_tiles += int(computed)
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Lifetime fraction of planned tiles served from cache."""
+        total = self.reused_tiles + self.computed_tiles
+        return self.reused_tiles / total if total else 0.0
+
+    def stats(self) -> Dict:
+        out: Dict = dict(super().stats())
+        with self._lock:
+            out["reused_tiles"] = self.reused_tiles
+            out["computed_tiles"] = self.computed_tiles
+        out["reuse_ratio"] = round(self.reuse_ratio, 6)
+        return out

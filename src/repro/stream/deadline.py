@@ -1,0 +1,106 @@
+"""Frame-deadline policies for streaming sessions.
+
+This is the pure-policy half of the frame scheduler, in the same
+spirit as ``serve/scheduler.py``: every decision takes an explicit
+``now`` so tests drive it with a simulated clock.  The session owns
+the clock and the waiting; this module owns the arithmetic.
+
+Two policies:
+
+* ``best-effort`` — every frame completes; lateness is measured and
+  reported on the result but never causes a drop.
+* ``drop-late``   — a frame still incomplete when its deadline
+  expires resolves as a dropped :class:`FrameResult` immediately, so
+  it can never block its successors.
+
+The bridge to the serving layer's deadline-aware micro-batcher: a
+frame's *remaining* budget at tile-submit time becomes the
+``deadline_s`` of each dirty-tile request, so
+``MicroBatchScheduler`` flushes those tiles no later than the frame
+deadline instead of idling out its default batch window.
+"""
+
+from typing import Optional
+
+__all__ = [
+    "BEST_EFFORT",
+    "DROP_LATE",
+    "DeadlinePolicy",
+    "POLICIES",
+]
+
+DROP_LATE = "drop-late"
+BEST_EFFORT = "best-effort"
+POLICIES = (DROP_LATE, BEST_EFFORT)
+
+
+class DeadlinePolicy:
+    """Deadline arithmetic for one stream, under an explicit clock.
+
+    ``frame_budget_s`` is the default per-frame budget; a frame may
+    override it at submit time.  ``None`` means unbounded — frames
+    have no deadline and ``drop-late`` degenerates to best-effort
+    for them.
+    """
+
+    __slots__ = ("policy", "frame_budget_s")
+
+    def __init__(
+        self,
+        policy: str = BEST_EFFORT,
+        frame_budget_s: Optional[float] = None,
+    ):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown deadline policy {policy!r}; expected one of"
+                f" {POLICIES}"
+            )
+        if frame_budget_s is not None and frame_budget_s < 0:
+            raise ValueError("frame_budget_s must be >= 0")
+        self.policy = policy
+        self.frame_budget_s = frame_budget_s
+
+    def deadline(
+        self, arrival: float, budget_s: Optional[float] = None
+    ) -> Optional[float]:
+        """Absolute deadline for a frame admitted at ``arrival``."""
+        if budget_s is None:
+            budget_s = self.frame_budget_s
+        if budget_s is None:
+            return None
+        return arrival + float(budget_s)
+
+    @staticmethod
+    def expired(deadline: Optional[float], now: float) -> bool:
+        """True once the remaining budget reaches zero.
+
+        A deadline expiring *exactly at* ``now`` counts as expired —
+        the same boundary ``MicroBatchScheduler._due`` uses — but a
+        frame that already completed by then is delivered, not
+        dropped: drop-late only sheds frames still incomplete at
+        expiry.
+        """
+        return deadline is not None and now >= deadline
+
+    def should_drop(self, deadline: Optional[float], now: float) -> bool:
+        """Whether an *incomplete* frame must resolve as dropped."""
+        return self.policy == DROP_LATE and self.expired(deadline, now)
+
+    @staticmethod
+    def lateness(deadline: Optional[float], now: float) -> float:
+        """Seconds past the deadline (0.0 when on time or unbounded)."""
+        if deadline is None:
+            return 0.0
+        return max(0.0, now - deadline)
+
+    @staticmethod
+    def remaining(deadline: Optional[float], now: float) -> Optional[float]:
+        """Budget left for this frame's tiles (``None`` = unbounded).
+
+        Clamped at zero: once expired, tile requests are submitted
+        with a zero budget so the micro-batcher flushes them on its
+        next pass rather than holding them for a full batch window.
+        """
+        if deadline is None:
+            return None
+        return max(0.0, deadline - now)

@@ -1,0 +1,87 @@
+"""Typed per-frame outcomes for video super-resolution streams.
+
+A :class:`~repro.stream.session.StreamSession` resolves every
+submitted frame with a :class:`FrameResult` — never an exception on
+the collector path — mirroring the serving layer's typed
+``ServerBusy`` / ``ServeError`` convention.  ``status`` is one of:
+
+* ``"ok"``      — ``image`` holds the super-resolved frame.
+* ``"dropped"`` — the frame was still incomplete at its deadline
+  under the ``drop-late`` policy (or the session was closed without
+  draining); ``image`` is ``None`` and ``late_s`` reports how far
+  past the deadline the drop was observed.
+* ``"error"``   — a tile request failed (server shed it, model
+  raised, malformed frame); ``detail`` says why.
+
+``unwrap()`` converts the non-ok statuses into typed exceptions for
+callers that prefer raising flows.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FrameDropped",
+    "FrameResult",
+    "StreamError",
+]
+
+
+class StreamError(RuntimeError):
+    """Stream misuse or a failed frame surfaced via ``unwrap()``."""
+
+
+class FrameDropped(StreamError):
+    """Raised by ``FrameResult.unwrap()`` when the frame was dropped.
+
+    Carries the sequence number and observed lateness so drop
+    handling does not need to re-derive them from the result.
+    """
+
+    def __init__(self, seq: int, late_s: float, detail: str = ""):
+        self.seq = int(seq)
+        self.late_s = float(late_s)
+        self.detail = detail
+        msg = f"frame {self.seq} dropped ({self.late_s:.4f}s late)"
+        if detail:
+            msg = f"{msg}: {detail}"
+        super().__init__(msg)
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Outcome of one streamed frame, delivered strictly in-sequence."""
+
+    status: str  # "ok" | "dropped" | "error"
+    seq: int
+    image: Optional[np.ndarray] = field(default=None, repr=False)
+    detail: str = ""
+    late_s: float = 0.0
+    tiles_total: int = 0
+    tiles_reused: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def dropped(self) -> bool:
+        return self.status == "dropped"
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of this frame's tiles served from the tile cache."""
+        if not self.tiles_total:
+            return 0.0
+        return self.tiles_reused / self.tiles_total
+
+    def unwrap(self) -> np.ndarray:
+        """The SR frame, or a typed exception for dropped/error."""
+        if self.status == "ok":
+            assert self.image is not None
+            return self.image
+        if self.status == "dropped":
+            raise FrameDropped(self.seq, self.late_s, self.detail)
+        raise StreamError(f"frame {self.seq} failed: {self.detail}")

@@ -1,0 +1,655 @@
+"""Ordered per-stream video SR sessions with cross-frame tile reuse.
+
+A :class:`StreamSession` sits on top of any single-image serving
+surface (:class:`~repro.api.serving.ServeSession`,
+:class:`~repro.serve.server.ModelServer`, or anything duck-typed
+like them) and turns it into a *video* surface:
+
+* **Ordering.**  Frames carry monotonically increasing sequence
+  numbers and results are delivered strictly in-sequence per stream,
+  no matter how the underlying scheduler batches, coalesces or
+  reorders the tile requests.  A dedicated collector thread per
+  stream assembles frames one at a time, so two sessions sharing one
+  server never head-of-line block each other.
+* **Tile reuse.**  Each frame is tile-delta planned against a
+  per-stream :class:`~repro.serve.cache.TileReuseCache`; unchanged
+  tiles are stitched from cache and only dirty tiles are submitted.
+  Planning happens *on the collector, per frame, in order* — so by
+  the time frame N is planned, every tile frame N-1 computed is
+  already cached, which is what makes consecutive-frame reuse work.
+* **Deadlines.**  ``drop-late`` resolves a frame still incomplete at
+  its deadline as a typed dropped result (successors unaffected);
+  ``best-effort`` always completes and reports lateness.  A frame's
+  remaining budget rides on its dirty-tile requests as their
+  ``deadline_s``, plugging into the serving layer's deadline-aware
+  micro-batcher.
+
+Bit-parity contract: with the backend serving the same artifact at
+the same dtype/clip settings, a streamed frame is **bit-identical**
+to one-shot ``Engine.infer`` on that frame with the same
+``tile``/``tile_overlap`` — the session stitches with the very same
+``TileStitcher`` arithmetic in the same plan order.
+"""
+
+import itertools
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..infer.tiling import TilePlan, TileStitcher, plan_tiles, tile_view
+from ..serve.cache import TileReuseCache
+from ..serve.metrics import MetricsRegistry
+from ..serve.server import model_label, parse_model_key
+from ..serve.telemetry import LatencyHistogram
+from .deadline import BEST_EFFORT, POLICIES, DeadlinePolicy
+from .delta import plan_frame_delta
+from .results import FrameResult, StreamError
+
+_LOG = logging.getLogger("repro.stream")
+
+__all__ = ["FrameTicket", "StreamConfig", "StreamSession"]
+
+# How often waiting code re-checks for close/deadline while blocked on
+# a tile future (seconds).  Bounds drop-late reaction latency.
+_WAIT_SLICE_S = 0.02
+
+
+class _TileFailed(Exception):
+    """Internal: a tile request resolved busy/error."""
+
+
+class _Aborted(Exception):
+    """Internal: session closed without drain while a frame was live."""
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Per-stream knobs (geometry, reuse, deadline policy).
+
+    ``tile``/``overlap`` must match the engine's ``tile`` /
+    ``tile_overlap`` for the bit-parity guarantee to hold against
+    ``Engine.infer``.  ``tile_cache_bytes=0`` disables reuse;
+    ``max_pending_frames`` bounds the submit queue (``submit_frame``
+    blocks when full — backpressure, not shedding).
+    """
+
+    tile: int = 48
+    overlap: int = 8
+    policy: str = BEST_EFFORT
+    frame_budget_s: Optional[float] = None
+    tile_cache_bytes: int = 64 << 20
+    max_pending_frames: Optional[int] = None
+
+    def __post_init__(self):
+        if self.tile < 1:
+            raise ValueError("tile must be >= 1")
+        if self.overlap < 0:
+            raise ValueError("overlap must be >= 0")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.frame_budget_s is not None and self.frame_budget_s < 0:
+            raise ValueError("frame_budget_s must be >= 0")
+        if self.tile_cache_bytes < 0:
+            raise ValueError("tile_cache_bytes must be >= 0")
+        if (
+            self.max_pending_frames is not None
+            and self.max_pending_frames < 1
+        ):
+            raise ValueError("max_pending_frames must be >= 1")
+
+
+class FrameTicket:
+    """Handle for one submitted frame; resolves to a FrameResult."""
+
+    __slots__ = ("seq", "_event", "_value")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self._event = threading.Event()
+        self._value: Optional[FrameResult] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> FrameResult:
+        """Block for the frame's typed result.
+
+        Raises ``TimeoutError`` if the result is not ready in time
+        (the frame itself is unaffected and still resolves).
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"frame {self.seq} not resolved in time")
+        assert self._value is not None
+        return self._value
+
+    def _resolve(self, value: FrameResult) -> None:
+        self._value = value
+        self._event.set()
+
+
+@dataclass
+class _Frame:
+    seq: int
+    image: np.ndarray
+    arrival: float
+    deadline: Optional[float]
+    ticket: FrameTicket = field(repr=False)
+
+
+class StreamSession:
+    """One ordered video stream over a single-image serving backend.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`ServeSession`, :class:`ModelServer`, or any object
+        with ``submit(image, model=..., deadline_s=...)`` returning a
+        future/ticket whose ``result(timeout)`` yields an ndarray, a
+        typed ``InferResult``-alike, or a busy/error marker.
+    model:
+        Zoo key (``(architecture, scheme, scale)`` or
+        ``"arch/scheme/xN"``) every tile of this stream is routed to.
+    scale:
+        The model's upscale factor (output tiles are
+        ``tile * scale`` on each side).
+    metrics:
+        Registry for the per-stream metric families; defaults to the
+        backend server's own registry so stream series appear on the
+        existing ``/metrics`` surfaces.  Re-registration of the same
+        families by concurrent streams is safe (label ``stream``
+        disambiguates).
+
+    Frames must not be mutated by the caller until their ticket
+    resolves (same no-copy admission contract as the pipeline).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        backend,
+        model,
+        scale: int,
+        config: Optional[StreamConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        stream_id: Optional[str] = None,
+        clock=time.monotonic,
+        owns_backend: bool = False,
+    ) -> None:
+        self.config = config if config is not None else StreamConfig()
+        self.model = parse_model_key(model)
+        self.scale = int(scale)
+        if self.scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.stream_id = (
+            stream_id
+            if stream_id is not None
+            else f"stream-{next(self._ids)}"
+        )
+        self._backend = backend
+        self._owns_backend = owns_backend
+        self._clock = clock
+        self._policy = DeadlinePolicy(
+            self.config.policy, self.config.frame_budget_s
+        )
+        self.tile_cache = TileReuseCache(self.config.tile_cache_bytes)
+        self._plans: Dict[Tuple[int, int], TilePlan] = {}
+        self._lock = threading.Condition()
+        self._frames: "deque[_Frame]" = deque()
+        self._last_seq: Optional[int] = None
+        self._closed = False
+        self._drain_on_close = True
+        self.latency = LatencyHistogram()
+        self.counts = {
+            "frames_in": 0,
+            "frames_ok": 0,
+            "frames_dropped": 0,
+            "frames_error": 0,
+        }
+        # server.poll(force=True) skips the batch window for a frame's
+        # freshly queued tiles; resolved lazily so bare fakes work.
+        self._kick = self._find_kick(backend)
+        self._register_metrics(metrics)
+        self._thread = threading.Thread(
+            target=self._collect_loop,
+            name=f"repro-stream-{self.stream_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit_frame(
+        self,
+        frame: np.ndarray,
+        seq: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> FrameTicket:
+        """Admit one HWC frame; returns its ticket immediately.
+
+        ``seq`` must be strictly greater than every previously
+        submitted sequence number (auto-assigned when omitted).
+        ``deadline_s`` overrides the stream's ``frame_budget_s`` for
+        this frame; the clock starts at admission.  Blocks only when
+        ``max_pending_frames`` backpressure is engaged.
+        """
+        frame = np.asarray(frame)
+        if frame.ndim != 3:
+            raise StreamError(
+                f"expected an (H, W, C) frame, got shape {frame.shape}"
+            )
+        with self._lock:
+            # Backpressure first: the wait releases the lock, so seq
+            # assignment/validation must happen after it or a racing
+            # submitter could interleave out of order.
+            cap = self.config.max_pending_frames
+            while (
+                cap is not None
+                and len(self._frames) >= cap
+                and not self._closed
+            ):
+                self._lock.wait()
+            if self._closed:
+                raise StreamError("stream session is closed")
+            if seq is None:
+                seq = 0 if self._last_seq is None else self._last_seq + 1
+            else:
+                seq = int(seq)
+                if self._last_seq is not None and seq <= self._last_seq:
+                    raise StreamError(
+                        f"sequence numbers must increase: got {seq} "
+                        f"after {self._last_seq}"
+                    )
+            arrival = self._clock()
+            ticket = FrameTicket(seq)
+            self._frames.append(
+                _Frame(
+                    seq=seq,
+                    image=frame,
+                    arrival=arrival,
+                    deadline=self._policy.deadline(arrival, deadline_s),
+                    ticket=ticket,
+                )
+            )
+            self._last_seq = seq
+            self.counts["frames_in"] += 1
+            self._m_in.labels(stream=self.stream_id).inc()
+            self._lock.notify_all()
+        return ticket
+
+    def submit_clip(
+        self,
+        frames: Sequence[np.ndarray],
+        deadline_s: Optional[float] = None,
+    ) -> List[FrameTicket]:
+        """Admit a whole clip in order; returns one ticket per frame."""
+        return [self.submit_frame(f, deadline_s=deadline_s) for f in frames]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting frames and shut the collector down.
+
+        ``drain=True`` processes everything already queued;
+        ``drain=False`` resolves queued frames as dropped.  Owned
+        backends (``Engine.stream()`` with no explicit session) are
+        closed too.  Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            if not already:
+                self._drain_on_close = drain
+            self._lock.notify_all()
+        self._thread.join(timeout=60.0)
+        if self._owns_backend and not already:
+            self._backend.close()
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- observability -------------------------------------------------
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def stats(self) -> Dict:
+        """Snapshot of this stream's counters, reuse and latency."""
+        with self._lock:
+            counts = dict(self.counts)
+            counts["pending"] = len(self._frames)
+        out = counts["frames_ok"] + counts["frames_dropped"]
+        out += counts["frames_error"]
+        counts["frames_out"] = out
+        return {
+            "stream": self.stream_id,
+            "model": model_label(self.model),
+            "policy": self.config.policy,
+            "frames": counts,
+            "tiles": self.tile_cache.stats(),
+            "latency": self.latency.snapshot(),
+        }
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _find_kick(backend):
+        poll = getattr(backend, "poll", None)
+        if poll is None:
+            server = getattr(backend, "server", None)
+            poll = getattr(server, "poll", None)
+        return poll
+
+    def _force_flush(self) -> None:
+        if self._kick is None:
+            return
+        try:
+            self._kick(force=True)
+        except TypeError:
+            self._kick()
+
+    def _register_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        if metrics is None:
+            server = getattr(self._backend, "server", self._backend)
+            metrics = getattr(server, "metrics", None)
+        if not isinstance(metrics, MetricsRegistry):
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._m_in = metrics.counter(
+            "repro_stream_frames_in_total",
+            "Frames admitted into a stream session.",
+            ("stream",),
+        )
+        self._m_out = metrics.counter(
+            "repro_stream_frames_out_total",
+            "Frames resolved by a stream session, by outcome.",
+            ("stream", "outcome"),
+        )
+        self._m_tiles = metrics.counter(
+            "repro_stream_tiles_total",
+            "Tiles planned by the delta planner, by how they were "
+            "satisfied.",
+            ("stream", "outcome"),
+        )
+        self._m_reuse = metrics.gauge(
+            "repro_stream_tile_reuse_ratio",
+            "Lifetime fraction of planned tiles served from the "
+            "per-stream tile cache.",
+            ("stream",),
+        )
+        self._m_latency = metrics.histogram(
+            "repro_stream_frame_latency_seconds",
+            "Frame end-to-end latency, admission to ordered delivery.",
+            ("stream",),
+        )
+        self._m_quantiles = metrics.summary(
+            "repro_stream_frame_quantile_seconds",
+            "Frame latency quantiles (p50/p95/p99) per stream.",
+            ("stream",),
+        )
+
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._frames and not self._closed:
+                    self._lock.wait()
+                if not self._frames:
+                    return
+                shed = self._closed and not self._drain_on_close
+                frame = self._frames.popleft()
+                self._lock.notify_all()
+            if shed:
+                self._finish_dropped(
+                    frame, self._clock(), "session closed without drain"
+                )
+                continue
+            try:
+                self._process(frame)
+            except _Aborted:
+                self._finish_dropped(
+                    frame, self._clock(), "session closed without drain"
+                )
+            except Exception as exc:  # never kill the collector
+                self._finish_error(frame, f"{type(exc).__name__}: {exc}")
+
+    def _plan_for(self, shape) -> TilePlan:
+        h, w = int(shape[0]), int(shape[1])
+        plan = self._plans.get((h, w))
+        if plan is None:
+            plan = plan_tiles(h, w, self.config.tile, self.config.overlap)
+            self._plans[(h, w)] = plan
+        return plan
+
+    def _process(self, frame: _Frame) -> None:
+        now = self._clock()
+        if self._policy.should_drop(frame.deadline, now):
+            self._finish_dropped(
+                frame, now, "deadline expired before inference"
+            )
+            return
+        plan = self._plan_for(frame.image.shape)
+        cache = self.tile_cache if self.config.tile_cache_bytes > 0 else None
+        delta = plan_frame_delta(frame.image, plan, self.model, cache)
+        th, tw = plan.tile_h, plan.tile_w
+        futures = {}
+        for i in delta.dirty:
+            key = delta.keys[i]
+            if key in futures:
+                continue
+            tile = tile_view(frame.image, plan.tiles[i], th, tw)
+            futures[key] = self._submit_tile(tile, frame)
+        if futures:
+            self._force_flush()
+        fresh: Dict[str, np.ndarray] = {}
+        try:
+            for key, fut in futures.items():
+                fresh[key] = self._await_tile(fut, frame)
+        except _TileFailed as exc:
+            self._finish_error(frame, str(exc))
+            return
+        except TimeoutError:
+            self._finish_dropped(
+                frame,
+                self._clock(),
+                f"deadline expired with {len(futures) - len(fresh)} of "
+                f"{len(futures)} dirty tiles outstanding",
+                tiles_total=len(plan.tiles),
+                tiles_reused=len(delta.reused),
+            )
+            return
+        out = self._stitch(frame, plan, delta, fresh)
+        if out is None:
+            return
+        if cache is not None:
+            for key, sr in fresh.items():
+                cache.put(key, sr)
+        done = self._clock()
+        self._finish_ok(frame, plan, delta, out, done)
+
+    def _submit_tile(self, tile: np.ndarray, frame: _Frame):
+        deadline_s = self._policy.remaining(frame.deadline, self._clock())
+        return self._backend.submit(
+            tile, model=self.model, deadline_s=deadline_s
+        )
+
+    def _await_tile(self, fut, frame: _Frame) -> np.ndarray:
+        """Wait for one tile, honoring close and the frame deadline.
+
+        Raises ``TimeoutError`` once a drop-late frame's deadline
+        expires while the tile is still outstanding, ``_Aborted`` on
+        an undrained close, ``_TileFailed`` on a busy/error value.
+        """
+        while True:
+            with self._lock:
+                if self._closed and not self._drain_on_close:
+                    raise _Aborted()
+            now = self._clock()
+            if self._policy.should_drop(frame.deadline, now):
+                raise TimeoutError()
+            wait = _WAIT_SLICE_S
+            remaining = self._policy.remaining(frame.deadline, now)
+            if remaining is not None:
+                wait = min(wait, max(remaining, 0.0) + 1e-4)
+            try:
+                value = fut.result(timeout=wait)
+            except TimeoutError:
+                # Re-kick each slice: a long tile deadline is a *drop*
+                # deadline, not a flush budget — tiles that missed the
+                # first forced poll (model at its in-flight cap when a
+                # full batch auto-flushed mid-submit) must dispatch as
+                # soon as the cap frees, not when the deadline is due.
+                self._force_flush()
+                continue
+            return self._tile_value(value)
+
+    @staticmethod
+    def _tile_value(value) -> np.ndarray:
+        """Normalize a backend result to an SR array or _TileFailed."""
+        status = getattr(value, "status", None)
+        if status is not None:  # InferResult-alike
+            if status == "ok":
+                return np.asarray(value.image)
+            detail = getattr(value, "detail", "")
+            raise _TileFailed(f"tile request {status}: {detail}")
+        if isinstance(value, np.ndarray):
+            return value
+        reason = getattr(value, "reason", None)  # ServerBusy marker
+        if reason is not None:
+            raise _TileFailed(f"tile request shed: {reason}")
+        message = getattr(value, "message", None)  # ServeError marker
+        if message is not None:
+            raise _TileFailed(f"tile request failed: {message}")
+        raise _TileFailed(
+            f"unexpected tile result type {type(value).__name__}"
+        )
+
+    def _stitch(self, frame, plan, delta, fresh) -> Optional[np.ndarray]:
+        """Assemble the SR frame; mirrors ``tiled_super_resolve`` bit
+        for bit (same float64 canvas, same plan order, same clips)."""
+        th, tw = plan.tile_h, plan.tile_w
+        want = (th * self.scale, tw * self.scale)
+        stitcher = None
+        for i in range(len(plan.tiles)):
+            sr = delta.cached.get(i)
+            if sr is None:
+                sr = fresh[delta.keys[i]]
+            if sr.ndim != 3 or sr.shape[:2] != want:
+                self._finish_error(
+                    frame,
+                    f"tile {i} returned shape {sr.shape}, expected "
+                    f"{want} + channels — wrong model scale?",
+                )
+                return None
+            if stitcher is None:
+                stitcher = TileStitcher(
+                    plan, self.scale, batch=1, c_out=sr.shape[2]
+                )
+            tile64 = np.clip(np.asarray(sr, dtype=np.float64), 0.0, 1.0)
+            stitcher.add(i, tile64.transpose(2, 0, 1)[None])
+        assert stitcher is not None  # plans always have >= 1 tile
+        return np.clip(stitcher.finish()[0].transpose(1, 2, 0), 0.0, 1.0)
+
+    # -- completion ----------------------------------------------------
+
+    def _finish_ok(self, frame, plan, delta, out, done) -> None:
+        late = self._policy.lateness(frame.deadline, done)
+        total = len(plan.tiles)
+        reused = len(delta.reused)
+        self.tile_cache.record_frame(reused, total - reused)
+        with self._lock:
+            self.counts["frames_ok"] += 1
+        elapsed = max(0.0, done - frame.arrival)
+        self.latency.record(elapsed)
+        sid = self.stream_id
+        self._m_out.labels(stream=sid, outcome="ok").inc()
+        self._m_tiles.labels(stream=sid, outcome="reused").inc(reused)
+        self._m_tiles.labels(stream=sid, outcome="computed").inc(
+            total - reused
+        )
+        self._m_reuse.labels(stream=sid).set(self.tile_cache.reuse_ratio)
+        self._m_latency.labels(stream=sid).observe(elapsed)
+        self._m_quantiles.labels(stream=sid).observe(elapsed)
+        self._log_frame(frame, "ok", elapsed, late, total, reused)
+        frame.ticket._resolve(
+            FrameResult(
+                status="ok",
+                seq=frame.seq,
+                image=out,
+                late_s=late,
+                tiles_total=total,
+                tiles_reused=reused,
+            )
+        )
+
+    def _finish_dropped(
+        self,
+        frame,
+        now: float,
+        detail: str,
+        tiles_total: int = 0,
+        tiles_reused: int = 0,
+    ) -> None:
+        late = self._policy.lateness(frame.deadline, now)
+        with self._lock:
+            self.counts["frames_dropped"] += 1
+        sid = self.stream_id
+        self._m_out.labels(stream=sid, outcome="dropped").inc()
+        self._log_frame(
+            frame, "dropped", max(0.0, now - frame.arrival), late,
+            tiles_total, tiles_reused, detail,
+        )
+        frame.ticket._resolve(
+            FrameResult(
+                status="dropped",
+                seq=frame.seq,
+                detail=detail,
+                late_s=late,
+                tiles_total=tiles_total,
+                tiles_reused=tiles_reused,
+            )
+        )
+
+    def _finish_error(self, frame, detail: str) -> None:
+        now = self._clock()
+        late = self._policy.lateness(frame.deadline, now)
+        with self._lock:
+            self.counts["frames_error"] += 1
+        self._m_out.labels(stream=self.stream_id, outcome="error").inc()
+        self._log_frame(
+            frame, "error", max(0.0, now - frame.arrival), late, 0, 0,
+            detail,
+        )
+        frame.ticket._resolve(
+            FrameResult(
+                status="error", seq=frame.seq, detail=detail, late_s=late
+            )
+        )
+
+    def _log_frame(
+        self, frame, outcome, elapsed, late, total, reused, detail=""
+    ) -> None:
+        fields = {
+            "stream": self.stream_id,
+            "model": model_label(self.model),
+            "seq": frame.seq,
+            "outcome": outcome,
+            "total_s": round(elapsed, 6),
+            "late_s": round(late, 6),
+            "tiles_total": total,
+            "tiles_reused": reused,
+        }
+        if detail:
+            fields["detail"] = detail
+        _LOG.info("frame", extra={"repro_fields": fields})

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serve import ResultCache, content_key
+from repro.serve import ResultCache, TileReuseCache, content_key
 
 
 def _arr(fill, shape=(4, 4, 3), dtype=np.float32):
@@ -46,6 +46,42 @@ class TestContentKey:
         view = base[::2]
         key = ("srresnet", "scales", 2)
         assert content_key(key, view) == content_key(key, view.copy())
+
+    def test_tile_slice_of_frame_hashes_like_its_copy(self):
+        # The streaming planner hashes tile *views* of an HWC frame —
+        # row-sliced, column-sliced, non-contiguous in memory.  Their
+        # keys must match a packed copy or the tile cache (and the
+        # server's coalescing) would never see repeats.
+        frame = np.arange(16 * 20 * 3, dtype=np.float32)
+        frame = frame.reshape(16, 20, 3)
+        key = ("srresnet", "scales", 2)
+        tile = frame[4:12, 6:14]  # interior tile: both axes strided
+        assert not tile.flags["C_CONTIGUOUS"]
+        assert content_key(key, tile) == content_key(
+            key, np.ascontiguousarray(tile)
+        )
+        # And the same content at a different origin collides too.
+        frame2 = np.zeros((16, 20, 3), dtype=np.float32)
+        frame2[1:9, 2:10] = tile
+        assert content_key(key, frame2[1:9, 2:10]) == content_key(
+            key, tile.copy()
+        )
+
+    def test_fortran_order_hashes_like_c_order(self):
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)
+        f = np.asfortranarray(a)
+        assert not f.flags["C_CONTIGUOUS"]
+        key = ("srresnet", "scales", 2)
+        assert content_key(key, f) == content_key(key, a)
+
+    def test_negative_stride_view_hashes_like_its_copy(self):
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)
+        rev = a[::-1, ::-1]
+        key = ("srresnet", "scales", 2)
+        assert content_key(key, rev) == content_key(key, rev.copy())
+        # Reversal changes content, so it must NOT collide with the
+        # original orientation.
+        assert content_key(key, rev) != content_key(key, a)
 
 
 class TestResultCache:
@@ -124,3 +160,39 @@ class TestResultCache:
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(max_bytes=-1)
+
+
+class TestTileReuseCache:
+    def test_inherits_lru_semantics(self):
+        cache = TileReuseCache(max_bytes=1 << 20)
+        value = _arr(0.5)
+        assert cache.put("k", value)
+        np.testing.assert_array_equal(cache.get("k"), value)
+        got = cache.get("k")
+        got[0, 0, 0] = 99.0  # copies out: stored value is isolated
+        np.testing.assert_array_equal(cache.get("k"), value)
+
+    def test_reuse_accounting_separate_from_probe_traffic(self):
+        cache = TileReuseCache(max_bytes=1 << 20)
+        cache.put("k", _arr(0.5))
+        cache.get("k")
+        cache.get("nope")
+        # Raw probe counters move, reuse counters only via record_frame.
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.reuse_ratio == 0.0
+        cache.record_frame(reused=3, computed=1)
+        cache.record_frame(reused=1, computed=3)
+        assert cache.reused_tiles == 4
+        assert cache.computed_tiles == 4
+        assert cache.reuse_ratio == 0.5
+        stats = cache.stats()
+        assert stats["reused_tiles"] == 4
+        assert stats["computed_tiles"] == 4
+        assert stats["reuse_ratio"] == 0.5
+
+    def test_zero_budget_disables_reuse_storage(self):
+        cache = TileReuseCache(max_bytes=0)
+        assert not cache.put("k", _arr(0.5))
+        assert cache.get("k") is None
+        assert cache.reuse_ratio == 0.0

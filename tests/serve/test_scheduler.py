@@ -182,6 +182,74 @@ class TestFlushLifecycle:
         assert sched.idle()
 
 
+class TestForceDrainEdgeCases:
+    """due_keys(force=True) drain-path edges under the simulated clock.
+
+    The drain/shutdown path treats every non-empty queue as due, but
+    it must still skip queues with nothing in them (a model whose
+    requests were all taken keeps an empty deque registered) and must
+    still respect the per-model in-flight cap — forcing latency does
+    not license exceeding concurrency.
+    """
+
+    def test_force_with_no_queues_at_all(self):
+        sched = MicroBatchScheduler(max_batch=4)
+        assert sched.due_keys(now=0.0, force=True) == []
+
+    def test_force_skips_emptied_queues(self):
+        sched = MicroBatchScheduler(max_batch=4)
+        sched.enqueue(_req(KEY_A, now=0.0))
+        sched.enqueue(_req(KEY_B, now=0.0))
+        taken, _ = sched.take(KEY_A, now=0.0)
+        assert len(taken) == 1
+        sched.release(KEY_A)
+        # KEY_A's deque still exists but is empty: force must not
+        # resurrect it as due.
+        assert sched.due_keys(now=0.0, force=True) == [KEY_B]
+
+    def test_force_respects_inflight_cap(self):
+        sched = MicroBatchScheduler(max_batch=1, max_inflight=1)
+        sched.enqueue(_req(KEY_A, now=0.0))
+        sched.take(KEY_A, now=0.0)  # model now at its cap
+        sched.enqueue(_req(KEY_A, now=0.0, budget=0.0))
+        # Force is about latency, not concurrency: the capped model
+        # stays suppressed until the in-flight flush releases.
+        assert sched.due_keys(now=100.0, force=True) == []
+        sched.release(KEY_A)
+        assert sched.due_keys(now=100.0, force=True) == [KEY_A]
+
+    def test_force_with_every_model_inflight(self):
+        sched = MicroBatchScheduler(max_batch=1, max_inflight=1)
+        for key in (KEY_A, KEY_B):
+            sched.enqueue(_req(key, now=0.0))
+            sched.take(key, now=0.0)
+            sched.enqueue(_req(key, now=0.0))
+        assert sched.due_keys(now=50.0, force=True) == []
+        assert sched.next_due(now=50.0) is None
+        sched.release(KEY_B)
+        assert sched.due_keys(now=50.0, force=True) == [KEY_B]
+
+    def test_deadline_expiring_exactly_at_now_is_due(self):
+        # The boundary is inclusive: deadline <= now means due, with
+        # or without force — a request whose budget just reached zero
+        # flushes on this poll, not the next one.
+        sched = MicroBatchScheduler(max_batch=4)
+        sched.enqueue(_req(KEY_A, now=10.0, budget=0.5))
+        assert sched.due_keys(now=10.5 - 1e-9) == []
+        assert sched.due_keys(now=10.5) == [KEY_A]
+        assert sched.due_keys(now=10.5, force=True) == [KEY_A]
+        assert sched.next_due(now=10.5) == 0.0
+
+    def test_force_then_take_reports_drain_reason(self):
+        sched = MicroBatchScheduler(max_batch=4)
+        sched.enqueue(_req(KEY_A, now=0.0, budget=100.0))
+        assert sched.due_keys(now=0.0) == []
+        assert sched.due_keys(now=0.0, force=True) == [KEY_A]
+        taken, reason = sched.take(KEY_A, now=0.0)
+        assert len(taken) == 1
+        assert reason == "drain"
+
+
 class TestDepthCounter:
     """The O(1) depth counter vs the O(#models) scan it replaced.
 

@@ -1,0 +1,59 @@
+"""Frame-deadline policy arithmetic under an explicit clock."""
+
+import pytest
+
+from repro.stream import BEST_EFFORT, DROP_LATE, DeadlinePolicy
+
+
+class TestConstruction:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown deadline policy"):
+            DeadlinePolicy("never-late")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlinePolicy(DROP_LATE, frame_budget_s=-0.1)
+
+
+class TestDeadlines:
+    def test_deadline_from_default_budget(self):
+        policy = DeadlinePolicy(DROP_LATE, frame_budget_s=0.5)
+        assert policy.deadline(arrival=10.0) == 10.5
+
+    def test_per_frame_override_wins(self):
+        policy = DeadlinePolicy(DROP_LATE, frame_budget_s=0.5)
+        assert policy.deadline(arrival=10.0, budget_s=2.0) == 12.0
+
+    def test_no_budget_means_unbounded(self):
+        policy = DeadlinePolicy(BEST_EFFORT)
+        assert policy.deadline(arrival=10.0) is None
+        assert policy.lateness(None, now=1e9) == 0.0
+        assert policy.remaining(None, now=1e9) is None
+        assert not policy.should_drop(None, now=1e9)
+
+
+class TestExpiry:
+    def test_exactly_at_deadline_is_expired(self):
+        # Same inclusive boundary as the micro-batcher's due check.
+        assert DeadlinePolicy.expired(10.5, now=10.5)
+        assert not DeadlinePolicy.expired(10.5, now=10.5 - 1e-9)
+
+    def test_drop_only_under_drop_late(self):
+        drop = DeadlinePolicy(DROP_LATE, frame_budget_s=0.5)
+        best = DeadlinePolicy(BEST_EFFORT, frame_budget_s=0.5)
+        deadline = drop.deadline(10.0)
+        assert drop.should_drop(deadline, now=10.5)
+        assert not drop.should_drop(deadline, now=10.4)
+        # Best-effort measures lateness but never drops.
+        assert not best.should_drop(deadline, now=99.0)
+        assert best.lateness(deadline, now=11.0) == pytest.approx(0.5)
+
+    def test_lateness_clamps_at_zero(self):
+        policy = DeadlinePolicy(DROP_LATE, frame_budget_s=1.0)
+        assert policy.lateness(11.0, now=10.0) == 0.0
+        assert policy.lateness(11.0, now=11.25) == pytest.approx(0.25)
+
+    def test_remaining_budget_clamps_at_zero(self):
+        policy = DeadlinePolicy(DROP_LATE, frame_budget_s=1.0)
+        assert policy.remaining(11.0, now=10.25) == pytest.approx(0.75)
+        assert policy.remaining(11.0, now=12.0) == 0.0

@@ -1,0 +1,454 @@
+"""StreamSession behavior over a controllable fake backend.
+
+The fakes let these tests play adversarial scheduler: completion
+order is shuffled across streams, tiles are withheld past deadlines,
+and busy/error markers are injected — all without a real model, so
+the ordering/deadline/shedding guarantees are exercised in
+milliseconds.  The fake "SR" at ``scale=1`` is the identity, so a
+correctly stitched frame equals its input exactly (overlap 0).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.stream import StreamConfig, StreamError, StreamSession
+
+MODEL = ("srresnet", "scales", 2)
+
+
+class FakeFuture:
+    def __init__(self, image):
+        self.image = np.asarray(image)
+        self._event = threading.Event()
+        self._value = None
+
+    def done(self):
+        return self._event.is_set()
+
+    def result(self, timeout=None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("tile not served within timeout")
+        return self._value
+
+    def resolve(self, value=None):
+        """Default resolution: identity 'SR' of the submitted tile."""
+        if value is None:
+            value = np.asarray(self.image, dtype=np.float64)
+        self._value = value
+        self._event.set()
+
+
+class FakeBackend:
+    """Duck-typed serving surface; completion is driven by the test."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.pending = []
+        self.submitted = 0
+        self.arrived = threading.Condition(self.lock)
+
+    def submit(self, image, model=None, deadline_s=None):
+        fut = FakeFuture(image)
+        with self.lock:
+            self.pending.append(fut)
+            self.submitted += 1
+            self.arrived.notify_all()
+        return fut
+
+    def wait_for_submissions(self, n, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        with self.lock:
+            while self.submitted < n:
+                remaining = deadline - time.monotonic()
+                assert remaining > 0, (
+                    f"only {self.submitted}/{n} submissions arrived"
+                )
+                self.arrived.wait(remaining)
+
+    def pop_pending(self):
+        with self.lock:
+            out, self.pending = self.pending, []
+        return out
+
+
+def _session(backend, **cfg):
+    defaults = dict(tile=8, overlap=0, tile_cache_bytes=0)
+    defaults.update(cfg)
+    return StreamSession(
+        backend, MODEL, scale=1, config=StreamConfig(**defaults)
+    )
+
+
+def _frames(n, seed=0, h=16, w=16):
+    rng = np.random.default_rng(seed)
+    return [rng.random((h, w, 3)).astype(np.float32) for _ in range(n)]
+
+
+class TestOrderingUnderAdversarialScheduler:
+    def test_64_frames_4_streams_shuffled_completion(self):
+        """The satellite scenario: 64 frames across 4 streams, tile
+        completion order shuffled by a chaos resolver; every stream
+        must still deliver strictly in sequence."""
+        backend = FakeBackend()
+        n_streams, n_frames = 4, 16
+        streams = [_session(backend) for _ in range(n_streams)]
+        clips = [_frames(n_frames, seed=s) for s in range(n_streams)]
+
+        rng = np.random.default_rng(1234)
+        stop = threading.Event()
+
+        def chaos_resolver():
+            # Resolve pending tiles in random order, a few at a time,
+            # interleaving streams arbitrarily.
+            while not stop.is_set():
+                ready = backend.pop_pending()
+                if not ready:
+                    time.sleep(0.001)
+                    continue
+                rng.shuffle(ready)
+                for fut in ready:
+                    fut.resolve()
+
+        resolver = threading.Thread(target=chaos_resolver, daemon=True)
+        resolver.start()
+        try:
+            tickets = [
+                [s.submit_frame(f) for f in clip]
+                for s, clip in zip(streams, clips)
+            ]
+            # Wait on the *last* ticket of each stream first: ordered
+            # delivery means its resolution implies all predecessors.
+            for s_idx, stream_tickets in enumerate(tickets):
+                last = stream_tickets[-1].result(timeout=30.0)
+                assert last.ok
+                done_flags = [t.done() for t in stream_tickets]
+                assert all(done_flags), (
+                    f"stream {s_idx}: frame {n_frames - 1} delivered "
+                    f"before predecessors {done_flags}"
+                )
+            for s_idx, (stream_tickets, clip) in enumerate(
+                zip(tickets, clips)
+            ):
+                for k, (ticket, frame) in enumerate(
+                    zip(stream_tickets, clip)
+                ):
+                    res = ticket.result(timeout=1.0)
+                    assert res.ok and res.seq == k
+                    # Identity SR at scale 1: stitched == input.
+                    np.testing.assert_array_equal(
+                        res.image, np.asarray(frame, dtype=np.float64)
+                    )
+        finally:
+            stop.set()
+            resolver.join(timeout=5.0)
+            for s in streams:
+                s.close(drain=False)
+
+    def test_no_cross_stream_head_of_line_blocking(self):
+        """A stream wedged on its first tile must not delay siblings
+        sharing the same backend."""
+        backend = FakeBackend()
+        stuck = _session(backend)
+        flowing = _session(backend)
+        stuck_frame = _frames(1, seed=7)[0]
+        flow_frames = _frames(8, seed=8)
+        try:
+            stuck_ticket = stuck.submit_frame(stuck_frame)
+            backend.wait_for_submissions(4)  # stuck's 4 tiles queued
+            wedged = backend.pop_pending()  # ...and withheld
+
+            flow_tickets = [flowing.submit_frame(f) for f in flow_frames]
+
+            def serve_flowing():
+                served = 0
+                while served < 8 * 4:  # 8 frames x 4 tiles each
+                    for fut in backend.pop_pending():
+                        fut.resolve()
+                        served += 1
+                    time.sleep(0.001)
+
+            server = threading.Thread(target=serve_flowing, daemon=True)
+            server.start()
+            for t in flow_tickets:
+                assert t.result(timeout=10.0).ok
+            server.join(timeout=5.0)
+            # The wedged stream is still pending — and unblocking it
+            # completes it.
+            assert not stuck_ticket.done()
+            for fut in wedged:
+                fut.resolve()
+            assert stuck_ticket.result(timeout=10.0).ok
+        finally:
+            stuck.close(drain=False)
+            flowing.close(drain=False)
+
+
+class TestDeadlines:
+    def test_drop_late_drops_only_late_frames(self):
+        """Timed drop-late gate: the frame whose tiles are withheld
+        past its deadline resolves dropped; predecessors and
+        successors deliver untouched."""
+        backend = FakeBackend()
+        session = _session(backend, policy="drop-late")
+        frames = _frames(4, seed=3)
+        try:
+            # Serve every submission promptly except frame 1's tiles
+            # (submissions 5..8), which are withheld forever.
+            withheld = []
+            stop = threading.Event()
+
+            def resolver():
+                seen = 0
+                while not stop.is_set():
+                    for fut in backend.pop_pending():
+                        seen += 1
+                        if 4 < seen <= 8:
+                            withheld.append(fut)
+                        else:
+                            fut.resolve()
+                    time.sleep(0.001)
+
+            thread = threading.Thread(target=resolver, daemon=True)
+            thread.start()
+            t0 = session.submit_frame(frames[0])
+            t1 = session.submit_frame(frames[1], deadline_s=0.15)
+            t2 = session.submit_frame(frames[2])
+            t3 = session.submit_frame(frames[3])
+            r0 = t0.result(timeout=10.0)
+            r1 = t1.result(timeout=10.0)
+            r2 = t2.result(timeout=10.0)
+            r3 = t3.result(timeout=10.0)
+            stop.set()
+            thread.join(timeout=5.0)
+            assert r0.ok
+            assert r1.dropped
+            assert r1.late_s >= 0.0 and "deadline expired" in r1.detail
+            assert r2.ok and r3.ok  # successors unaffected
+            stats = session.stats()
+            assert stats["frames"]["frames_dropped"] == 1
+            assert stats["frames"]["frames_ok"] == 3
+            with pytest.raises(Exception) as err:
+                r1.unwrap()
+            assert "dropped" in str(err.value)
+        finally:
+            session.close(drain=False)
+
+    def test_expired_before_processing_drops_without_submitting(self):
+        backend = FakeBackend()
+        session = _session(backend, policy="drop-late")
+        try:
+            # Wedge the collector with a normal frame so the next one
+            # expires while still queued.
+            first = session.submit_frame(_frames(1, seed=1)[0])
+            backend.wait_for_submissions(4)
+            wedged = backend.pop_pending()
+            late = session.submit_frame(
+                _frames(1, seed=2)[0], deadline_s=0.01
+            )
+            time.sleep(0.05)
+            for fut in wedged:
+                fut.resolve()
+            assert first.result(timeout=10.0).ok
+            result = late.result(timeout=10.0)
+            assert result.dropped
+            assert "before inference" in result.detail
+            # No tiles of the dropped frame ever reached the backend.
+            assert backend.submitted == 4
+        finally:
+            session.close(drain=False)
+
+    def test_best_effort_reports_lateness_but_completes(self):
+        backend = FakeBackend()
+        session = _session(backend, policy="best-effort")
+        try:
+            ticket = session.submit_frame(
+                _frames(1, seed=4)[0], deadline_s=0.01
+            )
+            backend.wait_for_submissions(4)
+            time.sleep(0.05)  # well past the deadline
+            for fut in backend.pop_pending():
+                fut.resolve()
+            result = ticket.result(timeout=10.0)
+            assert result.ok
+            assert result.late_s > 0.0
+        finally:
+            session.close()
+
+
+class TestTileReuse:
+    def test_identical_frames_hit_the_tile_cache(self):
+        backend = FakeBackend()
+        session = _session(backend, tile_cache_bytes=1 << 20)
+        frame = _frames(1, seed=5)[0]
+        try:
+            stop = threading.Event()
+
+            def resolver():
+                while not stop.is_set():
+                    for fut in backend.pop_pending():
+                        fut.resolve()
+                    time.sleep(0.001)
+
+            thread = threading.Thread(target=resolver, daemon=True)
+            thread.start()
+            results = [
+                session.submit_frame(frame.copy()).result(timeout=10.0)
+                for _ in range(3)
+            ]
+            stop.set()
+            thread.join(timeout=5.0)
+            assert all(r.ok for r in results)
+            assert results[0].reuse_ratio == 0.0
+            assert results[1].reuse_ratio == 1.0
+            assert results[2].reuse_ratio == 1.0
+            assert backend.submitted == 4  # only the first frame paid
+            for r in results[1:]:
+                np.testing.assert_array_equal(
+                    r.image, results[0].image
+                )
+        finally:
+            session.close(drain=False)
+
+    def test_uniform_frame_dedupes_identical_tiles(self):
+        backend = FakeBackend()
+        session = _session(backend, tile_cache_bytes=1 << 20)
+        frame = np.full((16, 16, 3), 0.25, dtype=np.float32)
+        try:
+            ticket = session.submit_frame(frame)
+            backend.wait_for_submissions(1)
+            time.sleep(0.05)  # no further submissions should arrive
+            assert backend.submitted == 1  # 4 tiles, 1 distinct key
+            for fut in backend.pop_pending():
+                fut.resolve()
+            result = ticket.result(timeout=10.0)
+            assert result.ok
+            np.testing.assert_array_equal(
+                result.image, np.asarray(frame, dtype=np.float64)
+            )
+        finally:
+            session.close(drain=False)
+
+
+class TestSessionContract:
+    def test_sequence_numbers_must_increase(self):
+        backend = FakeBackend()
+        session = _session(backend)
+        frame = _frames(1)[0]
+        try:
+            session.submit_frame(frame, seq=5)
+            with pytest.raises(StreamError, match="must increase"):
+                session.submit_frame(frame, seq=5)
+            with pytest.raises(StreamError, match="must increase"):
+                session.submit_frame(frame, seq=3)
+            ticket = session.submit_frame(frame, seq=9)
+            assert ticket.seq == 9
+        finally:
+            session.close(drain=False)
+
+    def test_non_hwc_frame_rejected(self):
+        backend = FakeBackend()
+        session = _session(backend)
+        try:
+            with pytest.raises(StreamError, match="H, W, C"):
+                session.submit_frame(np.zeros((16, 16), dtype=np.float32))
+        finally:
+            session.close(drain=False)
+
+    def test_submit_after_close_rejected(self):
+        backend = FakeBackend()
+        session = _session(backend)
+        session.close()
+        with pytest.raises(StreamError, match="closed"):
+            session.submit_frame(_frames(1)[0])
+
+    def test_close_without_drain_drops_queued_frames(self):
+        backend = FakeBackend()
+        session = _session(backend)
+        frames = _frames(3, seed=6)
+        tickets = [session.submit_frame(f) for f in frames]
+        backend.wait_for_submissions(4)  # frame 0 in flight, withheld
+        session.close(drain=False)
+        for t in tickets:
+            result = t.result(timeout=10.0)
+            assert result.dropped
+            assert "closed" in result.detail
+
+    def test_busy_marker_resolves_frame_as_error(self):
+        class Busy:
+            reason = "queue full"
+
+        backend = FakeBackend()
+        session = _session(backend)
+        frames = _frames(2, seed=9)
+        try:
+            t0 = session.submit_frame(frames[0])
+            backend.wait_for_submissions(4)
+            pending = backend.pop_pending()
+            pending[0].resolve(Busy())
+            for fut in pending[1:]:
+                fut.resolve()
+            r0 = t0.result(timeout=10.0)
+            assert r0.status == "error"
+            assert "queue full" in r0.detail
+            with pytest.raises(StreamError, match="failed"):
+                r0.unwrap()
+            # The stream survives: the next frame is unaffected.
+            t1 = session.submit_frame(frames[1])
+            backend.wait_for_submissions(8)
+            for fut in backend.pop_pending():
+                fut.resolve()
+            assert t1.result(timeout=10.0).ok
+        finally:
+            session.close(drain=False)
+
+    def test_backpressure_blocks_submit_until_space(self):
+        backend = FakeBackend()
+        session = _session(backend, max_pending_frames=2)
+        frames = _frames(4, seed=10)
+        try:
+            stop = threading.Event()
+
+            def resolver():
+                while not stop.is_set():
+                    for fut in backend.pop_pending():
+                        fut.resolve()
+                    time.sleep(0.001)
+
+            thread = threading.Thread(target=resolver, daemon=True)
+            thread.start()
+            tickets = [session.submit_frame(f) for f in frames]
+            for t in tickets:
+                assert t.result(timeout=10.0).ok
+            stop.set()
+            thread.join(timeout=5.0)
+        finally:
+            session.close(drain=False)
+
+    def test_stats_and_metrics_families(self):
+        backend = FakeBackend()
+        session = _session(backend, tile_cache_bytes=1 << 20)
+        frame = _frames(1, seed=11)[0]
+        try:
+            ticket = session.submit_frame(frame)
+            backend.wait_for_submissions(4)
+            for fut in backend.pop_pending():
+                fut.resolve()
+            assert ticket.result(timeout=10.0).ok
+            stats = session.stats()
+            assert stats["frames"]["frames_in"] == 1
+            assert stats["frames"]["frames_ok"] == 1
+            assert stats["tiles"]["computed_tiles"] == 4
+            assert stats["latency"]["count"] == 1
+            dump = session.metrics.dump()
+            names = {f["name"] for f in dump["families"]}
+            assert "repro_stream_frames_in_total" in names
+            assert "repro_stream_frames_out_total" in names
+            assert "repro_stream_tiles_total" in names
+            assert "repro_stream_tile_reuse_ratio" in names
+            assert "repro_stream_frame_latency_seconds" in names
+            assert "repro_stream_frame_quantile_seconds" in names
+        finally:
+            session.close()

@@ -1,0 +1,134 @@
+"""Bit-parity gate: streamed frames == one-shot Engine.infer.
+
+The streaming subsystem's core promise: tile reuse, coalescing and
+deadline scheduling change *when* pixels are computed, never *which*
+pixels come out.  Every frame of a streamed synthetic clip must be
+bit-identical to running ``Engine.infer`` one-shot on that frame
+with the same tile geometry — under both deadline policies (with
+generous budgets) and with reuse demonstrably engaged.
+"""
+
+import numpy as np
+import pytest
+
+from repro import grad as G
+from repro.api import Engine, EngineConfig
+from repro.deploy import compile_model
+from repro.models import build_model
+from repro.nn import init
+from repro.stream import StreamConfig, synthetic_clip
+
+TILE = 24
+OVERLAP = 8
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("stream_zoo")
+    with G.default_dtype("float32"):
+        init.seed(0)
+        model = build_model(
+            "srresnet", scale=2, scheme="scales", preset="tiny"
+        )
+        compile_model(model, freeze=str(directory / "srresnet_scales.npz"))
+    return directory / "srresnet_scales.npz"
+
+
+@pytest.fixture(scope="module")
+def engine(artifact):
+    return Engine.from_artifact(
+        artifact,
+        EngineConfig(tile=TILE, tile_overlap=OVERLAP, dtype="float32"),
+    )
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return synthetic_clip(5, 48, 64, static_fraction=0.6, seed=3, step=8)
+
+
+@pytest.fixture(scope="module")
+def reference(engine, clip):
+    return [engine.infer(frame).unwrap() for frame in clip]
+
+
+def _assert_bit_identical(result, ref, seq):
+    assert result.ok, (seq, result.status, result.detail)
+    assert result.image.dtype == ref.dtype
+    assert np.array_equal(result.image, ref), (
+        f"frame {seq} diverged from one-shot Engine.infer"
+    )
+
+
+class TestStreamParity:
+    def test_streamed_clip_matches_one_shot_infer(self, engine, clip,
+                                                  reference):
+        with engine.stream() as session:
+            results = [
+                t.result(timeout=120.0)
+                for t in session.submit_clip(clip)
+            ]
+        for seq, (res, ref) in enumerate(zip(results, reference)):
+            _assert_bit_identical(res, ref, seq)
+        # The clip is 60% static: reuse must actually engage, or this
+        # test would pass trivially with the cache broken-off.
+        assert any(r.reuse_ratio > 0 for r in results[1:])
+        assert all(r.seq == i for i, r in enumerate(results))
+
+    def test_drop_late_policy_is_parity_preserving_when_on_time(
+        self, engine, clip, reference
+    ):
+        config = StreamConfig(
+            tile=TILE,
+            overlap=OVERLAP,
+            policy="drop-late",
+            frame_budget_s=300.0,  # generous: nothing actually drops
+        )
+        with engine.stream(config) as session:
+            results = [
+                t.result(timeout=120.0)
+                for t in session.submit_clip(clip)
+            ]
+        for seq, (res, ref) in enumerate(zip(results, reference)):
+            _assert_bit_identical(res, ref, seq)
+
+    def test_shared_serve_session_and_reuse_disabled(self, engine, clip,
+                                                     reference):
+        # An explicit ServeSession is shared, not owned: the stream
+        # must leave it open.  With the tile cache disabled every
+        # frame recomputes — and still matches bit for bit.
+        serve = engine.serve()
+        try:
+            config = StreamConfig(
+                tile=TILE, overlap=OVERLAP, tile_cache_bytes=0
+            )
+            with engine.stream(config, session=serve) as session:
+                results = [
+                    t.result(timeout=120.0)
+                    for t in session.submit_clip(clip[:2])
+                ]
+            for seq, (res, ref) in enumerate(zip(results, reference)):
+                _assert_bit_identical(res, ref, seq)
+                assert res.reuse_ratio == 0.0
+            # Still serving after the stream closed.
+            follow_up = serve.infer(clip[0])
+            assert follow_up.status == "ok"
+        finally:
+            serve.close()
+
+    def test_fully_static_clip_reuses_everything_after_first_frame(
+        self, engine
+    ):
+        static = synthetic_clip(3, 48, 48, static_fraction=1.0, seed=5)
+        with engine.stream() as session:
+            results = [
+                t.result(timeout=120.0)
+                for t in session.submit_clip(static)
+            ]
+        assert all(r.ok for r in results)
+        assert results[1].reuse_ratio == 1.0
+        assert results[2].reuse_ratio == 1.0
+        for later in results[1:]:
+            np.testing.assert_array_equal(
+                later.image, results[0].image
+            )
